@@ -1,0 +1,269 @@
+// Benchmark harness regenerating the paper's evaluation:
+//
+//   - BenchmarkTable3_* measure retargeting time (instruction-set
+//     extraction + template extension + grammar construction + parser
+//     generation) for each of the six processor models of table 3.
+//   - BenchmarkFigure2_* measure compilation of each DSPStone kernel on
+//     the TMS320C25 model; the reported code sizes are printed by
+//     cmd/benchtab and recorded in EXPERIMENTS.md.
+//   - BenchmarkAblation* quantify the design choices called out in
+//     DESIGN.md: commutative template extension, code compaction, the
+//     peephole pass, and the BDD variable order inside extraction.
+//   - BenchmarkCodeSelection measures raw tree-parsing throughput (the
+//     paper: "several hundred RT templates per CPU second").
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dspstone"
+	"repro/internal/ise"
+	"repro/internal/models"
+	"repro/internal/naive"
+)
+
+// ---- Table 3: retargeting time per processor model ---------------------
+
+func benchRetarget(b *testing.B, model string) {
+	mdl, ok := models.Get(model)
+	if !ok {
+		b.Fatalf("model %s missing", model)
+	}
+	b.ReportAllocs()
+	var templates int
+	for i := 0; i < b.N; i++ {
+		tg, err := core.Retarget(mdl, core.RetargetOptions{EmitParserSource: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		templates = tg.Stats.Templates
+	}
+	b.ReportMetric(float64(templates), "templates")
+}
+
+func BenchmarkTable3_Demo(b *testing.B)      { benchRetarget(b, "demo") }
+func BenchmarkTable3_Ref(b *testing.B)       { benchRetarget(b, "ref") }
+func BenchmarkTable3_ManoCPU(b *testing.B)   { benchRetarget(b, "manocpu") }
+func BenchmarkTable3_Tanenbaum(b *testing.B) { benchRetarget(b, "tanenbaum") }
+func BenchmarkTable3_BassBoost(b *testing.B) { benchRetarget(b, "bass_boost") }
+func BenchmarkTable3_TMS320C25(b *testing.B) { benchRetarget(b, "tms320c25") }
+
+// ---- Figure 2: DSPStone kernel compilation on the TMS320C25 ------------
+
+var (
+	c25Once sync.Once
+	c25Tg   *core.Target
+	c25Err  error
+)
+
+func c25(b *testing.B) *core.Target {
+	c25Once.Do(func() {
+		mdl, _ := models.Get("tms320c25")
+		c25Tg, c25Err = core.Retarget(mdl, core.RetargetOptions{})
+	})
+	if c25Err != nil {
+		b.Fatal(c25Err)
+	}
+	return c25Tg
+}
+
+func benchKernel(b *testing.B, name string) {
+	tg := c25(b)
+	k, ok := dspstone.Get(name)
+	if !ok {
+		b.Fatalf("kernel %s missing", name)
+	}
+	b.ReportAllocs()
+	var words int
+	for i := 0; i < b.N; i++ {
+		res, err := tg.CompileSource(k.Source, core.CompileOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		words = res.CodeLen()
+	}
+	b.ReportMetric(float64(words), "words")
+	b.ReportMetric(100*float64(words)/float64(k.HandWords), "%ofhand")
+}
+
+func BenchmarkFigure2_RealUpdate(b *testing.B)      { benchKernel(b, "real_update") }
+func BenchmarkFigure2_ComplexMultiply(b *testing.B) { benchKernel(b, "complex_multiply") }
+func BenchmarkFigure2_ComplexUpdate(b *testing.B)   { benchKernel(b, "complex_update") }
+func BenchmarkFigure2_NRealUpdates(b *testing.B)    { benchKernel(b, "n_real_updates") }
+func BenchmarkFigure2_NComplexUpdates(b *testing.B) { benchKernel(b, "n_complex_updates") }
+func BenchmarkFigure2_DotProduct(b *testing.B)      { benchKernel(b, "dot_product") }
+func BenchmarkFigure2_Fir(b *testing.B)             { benchKernel(b, "fir") }
+func BenchmarkFigure2_BiquadOne(b *testing.B)       { benchKernel(b, "biquad_one") }
+func BenchmarkFigure2_BiquadN(b *testing.B)         { benchKernel(b, "biquad_N") }
+func BenchmarkFigure2_Convolution(b *testing.B)     { benchKernel(b, "convolution") }
+
+// BenchmarkFigure2_NaiveBaseline measures the baseline compiler on the
+// dot-product kernel (its worst case, 527% of hand-written).
+func BenchmarkFigure2_NaiveBaseline(b *testing.B) {
+	tg := c25(b)
+	k, _ := dspstone.Get("dot_product")
+	b.ReportAllocs()
+	var words int
+	for i := 0; i < b.N; i++ {
+		res, err := naive.CompileSource(tg, k.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		words = res.CodeLen()
+	}
+	b.ReportMetric(float64(words), "words")
+}
+
+// ---- Ablations ----------------------------------------------------------
+
+// BenchmarkAblationCommutativity compares code size for a sum-of-products
+// block with and without the commutative template extension (paper
+// section 3: badly structured expression trees).
+func BenchmarkAblationCommutativity(b *testing.B) {
+	mdl, _ := models.Get("tms320c25")
+	src := `
+int a = 2; int b = 3; int c = 4; int d = 5;
+int y;
+y = b*a + d*c;
+`
+	for _, ext := range []bool{true, false} {
+		ext := ext
+		name := "extended"
+		if !ext {
+			name = "plain"
+		}
+		b.Run(name, func(b *testing.B) {
+			tg, err := core.Retarget(mdl, core.RetargetOptions{NoExtension: !ext})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var words int
+			for i := 0; i < b.N; i++ {
+				res, err := tg.CompileSource(src, core.CompileOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				words = res.CodeLen()
+			}
+			b.ReportMetric(float64(words), "words")
+		})
+	}
+}
+
+// BenchmarkAblationCompaction measures the contribution of code compaction
+// on the MAC-pipeline kernel.
+func BenchmarkAblationCompaction(b *testing.B) {
+	tg := c25(b)
+	k, _ := dspstone.Get("dot_product")
+	for _, on := range []bool{true, false} {
+		on := on
+		name := "compacted"
+		if !on {
+			name = "sequential"
+		}
+		b.Run(name, func(b *testing.B) {
+			var words int
+			for i := 0; i < b.N; i++ {
+				res, err := tg.CompileSource(k.Source,
+					core.CompileOptions{NoCompaction: !on})
+				if err != nil {
+					b.Fatal(err)
+				}
+				words = res.CodeLen()
+			}
+			b.ReportMetric(float64(words), "words")
+		})
+	}
+}
+
+// BenchmarkAblationPeephole measures the redundant-load/dead-store pass.
+func BenchmarkAblationPeephole(b *testing.B) {
+	tg := c25(b)
+	k, _ := dspstone.Get("dot_product")
+	for _, on := range []bool{true, false} {
+		on := on
+		name := "peephole"
+		if !on {
+			name = "raw"
+		}
+		b.Run(name, func(b *testing.B) {
+			var words int
+			for i := 0; i < b.N; i++ {
+				res, err := tg.CompileSource(k.Source,
+					core.CompileOptions{NoPeephole: !on})
+				if err != nil {
+					b.Fatal(err)
+				}
+				words = res.CodeLen()
+			}
+			b.ReportMetric(float64(words), "words")
+		})
+	}
+}
+
+// BenchmarkAblationBDDOrder measures instruction-set extraction under the
+// two instruction-bit variable orders.
+func BenchmarkAblationBDDOrder(b *testing.B) {
+	mdl, _ := models.Get("demo")
+	for _, msb := range []bool{false, true} {
+		msb := msb
+		name := "lsb-first"
+		if msb {
+			name = "msb-first"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tg, err := core.Retarget(mdl, core.RetargetOptions{
+					ISE: iseOptions(msb),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = tg
+			}
+		})
+	}
+}
+
+// ---- Raw selection throughput ------------------------------------------
+
+// BenchmarkCodeSelection measures tree covering throughput on the largest
+// kernel (templates emitted per second; the paper reports several hundred
+// per CPU second on a SPARC-20).
+func BenchmarkCodeSelection(b *testing.B) {
+	tg := c25(b)
+	k, _ := dspstone.Get("n_complex_updates")
+	b.ResetTimer()
+	var rts int
+	for i := 0; i < b.N; i++ {
+		res, err := tg.CompileSource(k.Source, core.CompileOptions{NoCompaction: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rts = res.SeqLen()
+	}
+	b.ReportMetric(float64(rts), "RTs")
+}
+
+// BenchmarkSimulation measures netlist-level execution speed.
+func BenchmarkSimulation(b *testing.B) {
+	tg := c25(b)
+	k, _ := dspstone.Get("fir")
+	res, err := tg.CompileSource(k.Source, core.CompileOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tg.Execute(res); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.CodeLen()), "cycles")
+}
+
+func iseOptions(msb bool) ise.Options {
+	return ise.Options{MSBFirstVars: msb}
+}

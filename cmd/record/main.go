@@ -1,0 +1,252 @@
+// Command record is the retargetable compiler driver: it retargets to an
+// HDL processor model and compiles a RecC source program into compacted,
+// encoded machine code.
+//
+// Usage:
+//
+//	record -model tms320c25 -src program.c [flags]
+//	record -mdl processor.mdl -src program.c [flags]
+//
+// Flags:
+//
+//	-model name        use a bundled processor model (see -list)
+//	-mdl file          read an MDL processor model from file
+//	-src file          RecC source program ("-" for stdin)
+//	-list              list bundled models
+//	-naive             use the naive macro-expansion baseline
+//	-no-compaction     disable code compaction
+//	-no-peephole       disable redundant-load/dead-store elimination
+//	-no-extension      disable template-base extension
+//	-seq               print the sequential RT code as well
+//	-stats             print retargeting and compilation statistics
+//	-run               execute on the netlist simulator and dump variables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/cflow"
+	"repro/internal/cfront"
+	"repro/internal/core"
+	"repro/internal/dspstone"
+	"repro/internal/ir"
+	"repro/internal/models"
+	"repro/internal/naive"
+	"repro/internal/vhdl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "record:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		modelName    = flag.String("model", "", "bundled processor model name")
+		mdlFile      = flag.String("mdl", "", "MDL processor model file")
+		vhdlFile     = flag.String("vhdl", "", "VHDL processor model file (translated to MDL)")
+		srcFile      = flag.String("src", "", "RecC source file (- for stdin)")
+		kernelName   = flag.String("kernel", "", "compile a bundled DSPStone kernel")
+		list         = flag.Bool("list", false, "list bundled models and kernels")
+		useNaive     = flag.Bool("naive", false, "use the naive baseline compiler")
+		noCompaction = flag.Bool("no-compaction", false, "disable code compaction")
+		noPeephole   = flag.Bool("no-peephole", false, "disable peephole optimization")
+		noExtension  = flag.Bool("no-extension", false, "disable template-base extension")
+		showSeq      = flag.Bool("seq", false, "print sequential RT code")
+		showStats    = flag.Bool("stats", false, "print statistics")
+		execute      = flag.Bool("run", false, "simulate and dump final variables")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("bundled processor models:")
+		for _, e := range models.All() {
+			fmt.Printf("  %-12s %s\n", e.Name, e.Description)
+		}
+		fmt.Println("bundled DSPStone kernels:")
+		for _, k := range dspstone.Suite() {
+			fmt.Printf("  %-20s hand-written reference: %d words\n", k.Name, k.HandWords)
+		}
+		return nil
+	}
+
+	mdl, err := loadModel(*modelName, *mdlFile, *vhdlFile)
+	if err != nil {
+		return err
+	}
+	src, err := loadSource(*srcFile, *kernelName)
+	if err != nil {
+		return err
+	}
+
+	target, err := core.Retarget(mdl, core.RetargetOptions{NoExtension: *noExtension})
+	if err != nil {
+		return err
+	}
+	if *showStats {
+		printRetargetStats(target)
+	}
+
+	prog, err := cfront.Parse(src)
+	if err != nil {
+		return err
+	}
+	if ir.HasControlFlow(prog) {
+		if *useNaive {
+			return fmt.Errorf("the naive baseline does not support control flow")
+		}
+		return runControlFlow(target, prog, *execute)
+	}
+
+	var res *core.CompileResult
+	if *useNaive {
+		res, err = naive.Compile(target, prog)
+	} else {
+		res, err = target.CompileProgram(prog, core.CompileOptions{
+			NoCompaction: *noCompaction,
+			NoPeephole:   *noPeephole,
+		})
+	}
+	if err != nil {
+		return err
+	}
+
+	if *showSeq {
+		fmt.Println("sequential RT code:")
+		fmt.Print(res.Seq)
+		fmt.Println()
+	}
+	fmt.Printf("code for %s: %d RT instructions in %d words\n\n",
+		target.Name, res.SeqLen(), res.CodeLen())
+	fmt.Print(target.Listing(res))
+
+	if *showStats {
+		fmt.Printf("\nselection: %d trees, cost %d, %d spills; peephole removed %d loads, %d stores\n",
+			res.Stats.Trees, res.Stats.SelectCost, res.Stats.Spills,
+			res.Opt.LoadsRemoved, res.Opt.StoresRemoved)
+	}
+
+	if *execute {
+		env, err := target.Execute(res)
+		if err != nil {
+			return err
+		}
+		if err := target.CheckAgainstOracle(res); err != nil {
+			return fmt.Errorf("simulation disagrees with the IR oracle: %w", err)
+		}
+		fmt.Println("\nfinal variable values (simulated, oracle-checked):")
+		names := make([]string, 0, len(env))
+		for n := range env {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-12s %v\n", n, env[n])
+		}
+	}
+	return nil
+}
+
+// runControlFlow compiles and optionally executes a program with branches
+// through the control-flow extension.
+func runControlFlow(target *core.Target, prog *ir.Program, execute bool) error {
+	res, err := cflow.Compile(target, prog, cflow.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("control-flow code for %s: %d basic blocks, %d words\n\n",
+		target.Name, len(res.CFG.Blocks), res.Code.Len())
+	fmt.Print(target.Encoder.Listing(res.Code))
+	if execute {
+		if err := cflow.CheckAgainstOracle(target, res, cflow.Options{}); err != nil {
+			return fmt.Errorf("simulation disagrees with the oracle: %w", err)
+		}
+		env, err := cflow.Execute(target, res, cflow.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nfinal variable values (simulated, oracle-checked):")
+		names := make([]string, 0, len(env))
+		for n := range env {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-12s %v\n", n, env[n])
+		}
+	}
+	return nil
+}
+
+func loadModel(name, file, vhdlFile string) (string, error) {
+	count := 0
+	for _, s := range []string{name, file, vhdlFile} {
+		if s != "" {
+			count++
+		}
+	}
+	if count > 1 {
+		return "", fmt.Errorf("use exactly one of -model, -mdl, -vhdl")
+	}
+	switch {
+	case name != "":
+		mdl, ok := models.Get(name)
+		if !ok {
+			return "", fmt.Errorf("unknown model %q (try -list)", name)
+		}
+		return mdl, nil
+	case file != "":
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return "", err
+		}
+		return string(b), nil
+	case vhdlFile != "":
+		b, err := os.ReadFile(vhdlFile)
+		if err != nil {
+			return "", err
+		}
+		return vhdl.Translate(string(b))
+	}
+	return "", fmt.Errorf("no processor model: use -model, -mdl or -vhdl")
+}
+
+func loadSource(file, kernel string) (string, error) {
+	switch {
+	case file != "" && kernel != "":
+		return "", fmt.Errorf("use either -src or -kernel, not both")
+	case kernel != "":
+		k, ok := dspstone.Get(kernel)
+		if !ok {
+			return "", fmt.Errorf("unknown kernel %q (try -list)", kernel)
+		}
+		return k.Source, nil
+	case file == "-":
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	case file != "":
+		b, err := os.ReadFile(file)
+		return string(b), err
+	}
+	return "", fmt.Errorf("no source program: use -src or -kernel")
+}
+
+func printRetargetStats(t *core.Target) {
+	s := t.Stats
+	fmt.Printf("retargeted %s in %v\n", t.Name, s.Total)
+	fmt.Printf("  HDL frontend + elaboration  %v\n", s.Frontend)
+	fmt.Printf("  instruction-set extraction  %v (%d routes, %d unsat pruned)\n",
+		s.ISE, s.ISEDetails.RoutesEnumerated, s.ISEDetails.Unsatisfiable)
+	fmt.Printf("  template-base extension     %v (%d -> %d templates)\n",
+		s.Extension, s.Extracted, s.Templates)
+	fmt.Printf("  grammar construction        %v (%d rules, %d nonterminals)\n",
+		s.Grammar, s.GrammarSz.RTRules+s.GrammarSz.StartRules+s.GrammarSz.StopRules,
+		s.GrammarSz.Nonterminals)
+	fmt.Printf("  parser generation           %v\n\n", s.ParserGen)
+}

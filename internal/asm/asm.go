@@ -1,0 +1,237 @@
+// Package asm encodes instruction words from RT execution conditions.
+//
+// The execution condition of each selected RT instance constrains the
+// instruction-word bits (a BDD from instruction-set extraction); operand
+// fields pin further bits.  Encoding a word conjoins everything, adds
+// quiescence constraints — every storage not deliberately written this
+// cycle must have all of its (suppressible) write conditions false, so a
+// data word cannot accidentally trigger a store or a jump — and picks a
+// satisfying assignment of the instruction bits.  Conditions over
+// mode-register bits become mode-state requirements recorded per word.
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bdd"
+	"repro/internal/code"
+	"repro/internal/ise"
+	"repro/internal/rtl"
+)
+
+// Encoder encodes instruction words for one extracted machine.
+type Encoder struct {
+	Vars *ise.VarMap
+	Base *rtl.Base
+
+	m *bdd.Manager
+	// quiesce maps a storage to the disjunction of the static conditions
+	// of its suppressible write templates.
+	quiesce map[string]*bdd.Node
+	// quiet is the conjunction of all negated quiesce conditions (the NOP
+	// condition).
+	quiet *bdd.Node
+}
+
+// NewEncoder analyses the template base and builds the quiescence
+// conditions.  background lists storages that are written every cycle by
+// design (the program counter behind a next-PC multiplexer): they are
+// exempt from quiescence, and their unconstrained control bits default to
+// 0 — models must make the all-zero selection the benign one (PC+1).
+func NewEncoder(vars *ise.VarMap, base *rtl.Base, background ...string) *Encoder {
+	e := &Encoder{Vars: vars, Base: base, m: vars.M,
+		quiesce: make(map[string]*bdd.Node)}
+	bg := make(map[string]bool, len(background))
+	for _, s := range background {
+		bg[s] = true
+	}
+	for _, t := range base.Templates {
+		if t.DestPort || bg[t.Dest] {
+			continue // port drives / background storages are not suppressed
+		}
+		if e.m.Tautology(t.Cond.Static) {
+			// Unconditional background behavior (e.g. the PC increment)
+			// cannot be suppressed; it is part of the machine semantics.
+			continue
+		}
+		prev, ok := e.quiesce[t.Dest]
+		if !ok {
+			prev = e.m.False()
+		}
+		e.quiesce[t.Dest] = e.m.Or(prev, t.Cond.Static)
+	}
+	e.quiet = e.m.True()
+	for _, s := range e.storages() {
+		e.quiet = e.m.And(e.quiet, e.m.Not(e.quiesce[s]))
+	}
+	return e
+}
+
+func (e *Encoder) storages() []string {
+	out := make([]string, 0, len(e.quiesce))
+	for s := range e.quiesce {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ModeReq is a required mode-register state: storage name → bit values.
+type ModeReq map[string]int64
+
+// WordCond computes the full encoding condition of a set of parallel RT
+// instances: conjunction of their static conditions, their operand-field
+// bit cubes, and quiescence of every untouched storage.
+func (e *Encoder) WordCond(instrs []*code.Instr) (*bdd.Node, error) {
+	cond := e.m.True()
+	intended := make(map[string]bool)
+	for _, in := range instrs {
+		cond = e.m.And(cond, in.Template.Cond.Static)
+		if !in.Template.DestPort {
+			intended[in.Template.Dest] = true
+		}
+	}
+	if cond == e.m.False() {
+		return nil, fmt.Errorf("asm: conflicting execution conditions (instruction encoding conflict)")
+	}
+	// Operand fields pin instruction bits.
+	bits := make(map[int]bool) // var index -> value
+	for _, in := range instrs {
+		for _, f := range in.Fields {
+			w := f.Hi - f.Lo + 1
+			for b := 0; b < w; b++ {
+				pos := f.Lo + b
+				if pos >= e.Vars.InsnWidth() {
+					return nil, fmt.Errorf("asm: field %s exceeds instruction width %d", f, e.Vars.InsnWidth())
+				}
+				v := f.Val&(1<<uint(b)) != 0
+				varIdx := e.Vars.InsnVars[pos]
+				if prev, ok := bits[varIdx]; ok && prev != v {
+					return nil, fmt.Errorf("asm: operand fields conflict at instruction bit %d", pos)
+				}
+				bits[varIdx] = v
+			}
+		}
+	}
+	cond = e.m.And(cond, e.m.Cube(bits))
+	if cond == e.m.False() {
+		return nil, fmt.Errorf("asm: operand fields contradict execution conditions")
+	}
+	// Quiescence for untouched storages.
+	for _, s := range e.storages() {
+		if intended[s] {
+			continue
+		}
+		cond = e.m.And(cond, e.m.Not(e.quiesce[s]))
+		if cond == e.m.False() {
+			return nil, fmt.Errorf("asm: cannot encode word without disturbing %s", s)
+		}
+	}
+	return cond, nil
+}
+
+// Encode picks a concrete instruction word (and required mode state)
+// satisfying the word condition.  Unconstrained bits default to 0.
+func (e *Encoder) Encode(instrs []*code.Instr) (word uint64, mode ModeReq, err error) {
+	cond, err := e.WordCond(instrs)
+	if err != nil {
+		return 0, nil, err
+	}
+	assign, ok := e.m.AnySat(cond)
+	if !ok {
+		return 0, nil, fmt.Errorf("asm: unsatisfiable word condition")
+	}
+	mode = make(ModeReq)
+	for v, val := range assign {
+		if bit, isInsn := e.Vars.IsInsnVar(v); isInsn {
+			if val {
+				word |= 1 << uint(bit)
+			}
+			continue
+		}
+		if storage, bit := e.Vars.ModeVarOwner(v); storage != "" {
+			if val {
+				mode[storage] |= 1 << uint(bit)
+			} else {
+				mode[storage] |= 0
+			}
+		}
+	}
+	if len(mode) == 0 {
+		mode = nil
+	}
+	return word, mode, nil
+}
+
+// Feasible reports whether the instruction set can execute in one word.
+func (e *Encoder) Feasible(instrs []*code.Instr) bool {
+	_, err := e.WordCond(instrs)
+	return err == nil
+}
+
+// NOP returns an instruction word that changes no suppressible storage.
+func (e *Encoder) NOP() (uint64, error) {
+	assign, ok := e.m.AnySat(e.quiet)
+	if !ok {
+		return 0, fmt.Errorf("asm: machine has no quiescent encoding (NOP impossible)")
+	}
+	var word uint64
+	for v, val := range assign {
+		if bit, isInsn := e.Vars.IsInsnVar(v); isInsn && val {
+			word |= 1 << uint(bit)
+		}
+	}
+	return word, nil
+}
+
+// EncodeProgram fills in Bits for every word and verifies that the mode
+// requirements of all words are mutually consistent (the program never
+// needs two different states of one mode register without an intervening
+// mode change, which this straight-line encoder does not insert).
+func (e *Encoder) EncodeProgram(p *code.Program) (ModeReq, error) {
+	required := make(ModeReq)
+	seen := make(map[string]bool)
+	for i, w := range p.Words {
+		bits, mode, err := e.Encode(w.Instrs)
+		if err != nil {
+			return nil, fmt.Errorf("asm: word %d: %w", i, err)
+		}
+		w.Bits = bits
+		w.Encoded = true
+		for s, v := range mode {
+			if seen[s] && required[s] != v {
+				return nil, fmt.Errorf("asm: word %d needs mode %s=%d but an earlier word needs %d",
+					i, s, v, required[s])
+			}
+			seen[s] = true
+			required[s] = v
+		}
+	}
+	if len(required) == 0 {
+		return nil, nil
+	}
+	return required, nil
+}
+
+// Listing renders an encoded program as an annotated listing.
+func (e *Encoder) Listing(p *code.Program) string {
+	var b strings.Builder
+	width := (e.Vars.InsnWidth() + 3) / 4
+	for i, w := range p.Words {
+		fmt.Fprintf(&b, "%04d  %0*x  ", i, width, w.Bits)
+		parts := make([]string, len(w.Instrs))
+		for j, in := range w.Instrs {
+			parts[j] = in.Template.String()
+		}
+		b.WriteString(strings.Join(parts, " || "))
+		for _, in := range w.Instrs {
+			if in.Comment != "" {
+				fmt.Fprintf(&b, "  ; %s", in.Comment)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

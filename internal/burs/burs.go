@@ -1,0 +1,274 @@
+// Package burs implements a bottom-up rewrite system (BURS) tree parser —
+// the equivalent of the iburg code-generator generator the paper plugs its
+// tree grammars into (Fraser/Hanson/Proebsting, LOPLAS 1992; paper section
+// 3.2).
+//
+// Given the tree grammar built by internal/grammar, the parser labels a
+// subject expression tree bottom-up with the minimum derivation cost per
+// nonterminal, applying chain-rule closure at every node, and then emits
+// the optimal (minimum-cost) derivation top-down.  Optimal code selection
+// for an expression tree — covering it by a minimum set of RT templates —
+// is exactly a minimum-cost derivation of the tree in the grammar.
+//
+// iburg emits C source compiled into the retargeted compiler; EmitGo
+// mirrors that step by generating a Go source rendering of the rule tables.
+package burs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/grammar"
+	"repro/internal/rtl"
+)
+
+// Inf is the cost of an impossible derivation.
+const Inf = math.MaxInt32 / 4
+
+// Node is a labelled subject-tree node.
+type Node struct {
+	Expr *rtl.Expr
+	Kids []*Node
+	// cost[nt] is the minimal derivation cost of this subtree from
+	// nonterminal nt; rule[nt] achieves it.
+	cost []int32
+	rule []*grammar.Rule
+}
+
+// Cost returns the minimal cost of deriving the subtree from nonterminal
+// nt (Inf if impossible).
+func (n *Node) Cost(nt int) int { return int(n.cost[nt]) }
+
+// Rule returns the rule achieving Cost(nt), or nil.
+func (n *Node) Rule(nt int) *grammar.Rule { return n.rule[nt] }
+
+// Parser is a processor-specific tree parser generated from a grammar.
+type Parser struct {
+	G *grammar.Grammar
+}
+
+// NewParser constructs the parser for grammar g.
+func NewParser(g *grammar.Grammar) *Parser { return &Parser{G: g} }
+
+// Label computes the dynamic-programming labels for the subject tree.
+func (p *Parser) Label(e *rtl.Expr) *Node {
+	nNT := p.G.NumNT()
+	node := &Node{Expr: e, cost: make([]int32, nNT), rule: make([]*grammar.Rule, nNT)}
+	for i := range node.cost {
+		node.cost[i] = Inf
+	}
+	for _, k := range e.Kids {
+		node.Kids = append(node.Kids, p.Label(k))
+	}
+	// Match every rule whose root terminal bucket fits this node.
+	for _, r := range p.G.RulesByKey[grammar.SubjectKey(e)] {
+		c := p.MatchCost(r.Pat, node)
+		if c >= Inf {
+			continue
+		}
+		total := int32(r.Cost) + c
+		if total < node.cost[r.LHS] {
+			node.cost[r.LHS] = total
+			node.rule[r.LHS] = r
+		}
+	}
+	// Chain-rule closure to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for src, rules := range p.G.ChainRules {
+			if node.cost[src] >= Inf {
+				continue
+			}
+			for _, r := range rules {
+				total := int32(r.Cost) + node.cost[src]
+				if total < node.cost[r.LHS] {
+					node.cost[r.LHS] = total
+					node.rule[r.LHS] = r
+					changed = true
+				}
+			}
+		}
+	}
+	return node
+}
+
+// FieldKey identifies an instruction field by its bit range.
+type FieldKey struct{ Hi, Lo int }
+
+// MatchCost returns the cost of matching pattern pat at node (excluding the
+// rule's own cost), or Inf.  Nonlinear patterns — where one instruction
+// field appears at several leaves (both FU inputs wired to the same memory
+// output, say) — only match when every occurrence binds the same operand
+// value.
+func (p *Parser) MatchCost(pat *grammar.Pat, node *Node) int32 {
+	return p.MatchCostFields(pat, node, make(map[FieldKey]int64, 2))
+}
+
+// MatchCostFields is MatchCost threading an explicit field-binding map; the
+// same (non-nil) map may be shared across several patterns (a template's
+// source and destination-address patterns) to enforce global consistency.
+func (p *Parser) MatchCostFields(pat *grammar.Pat, node *Node, fields map[FieldKey]int64) int32 {
+	if pat.Kind == grammar.PatNT {
+		return node.cost[pat.NT]
+	}
+	if !pat.MatchesLeaf(node.Expr) {
+		return Inf
+	}
+	if pat.Kind == grammar.PatImm {
+		key := FieldKey{pat.ImmHi, pat.ImmLo}
+		if prev, ok := fields[key]; ok && prev != node.Expr.Val {
+			return Inf
+		}
+		fields[key] = node.Expr.Val
+		return 0
+	}
+	if len(pat.Kids) != len(node.Kids) {
+		return Inf
+	}
+	var sum int32
+	for i, k := range pat.Kids {
+		c := p.MatchCostFields(k, node.Kids[i], fields)
+		if c >= Inf {
+			return Inf
+		}
+		sum += c
+	}
+	return sum
+}
+
+// Step is one rule application in a derivation.  Kids are the
+// sub-derivations at the nonterminal positions of the rule's pattern, in
+// pattern pre-order; NodeAt pairs each with the subject node it derives.
+type Step struct {
+	Rule *grammar.Rule
+	Node *Node
+	Kids []*Step
+}
+
+// Walk visits the derivation bottom-up (kids before parent).
+func (s *Step) Walk(f func(*Step)) {
+	for _, k := range s.Kids {
+		k.Walk(f)
+	}
+	f(s)
+}
+
+// Templates returns the RT templates selected by the derivation in
+// bottom-up (operand-first) order.
+func (s *Step) Templates() []*rtl.Template {
+	var out []*rtl.Template
+	s.Walk(func(st *Step) {
+		if st.Rule.Kind == grammar.KindRT {
+			out = append(out, st.Rule.Template)
+		}
+	})
+	return out
+}
+
+// Cover is an optimal covering of one expression tree for one destination.
+type Cover struct {
+	Dest  string
+	Start *grammar.Rule
+	Root  *Step
+	Cost  int
+}
+
+// CoverError explains an uncoverable tree.
+type CoverError struct {
+	Dest string
+	Expr *rtl.Expr
+	// Derivable lists the nonterminals the tree can be derived from, to
+	// help diagnose the gap.
+	Derivable []string
+}
+
+func (e *CoverError) Error() string {
+	if len(e.Derivable) == 0 {
+		return fmt.Sprintf("burs: expression %s not derivable from any nonterminal (operator unsupported by the target?)", e.Expr)
+	}
+	return fmt.Sprintf("burs: expression %s not derivable into destination %s (only into %s)",
+		e.Expr, e.Dest, strings.Join(e.Derivable, ", "))
+}
+
+// Cover computes the minimum-cost derivation of e into destination dest
+// (the paper's ASSIGN(Term(dest), NonTerm(dest)) start rule).
+func (p *Parser) Cover(dest string, e *rtl.Expr) (*Cover, error) {
+	root := p.Label(e)
+	return p.CoverLabeled(dest, root)
+}
+
+// CoverLabeled is Cover for an already-labelled tree.
+func (p *Parser) CoverLabeled(dest string, root *Node) (*Cover, error) {
+	sr, ok := p.G.StartRules[dest]
+	if !ok {
+		return nil, fmt.Errorf("burs: unknown destination %q", dest)
+	}
+	nt := sr.Pat.NT
+	if root.cost[nt] >= Inf {
+		var derivable []string
+		for i := 1; i < p.G.NumNT(); i++ {
+			if root.cost[i] < Inf {
+				derivable = append(derivable, p.G.NTNames[i])
+			}
+		}
+		sort.Strings(derivable)
+		return nil, &CoverError{Dest: dest, Expr: root.Expr, Derivable: derivable}
+	}
+	step, err := p.Derive(root, nt)
+	if err != nil {
+		return nil, err
+	}
+	return &Cover{Dest: dest, Start: sr, Root: step, Cost: int(root.cost[nt]) + sr.Cost}, nil
+}
+
+// Derive reconstructs the optimal derivation of node from nonterminal nt
+// (Label must have produced the node).
+func (p *Parser) Derive(node *Node, nt int) (*Step, error) {
+	r := node.rule[nt]
+	if r == nil {
+		return nil, fmt.Errorf("burs: internal: no rule for %s at %s",
+			p.G.NTNames[nt], node.Expr)
+	}
+	step := &Step{Rule: r, Node: node}
+	var rec func(pat *grammar.Pat, n *Node) error
+	rec = func(pat *grammar.Pat, n *Node) error {
+		if pat.Kind == grammar.PatNT {
+			kid, err := p.Derive(n, pat.NT)
+			if err != nil {
+				return err
+			}
+			step.Kids = append(step.Kids, kid)
+			return nil
+		}
+		for i, k := range pat.Kids {
+			if err := rec(k, n.Kids[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(r.Pat, node); err != nil {
+		return nil, err
+	}
+	return step, nil
+}
+
+// NTPairs returns, for each nonterminal position of the rule's pattern (in
+// pre-order), the subject node derived there.  It parallels Step.Kids.
+func NTPairs(r *grammar.Rule, node *Node) []*Node {
+	var out []*Node
+	var rec func(pat *grammar.Pat, n *Node)
+	rec = func(pat *grammar.Pat, n *Node) {
+		if pat.Kind == grammar.PatNT {
+			out = append(out, n)
+			return
+		}
+		for i, k := range pat.Kids {
+			rec(k, n.Kids[i])
+		}
+	}
+	rec(r.Pat, node)
+	return out
+}

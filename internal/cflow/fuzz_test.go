@@ -1,0 +1,118 @@
+package cflow_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cflow"
+	"repro/internal/ir"
+	"repro/internal/rtl"
+)
+
+// randomCFProgram generates a structured random program with nested
+// if/while over a few scalars, with loops guaranteed to terminate (each
+// while decrements a dedicated counter).
+func randomCFProgram(rng *rand.Rand) *ir.Program {
+	scalars := []string{"v0", "v1", "v2"}
+	p := &ir.Program{}
+	for i, s := range scalars {
+		p.Decls = append(p.Decls, &ir.Decl{Name: s,
+			Init: []int64{int64(rng.Intn(50) + i)}})
+	}
+	counters := 0
+
+	ops := []rtl.Op{rtl.OpAdd, rtl.OpSub, rtl.OpAnd, rtl.OpOr, rtl.OpXor}
+	rels := []rtl.Op{rtl.OpLt, rtl.OpLe, rtl.OpEq, rtl.OpNe, rtl.OpGt, rtl.OpGe}
+
+	var genExpr func(depth int) ir.Expr
+	genExpr = func(depth int) ir.Expr {
+		if depth == 0 || rng.Intn(3) == 0 {
+			if rng.Intn(3) == 0 {
+				return &ir.Const{Val: int64(rng.Intn(64) - 32)}
+			}
+			return &ir.Ref{Name: scalars[rng.Intn(len(scalars))]}
+		}
+		return &ir.Bin{Op: ops[rng.Intn(len(ops))],
+			X: genExpr(depth - 1), Y: genExpr(depth - 1)}
+	}
+	genCond := func() ir.Expr {
+		return &ir.Bin{Op: rels[rng.Intn(len(rels))],
+			X: &ir.Ref{Name: scalars[rng.Intn(len(scalars))]},
+			Y: &ir.Const{Val: int64(rng.Intn(40))}}
+	}
+
+	var genStmts func(depth, n int) []ir.Stmt
+	genStmts = func(depth, n int) []ir.Stmt {
+		var out []ir.Stmt
+		for i := 0; i < n; i++ {
+			switch {
+			case depth > 0 && rng.Intn(4) == 0:
+				st := &ir.If{Cond: genCond(), Then: genStmts(depth-1, 1+rng.Intn(2))}
+				if rng.Intn(2) == 0 {
+					st.Else = genStmts(depth-1, 1+rng.Intn(2))
+				}
+				out = append(out, st)
+			case depth > 0 && rng.Intn(5) == 0:
+				// Bounded loop via a fresh counter.
+				cname := fmt.Sprintf("c%d", counters)
+				counters++
+				p.Decls = append(p.Decls, &ir.Decl{Name: cname,
+					Init: []int64{int64(rng.Intn(5) + 1)}})
+				body := genStmts(depth-1, 1+rng.Intn(2))
+				body = append(body, &ir.Assign{LHS: &ir.Ref{Name: cname},
+					RHS: &ir.Bin{Op: rtl.OpSub,
+						X: &ir.Ref{Name: cname}, Y: &ir.Const{Val: 1}}})
+				out = append(out, &ir.While{
+					Cond: &ir.Bin{Op: rtl.OpGt,
+						X: &ir.Ref{Name: cname}, Y: &ir.Const{Val: 0}},
+					Body: body,
+				})
+			default:
+				out = append(out, &ir.Assign{
+					LHS: &ir.Ref{Name: scalars[rng.Intn(len(scalars))]},
+					RHS: genExpr(2),
+				})
+			}
+		}
+		return out
+	}
+	p.Body = genStmts(2, 2+rng.Intn(4))
+	return p
+}
+
+// TestPropRandomControlFlow fuzzes the whole branch pipeline: random
+// structured programs compile for the brancher and the simulated execution
+// matches the CFG interpreter.
+func TestPropRandomControlFlow(t *testing.T) {
+	target := brancher(t)
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 80; trial++ {
+		p := randomCFProgram(rng)
+		res, err := cflow.Compile(target, p, cflow.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v", trial, err)
+		}
+		if err := cflow.CheckAgainstOracle(target, res, cflow.Options{}); err != nil {
+			t.Fatalf("trial %d: %v\nblocks=%d words=%d\n%s",
+				trial, err, len(res.CFG.Blocks), res.Code.Len(),
+				target.Encoder.Listing(res.Code))
+		}
+	}
+}
+
+// TestPropRandomControlFlowNoCompaction isolates per-block compaction.
+func TestPropRandomControlFlowNoCompaction(t *testing.T) {
+	target := brancher(t)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		p := randomCFProgram(rng)
+		res, err := cflow.Compile(target, p, cflow.Options{NoCompaction: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := cflow.CheckAgainstOracle(target, res, cflow.Options{}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,769 @@
+// Package cfront implements RecC, the C-subset frontend of the compiler:
+// integer scalar/array declarations with initializers, assignments, and
+// counted for-loops.  It parses source text into the internal/ir program
+// representation; loops are later unrolled by ir.Flatten, which is how the
+// DSPStone kernels of the paper's figure 2 become the basic blocks that
+// code selection operates on.
+package cfront
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/ir"
+	"repro/internal/rtl"
+)
+
+// Parse parses RecC source into an IR program and checks name resolution.
+func Parse(src string) (*ir.Program, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if err := check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// ---- lexer -------------------------------------------------------------
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNum
+	tPunct // single/multi char operator, Text holds it
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64
+	line int
+}
+
+type lexer struct {
+	src  string
+	off  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+var multiOps = []string{"<<", ">>", "<=", ">=", "==", "!=", "&&", "||"}
+
+func (l *lexer) next() (token, error) {
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		switch {
+		case c == '\n':
+			l.line++
+			l.off++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.off++
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.off++
+			}
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '*':
+			l.off += 2
+			for l.off+1 < len(l.src) && !(l.src[l.off] == '*' && l.src[l.off+1] == '/') {
+				if l.src[l.off] == '\n' {
+					l.line++
+				}
+				l.off++
+			}
+			if l.off+1 >= len(l.src) {
+				return token{}, fmt.Errorf("line %d: unterminated comment", l.line)
+			}
+			l.off += 2
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tEOF, line: l.line}, nil
+scan:
+	c := l.src[l.off]
+	line := l.line
+	if isAlpha(c) {
+		start := l.off
+		for l.off < len(l.src) && isAlnum(l.src[l.off]) {
+			l.off++
+		}
+		return token{kind: tIdent, text: l.src[start:l.off], line: line}, nil
+	}
+	if isDigit(c) {
+		start := l.off
+		base := 10
+		if c == '0' && l.off+1 < len(l.src) && (l.src[l.off+1] == 'x' || l.src[l.off+1] == 'X') {
+			l.off += 2
+			start = l.off
+			base = 16
+			for l.off < len(l.src) && isHexDigit(l.src[l.off]) {
+				l.off++
+			}
+		} else {
+			for l.off < len(l.src) && isDigit(l.src[l.off]) {
+				l.off++
+			}
+		}
+		v, err := strconv.ParseInt(l.src[start:l.off], base, 64)
+		if err != nil {
+			return token{}, fmt.Errorf("line %d: bad number: %v", line, err)
+		}
+		return token{kind: tNum, val: v, line: line}, nil
+	}
+	for _, op := range multiOps {
+		if l.off+len(op) <= len(l.src) && l.src[l.off:l.off+len(op)] == op {
+			l.off += len(op)
+			return token{kind: tPunct, text: op, line: line}, nil
+		}
+	}
+	l.off++
+	return token{kind: tPunct, text: string(c), line: line}, nil
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isAlnum(c byte) bool { return isAlpha(c) || isDigit(c) }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// ---- parser ------------------------------------------------------------
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) next() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) isPunct(s string) bool {
+	return p.tok.kind == tPunct && p.tok.text == s
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.isPunct(s) {
+		return p.errf("expected %q, found %q", s, p.tok.text)
+	}
+	return p.next()
+}
+
+func (p *parser) isKeyword(s string) bool {
+	return p.tok.kind == tIdent && p.tok.text == s
+}
+
+func (p *parser) parseProgram() (*ir.Program, error) {
+	prog := &ir.Program{}
+	// Declarations.
+	for p.isKeyword("int") {
+		d, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		prog.Decls = append(prog.Decls, d)
+	}
+	// Optional "void main() { ... }" wrapper.
+	if p.isKeyword("void") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tIdent {
+			return nil, p.errf("expected function name")
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		prog.Body = body
+		if p.tok.kind != tEOF {
+			return nil, p.errf("text after main function")
+		}
+		return prog, nil
+	}
+	// Otherwise: top-level statements.
+	for p.tok.kind != tEOF {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		prog.Body = append(prog.Body, s)
+	}
+	return prog, nil
+}
+
+func (p *parser) parseDecl() (*ir.Decl, error) {
+	if err := p.next(); err != nil { // int
+		return nil, err
+	}
+	if p.tok.kind != tIdent {
+		return nil, p.errf("expected variable name")
+	}
+	d := &ir.Decl{Name: p.tok.text}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if p.isPunct("[") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tNum || p.tok.val <= 0 {
+			return nil, p.errf("expected positive array size")
+		}
+		d.Size = int(p.tok.val)
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.isPunct("=") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.isPunct("{") {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			for {
+				v, err := p.parseSignedNum()
+				if err != nil {
+					return nil, err
+				}
+				d.Init = append(d.Init, v)
+				if p.isPunct(",") {
+					if err := p.next(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				break
+			}
+			if err := p.expectPunct("}"); err != nil {
+				return nil, err
+			}
+		} else {
+			v, err := p.parseSignedNum()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = []int64{v}
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if d.Size > 0 && len(d.Init) > d.Size {
+		return nil, p.errf("too many initializers for %s[%d]", d.Name, d.Size)
+	}
+	return d, nil
+}
+
+func (p *parser) parseSignedNum() (int64, error) {
+	neg := false
+	if p.isPunct("-") {
+		neg = true
+		if err := p.next(); err != nil {
+			return 0, err
+		}
+	}
+	if p.tok.kind != tNum {
+		return 0, p.errf("expected number")
+	}
+	v := p.tok.val
+	if neg {
+		v = -v
+	}
+	return v, p.next()
+}
+
+func (p *parser) parseBlock() ([]ir.Stmt, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var stmts []ir.Stmt
+	for !p.isPunct("}") {
+		if p.tok.kind == tEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, p.next()
+}
+
+func (p *parser) parseStmt() (ir.Stmt, error) {
+	if p.isKeyword("for") {
+		return p.parseFor()
+	}
+	if p.isKeyword("if") {
+		return p.parseIf()
+	}
+	if p.isKeyword("while") {
+		return p.parseWhile()
+	}
+	if p.tok.kind != tIdent {
+		return nil, p.errf("expected statement, found %q", p.tok.text)
+	}
+	lhs, err := p.parseRef()
+	if err != nil {
+		return nil, err
+	}
+	// Compound assignment sugar: += -= *=.
+	for _, op := range []struct {
+		text string
+		op   rtl.Op
+	}{{"+", rtl.OpAdd}, {"-", rtl.OpSub}, {"*", rtl.OpMul}} {
+		if p.isPunct(op.text) {
+			// Peek: must be "op=".
+			save := *p.lex
+			savedTok := p.tok
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			if p.isPunct("=") {
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+				rhs, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(";"); err != nil {
+					return nil, err
+				}
+				return &ir.Assign{LHS: lhs,
+					RHS: &ir.Bin{Op: op.op, X: refAsExpr(lhs), Y: rhs}}, nil
+			}
+			*p.lex = save
+			p.tok = savedTok
+		}
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &ir.Assign{LHS: lhs, RHS: rhs}, nil
+}
+
+func refAsExpr(r *ir.Ref) ir.Expr {
+	return &ir.Ref{Name: r.Name, Index: r.Index}
+}
+
+// parseFor parses the restricted counted loop
+//
+//	for (v = from; v < to; v = v + step) { ... }
+//
+// with "v++" and "v += step" accepted as sugar for the post statement.
+func (p *parser) parseFor() (ir.Stmt, error) {
+	if err := p.next(); err != nil { // for
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tIdent {
+		return nil, p.errf("expected loop variable")
+	}
+	v := p.tok.text
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	from, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tIdent || p.tok.text != v {
+		return nil, p.errf("loop condition must test %q", v)
+	}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("<"); err != nil {
+		return nil, err
+	}
+	to, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	step, err := p.parseForPost(v)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &ir.For{Var: v, From: from, To: to, Step: step, Body: body}, nil
+}
+
+func (p *parser) parseForPost(v string) (ir.Expr, error) {
+	if p.tok.kind != tIdent || p.tok.text != v {
+		return nil, p.errf("loop post statement must update %q", v)
+	}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.isPunct("+"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.isPunct("+"): // v++
+			return &ir.Const{Val: 1}, p.next()
+		case p.isPunct("="): // v += step
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			return p.parseExpr()
+		}
+		return nil, p.errf("expected ++ or += in loop post")
+	case p.isPunct("="): // v = v + step
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tIdent || p.tok.text != v {
+			return nil, p.errf("loop post must be %s = %s + step", v, v)
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("+"); err != nil {
+			return nil, err
+		}
+		return p.parseExpr()
+	}
+	return nil, p.errf("unsupported loop post statement")
+}
+
+// parseIf parses "if (cond) { ... } [else { ... } | else if ...]".
+func (p *parser) parseIf() (ir.Stmt, error) {
+	if err := p.next(); err != nil { // if
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	thenB, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &ir.If{Cond: cond, Then: thenB}
+	if p.isKeyword("else") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.isKeyword("if") {
+			nested, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = []ir.Stmt{nested}
+		} else {
+			elseB, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = elseB
+		}
+	}
+	return st, nil
+}
+
+// parseWhile parses "while (cond) { ... }".
+func (p *parser) parseWhile() (ir.Stmt, error) {
+	if err := p.next(); err != nil { // while
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &ir.While{Cond: cond, Body: body}, nil
+}
+
+func (p *parser) parseRef() (*ir.Ref, error) {
+	name := p.tok.text
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	r := &ir.Ref{Name: name}
+	if p.isPunct("[") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		r.Index = e
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Expression parsing, C precedence (subset): | ^ & ==/!= rel shift +- */% unary.
+func (p *parser) parseExpr() (ir.Expr, error) { return p.parseBin(0) }
+
+var precLevels = [][]struct {
+	text string
+	op   rtl.Op
+}{
+	{{"|", rtl.OpOr}},
+	{{"^", rtl.OpXor}},
+	{{"&", rtl.OpAnd}},
+	{{"==", rtl.OpEq}, {"!=", rtl.OpNe}},
+	{{"<", rtl.OpLt}, {"<=", rtl.OpLe}, {">", rtl.OpGt}, {">=", rtl.OpGe}},
+	{{"<<", rtl.OpShl}, {">>", rtl.OpAshr}}, // C >> on signed int is arithmetic
+	{{"+", rtl.OpAdd}, {"-", rtl.OpSub}},
+	{{"*", rtl.OpMul}, {"/", rtl.OpDiv}, {"%", rtl.OpMod}},
+}
+
+func (p *parser) parseBin(level int) (ir.Expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	x, err := p.parseBin(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, cand := range precLevels[level] {
+			if p.isPunct(cand.text) {
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+				y, err := p.parseBin(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				x = ir.Fold(&ir.Bin{Op: cand.op, X: x, Y: y})
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (ir.Expr, error) {
+	switch {
+	case p.isPunct("-"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return ir.Fold(&ir.Un{Op: rtl.OpNeg, X: x}), nil
+	case p.isPunct("~"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return ir.Fold(&ir.Un{Op: rtl.OpNot, X: x}), nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (ir.Expr, error) {
+	switch {
+	case p.tok.kind == tNum:
+		v := p.tok.val
+		return &ir.Const{Val: v}, p.next()
+	case p.tok.kind == tIdent:
+		r, err := p.parseRef()
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	case p.isPunct("("):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectPunct(")")
+	}
+	return nil, p.errf("expected expression, found %q", p.tok.text)
+}
+
+// ---- semantic check ------------------------------------------------------
+
+// check verifies name resolution and array/scalar usage.
+func check(prog *ir.Program) error {
+	decls := make(map[string]*ir.Decl)
+	for _, d := range prog.Decls {
+		if _, dup := decls[d.Name]; dup {
+			return fmt.Errorf("cfront: duplicate declaration of %s", d.Name)
+		}
+		decls[d.Name] = d
+	}
+	var checkExpr func(e ir.Expr, loops map[string]bool) error
+	checkExpr = func(e ir.Expr, loops map[string]bool) error {
+		switch x := e.(type) {
+		case *ir.Const:
+			return nil
+		case *ir.Ref:
+			if x.Index != nil {
+				d, ok := decls[x.Name]
+				if !ok {
+					return fmt.Errorf("cfront: undeclared array %s", x.Name)
+				}
+				if !d.IsArray() {
+					return fmt.Errorf("cfront: indexing scalar %s", x.Name)
+				}
+				return checkExpr(x.Index, loops)
+			}
+			if loops[x.Name] {
+				return nil
+			}
+			d, ok := decls[x.Name]
+			if !ok {
+				return fmt.Errorf("cfront: undeclared variable %s", x.Name)
+			}
+			if d.IsArray() {
+				return fmt.Errorf("cfront: array %s used without index", x.Name)
+			}
+			return nil
+		case *ir.Bin:
+			if err := checkExpr(x.X, loops); err != nil {
+				return err
+			}
+			return checkExpr(x.Y, loops)
+		case *ir.Un:
+			return checkExpr(x.X, loops)
+		}
+		return fmt.Errorf("cfront: unknown expression %T", e)
+	}
+	var checkStmts func(stmts []ir.Stmt, loops map[string]bool) error
+	checkStmts = func(stmts []ir.Stmt, loops map[string]bool) error {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *ir.Assign:
+				if err := checkExpr(refAsExpr(st.LHS), loops); err != nil {
+					return err
+				}
+				if err := checkExpr(st.RHS, loops); err != nil {
+					return err
+				}
+			case *ir.For:
+				if _, declared := decls[st.Var]; declared {
+					return fmt.Errorf("cfront: loop variable %s shadows a declaration", st.Var)
+				}
+				for _, e := range []ir.Expr{st.From, st.To, st.Step} {
+					if err := checkExpr(e, loops); err != nil {
+						return err
+					}
+				}
+				inner := make(map[string]bool, len(loops)+1)
+				for k := range loops {
+					inner[k] = true
+				}
+				inner[st.Var] = true
+				if err := checkStmts(st.Body, inner); err != nil {
+					return err
+				}
+			case *ir.If:
+				if err := checkExpr(st.Cond, loops); err != nil {
+					return err
+				}
+				if err := checkStmts(st.Then, loops); err != nil {
+					return err
+				}
+				if err := checkStmts(st.Else, loops); err != nil {
+					return err
+				}
+			case *ir.While:
+				if err := checkExpr(st.Cond, loops); err != nil {
+					return err
+				}
+				if err := checkStmts(st.Body, loops); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return checkStmts(prog.Body, make(map[string]bool))
+}

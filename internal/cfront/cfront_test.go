@@ -1,0 +1,215 @@
+package cfront
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func parse(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func TestDeclarations(t *testing.T) {
+	p := parse(t, `
+int x;
+int y = 5;
+int z = -3;
+int a[4] = {1, -2, 3};
+int h = 0x1F;
+`)
+	if len(p.Decls) != 5 {
+		t.Fatalf("decls = %d", len(p.Decls))
+	}
+	if p.Decls[1].Init[0] != 5 || p.Decls[2].Init[0] != -3 {
+		t.Error("scalar initializers wrong")
+	}
+	a := p.Decls[3]
+	if a.Size != 4 || len(a.Init) != 3 || a.Init[1] != -2 {
+		t.Errorf("array decl = %+v", a)
+	}
+	if p.Decls[4].Init[0] != 31 {
+		t.Error("hex literal wrong")
+	}
+}
+
+func TestMainWrapper(t *testing.T) {
+	p := parse(t, `
+int x;
+void main() {
+  x = 1;
+}
+`)
+	if len(p.Body) != 1 {
+		t.Fatalf("body = %d stmts", len(p.Body))
+	}
+}
+
+func TestTopLevelStatements(t *testing.T) {
+	p := parse(t, `
+int x; int y;
+x = 2;
+y = x * x;
+`)
+	if len(p.Body) != 2 {
+		t.Fatalf("body = %d", len(p.Body))
+	}
+	if p.Body[1].String() != "y = (x * x);" {
+		t.Errorf("stmt = %s", p.Body[1])
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	p := parse(t, `int a; int b; int c;
+a = b + c * 2;
+a = (b + c) * 2;
+a = b << 1 + 1;
+a = b & c | a;
+`)
+	want := []string{
+		"a = (b + (c * 2));",
+		"a = ((b + c) * 2);",
+		"a = (b << 2);", // constant subexpression folds
+
+		"a = ((b & c) | a);",
+	}
+	for i, w := range want {
+		if got := p.Body[i].String(); got != w {
+			t.Errorf("stmt %d = %s, want %s", i, got, w)
+		}
+	}
+}
+
+func TestForLoopForms(t *testing.T) {
+	srcs := []string{
+		`int s; int a[8]; for (i = 0; i < 8; i = i + 1) { s = s + a[i]; }`,
+		`int s; int a[8]; for (i = 0; i < 8; i++) { s = s + a[i]; }`,
+		`int s; int a[8]; for (i = 0; i < 8; i += 2) { s = s + a[i]; }`,
+	}
+	for k, src := range srcs {
+		p := parse(t, src)
+		f, ok := p.Body[0].(*ir.For)
+		if !ok {
+			t.Fatalf("case %d: not a For", k)
+		}
+		if f.Var != "i" {
+			t.Errorf("case %d: var = %s", k, f.Var)
+		}
+		as, err := ir.Flatten(p)
+		if err != nil {
+			t.Fatalf("case %d: %v", k, err)
+		}
+		wantIters := 8
+		if k == 2 {
+			wantIters = 4
+		}
+		if len(as) != wantIters {
+			t.Errorf("case %d: %d iterations", k, len(as))
+		}
+	}
+}
+
+func TestCompoundAssign(t *testing.T) {
+	p := parse(t, `int s; int x; s += x; s -= 2; s *= x;`)
+	want := []string{"s = (s + x);", "s = (s - 2);", "s = (s * x);"}
+	for i, w := range want {
+		if got := p.Body[i].String(); got != w {
+			t.Errorf("stmt %d = %s, want %s", i, got, w)
+		}
+	}
+}
+
+func TestArrayElementAssign(t *testing.T) {
+	p := parse(t, `int a[4]; a[2] = 7; a[1] = a[2] + 1;`)
+	if p.Body[0].String() != "a[2] = 7;" {
+		t.Errorf("stmt = %s", p.Body[0])
+	}
+}
+
+func TestUnaryAndComments(t *testing.T) {
+	p := parse(t, `
+int x; int y;
+// line comment
+x = -y;      /* block
+               comment */
+y = ~x;
+`)
+	if p.Body[0].String() != "x = -(y);" || p.Body[1].String() != "y = ~(x);" {
+		t.Errorf("stmts = %s %s", p.Body[0], p.Body[1])
+	}
+}
+
+func TestEndToEndFir(t *testing.T) {
+	// A small FIR kernel, DSPStone style.
+	src := `
+int x[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+int h[4] = {1, 1, 1, 1};
+int y[5];
+
+void main() {
+  for (n = 0; n < 5; n++) {
+    y[n] = 0;
+    for (k = 0; k < 4; k++) {
+      y[n] = y[n] + h[k] * x[n + k];
+    }
+  }
+}
+`
+	p := parse(t, src)
+	env, err := ir.Run(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1 + 2 + 3 + 4, 2 + 3 + 4 + 5, 3 + 4 + 5 + 6, 4 + 5 + 6 + 7, 5 + 6 + 7 + 8}
+	for i, w := range want {
+		if env["y"][i] != w {
+			t.Errorf("y[%d] = %d, want %d", i, env["y"][i], w)
+		}
+	}
+}
+
+func errContains(t *testing.T, src, want string) {
+	t.Helper()
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatalf("expected error containing %q", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not contain %q", err, want)
+	}
+}
+
+func TestSemanticErrors(t *testing.T) {
+	errContains(t, `int x; x = ghost;`, "undeclared variable")
+	errContains(t, `int x; ghost[0] = 1;`, "undeclared array")
+	errContains(t, `int x; x[0] = 1;`, "indexing scalar")
+	errContains(t, `int a[4]; int x; x = a;`, "without index")
+	errContains(t, `int x; int x;`, "duplicate")
+	errContains(t, `int i; for (i = 0; i < 3; i++) { }`, "shadows")
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`int;`,
+		`int a[0];`,
+		`int a[2] = {1,2,3};`,
+		`int x; x = ;`,
+		`int x; x = (1;`,
+		`int x; for (i = 0; j < 3; i++) { x = 1; }`,
+		`int x; for (i = 0; i < 3; i--) { x = 1; }`,
+		`int x; x = 1`,
+		`void main() { int x; }`,
+		`int x; /* unterminated`,
+	}
+	for i, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d: expected error for %q", i, src)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package compact implements code compaction (paper section 3.2, citing
+// the authors' time-constrained compaction work [17]): the sequential RT
+// instructions produced by code selection are packed into horizontal
+// instruction words, exploiting the instruction-level parallelism the
+// encoding permits.
+//
+// An RT may move into an earlier word when (a) data dependences allow it —
+// read-after-write and write-after-write predecessors must be in strictly
+// earlier words, write-after-read predecessors in the same word or earlier
+// (time-stationary RTs read cycle-start values) — and (b) the combined
+// word remains encodable: execution conditions conjoin satisfiably,
+// operand fields do not clash, and all untouched storages stay quiescent.
+// The encoder provides exactly that feasibility test, so compaction and
+// encoding can never disagree.
+package compact
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/code"
+)
+
+// Options tunes compaction.
+type Options struct {
+	// Disable turns compaction off: one RT per word (the ablation
+	// baseline).
+	Disable bool
+}
+
+// Compact packs a sequential RT list into instruction words using greedy
+// earliest-fit list scheduling.
+func Compact(seq *code.Seq, enc *asm.Encoder, opts Options) (*code.Program, error) {
+	p := &code.Program{}
+	if opts.Disable {
+		for _, in := range seq.Instrs {
+			if !enc.Feasible([]*code.Instr{in}) {
+				return nil, fmt.Errorf("compact: instruction %s not encodable alone", in)
+			}
+			p.Words = append(p.Words, &code.Word{Instrs: []*code.Instr{in}})
+		}
+		return p, nil
+	}
+
+	wordOf := make([]int, len(seq.Instrs))
+	for idx, in := range seq.Instrs {
+		earliest := 0
+		for j := 0; j < idx; j++ {
+			w := wordOf[j]
+			if code.RAW(seq.Instrs[j], in) || code.WAW(seq.Instrs[j], in) {
+				if w+1 > earliest {
+					earliest = w + 1
+				}
+			} else if code.WAR(seq.Instrs[j], in) {
+				if w > earliest {
+					earliest = w
+				}
+			}
+		}
+		placed := false
+		for w := earliest; w < len(p.Words); w++ {
+			trial := append(append([]*code.Instr(nil), p.Words[w].Instrs...), in)
+			if enc.Feasible(trial) {
+				p.Words[w].Instrs = append(p.Words[w].Instrs, in)
+				wordOf[idx] = w
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			if !enc.Feasible([]*code.Instr{in}) {
+				return nil, fmt.Errorf("compact: instruction %s not encodable alone", in)
+			}
+			p.Words = append(p.Words, &code.Word{Instrs: []*code.Instr{in}})
+			wordOf[idx] = len(p.Words) - 1
+		}
+	}
+	return p, nil
+}
+
+// Verify checks that a compacted program respects every dependence of the
+// original sequence and that each word is encodable; it is used by tests
+// and as a safety net after compaction.
+func Verify(seq *code.Seq, p *code.Program, enc *asm.Encoder) error {
+	// Map instructions to their word index (pointer identity).
+	wordOf := make(map[*code.Instr]int)
+	count := 0
+	for w, word := range p.Words {
+		for _, in := range word.Instrs {
+			wordOf[in] = w
+			count++
+		}
+		if !enc.Feasible(word.Instrs) {
+			return fmt.Errorf("compact: word %d not encodable", w)
+		}
+	}
+	if count != len(seq.Instrs) {
+		return fmt.Errorf("compact: %d instructions packed, %d expected", count, len(seq.Instrs))
+	}
+	for i := 0; i < len(seq.Instrs); i++ {
+		for j := i + 1; j < len(seq.Instrs); j++ {
+			a, b := seq.Instrs[i], seq.Instrs[j]
+			wa, wb := wordOf[a], wordOf[b]
+			if (code.RAW(a, b) || code.WAW(a, b)) && wb <= wa {
+				return fmt.Errorf("compact: dependence %s -> %s violated (words %d, %d)", a, b, wa, wb)
+			}
+			if code.WAR(a, b) && wb < wa {
+				return fmt.Errorf("compact: anti-dependence %s -> %s violated (words %d, %d)", a, b, wa, wb)
+			}
+		}
+	}
+	return nil
+}

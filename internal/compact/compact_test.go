@@ -1,0 +1,121 @@
+package compact_test
+
+import (
+	"testing"
+
+	"repro/internal/compact"
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+func c25(t *testing.T) *core.Target {
+	t.Helper()
+	mdl, _ := models.Get("tms320c25")
+	tg, err := core.Retarget(mdl, core.RetargetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+const macSrc = `
+int a[4] = {1, 2, 3, 4};
+int b[4] = {5, 6, 7, 8};
+int s;
+void main() {
+  s = 0;
+  for (i = 0; i < 4; i++) {
+    s = s + a[i] * b[i];
+  }
+}
+`
+
+func TestCompactShortensAndVerifies(t *testing.T) {
+	tg := c25(t)
+	res, err := tg.CompileSource(macSrc, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CodeLen() >= res.SeqLen() {
+		t.Errorf("compaction did not shorten: %d words vs %d RTs",
+			res.CodeLen(), res.SeqLen())
+	}
+	if err := compact.Verify(res.Seq, res.Code, tg.Encoder); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// Every instruction appears exactly once.
+	total := 0
+	for _, w := range res.Code.Words {
+		total += len(w.Instrs)
+	}
+	if total != res.SeqLen() {
+		t.Errorf("packed %d of %d instructions", total, res.SeqLen())
+	}
+}
+
+func TestDisableKeepsOrder(t *testing.T) {
+	tg := c25(t)
+	res, err := tg.CompileSource(macSrc, core.CompileOptions{NoCompaction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CodeLen() != res.SeqLen() {
+		t.Fatalf("disabled compaction packed: %d vs %d", res.CodeLen(), res.SeqLen())
+	}
+	for i, w := range res.Code.Words {
+		if len(w.Instrs) != 1 || w.Instrs[0] != res.Seq.Instrs[i] {
+			t.Fatalf("word %d does not match sequence", i)
+		}
+	}
+}
+
+func TestVerifyCatchesReorderedDependence(t *testing.T) {
+	tg := c25(t)
+	res, err := tg.CompileSource(`int x; int y; x = 5; y = x + 1;`,
+		core.CompileOptions{NoCompaction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prg := res.Code
+	if len(prg.Words) < 2 {
+		t.Skip("program too short to corrupt")
+	}
+	// Swap two words: some dependence must break.
+	prg.Words[0], prg.Words[len(prg.Words)-1] = prg.Words[len(prg.Words)-1], prg.Words[0]
+	if err := compact.Verify(res.Seq, prg, tg.Encoder); err == nil {
+		t.Error("corrupted schedule passed verification")
+	}
+}
+
+func TestVerifyCatchesMissingInstr(t *testing.T) {
+	tg := c25(t)
+	res, err := tg.CompileSource(`int x; x = 5;`, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prg := res.Code
+	prg.Words = prg.Words[:len(prg.Words)-1]
+	if err := compact.Verify(res.Seq, prg, tg.Encoder); err == nil {
+		t.Error("dropped instruction passed verification")
+	}
+}
+
+func TestParallelWordsEncodable(t *testing.T) {
+	tg := c25(t)
+	res, err := tg.CompileSource(macSrc, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := 0
+	for _, w := range res.Code.Words {
+		if len(w.Instrs) > 1 {
+			parallel++
+			if !tg.Encoder.Feasible(w.Instrs) {
+				t.Errorf("parallel word not encodable: %s", w)
+			}
+		}
+	}
+	if parallel == 0 {
+		t.Error("MAC kernel produced no parallel words")
+	}
+}

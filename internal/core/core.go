@@ -1,0 +1,303 @@
+// Package core is the public facade of the retargetable compiler: it wires
+// the full RECORD pipeline of the paper's figure 1.
+//
+//	HDL model → internal graph model → instruction-set extraction →
+//	template-base extension → tree grammar → tree parser (code selector)
+//
+// Retarget runs that pipeline once per processor model and returns a
+// Target whose Compile methods translate RecC source programs into
+// compacted, encoded machine code; Execute runs the code on the netlist
+// simulator so results can be checked against the IR interpreter oracle.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/bind"
+	"repro/internal/burs"
+	"repro/internal/cfront"
+	"repro/internal/code"
+	"repro/internal/codegen"
+	"repro/internal/compact"
+	"repro/internal/grammar"
+	"repro/internal/hdl"
+	"repro/internal/ir"
+	"repro/internal/ise"
+	"repro/internal/netlist"
+	"repro/internal/opt"
+	"repro/internal/rewrite"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+)
+
+// RetargetOptions tunes the retargeting pipeline.
+type RetargetOptions struct {
+	ISE ise.Options
+	// Extension configures the template-base extension; zero value means
+	// rewrite.DefaultOptions().
+	Extension *rewrite.Options
+	// NoExtension skips the extension phase entirely (ablation).
+	NoExtension bool
+	// EmitParserSource also renders the generated tree parser as Go source
+	// (mirroring iburg's C emission); the source is stored in
+	// Target.ParserSource and its generation counted as parser-generation
+	// time.
+	EmitParserSource bool
+}
+
+// RetargetStats reports per-phase retargeting effort — the quantities of
+// the paper's table 3.
+type RetargetStats struct {
+	Frontend   time.Duration // HDL parse + check + elaboration
+	ISE        time.Duration // instruction-set extraction
+	Extension  time.Duration // template-base extension
+	Grammar    time.Duration // tree grammar construction
+	ParserGen  time.Duration // parser generation (tables + optional source)
+	Total      time.Duration
+	Extracted  int // templates delivered by ISE
+	Templates  int // templates after extension (the paper's column 2)
+	GrammarSz  grammar.Stats
+	ISEDetails ise.Stats
+}
+
+// Target is a retargeted compiler instance for one processor model.
+type Target struct {
+	Name    string
+	Model   *hdl.Model
+	Net     *netlist.Netlist
+	ISE     *ise.Result
+	Base    *rtl.Base
+	Grammar *grammar.Grammar
+	Parser  *burs.Parser
+	Encoder *asm.Encoder
+
+	ParserSource string
+	Stats        RetargetStats
+}
+
+// Retarget builds a compiler for the processor described by MDL source.
+func Retarget(mdlSource string, opts RetargetOptions) (*Target, error) {
+	t := &Target{}
+	start := time.Now()
+
+	model, err := hdl.ParseAndCheck(mdlSource)
+	if err != nil {
+		return nil, fmt.Errorf("core: HDL frontend: %w", err)
+	}
+	net, err := netlist.Elaborate(model)
+	if err != nil {
+		return nil, fmt.Errorf("core: elaboration: %w", err)
+	}
+	t.Name = net.Name
+	t.Model = model
+	t.Net = net
+	t.Stats.Frontend = time.Since(start)
+
+	phase := time.Now()
+	res, err := ise.Extract(net, opts.ISE)
+	if err != nil {
+		return nil, fmt.Errorf("core: instruction-set extraction: %w", err)
+	}
+	t.ISE = res
+	t.Base = res.Base
+	t.Stats.ISE = time.Since(phase)
+	t.Stats.Extracted = res.Base.Len()
+	t.Stats.ISEDetails = res.Stats
+
+	phase = time.Now()
+	if !opts.NoExtension {
+		ext := rewrite.DefaultOptions()
+		if opts.Extension != nil {
+			ext = *opts.Extension
+		}
+		rewrite.Extend(t.Base, ext)
+	}
+	t.Stats.Extension = time.Since(phase)
+	t.Stats.Templates = t.Base.Len()
+
+	phase = time.Now()
+	g, err := grammar.Build(t.Base, grammar.SpecFromNetlist(net))
+	if err != nil {
+		return nil, fmt.Errorf("core: grammar construction: %w", err)
+	}
+	t.Grammar = g
+	t.Stats.Grammar = time.Since(phase)
+	t.Stats.GrammarSz = g.Stats()
+
+	phase = time.Now()
+	t.Parser = burs.NewParser(g)
+	if opts.EmitParserSource {
+		t.ParserSource = burs.EmitGo(g, sanitizeIdent(t.Name)+"parser")
+	}
+	var background []string
+	for _, st := range net.Seq {
+		if st.PC {
+			background = append(background, st.QName())
+		}
+	}
+	t.Encoder = asm.NewEncoder(res.Vars, t.Base, background...)
+	t.Stats.ParserGen = time.Since(phase)
+
+	t.Stats.Total = time.Since(start)
+	return t, nil
+}
+
+func sanitizeIdent(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		return "target"
+	}
+	return string(out)
+}
+
+// CompileOptions tunes program compilation.
+type CompileOptions struct {
+	// NoCompaction keeps one RT per word (ablation baseline).
+	NoCompaction bool
+	// NoPeephole skips redundant-load/dead-store elimination (ablation).
+	NoPeephole bool
+}
+
+// CompileResult is compiled machine code with its provenance.
+type CompileResult struct {
+	Program *ir.Program
+	Binding *bind.Binding
+	Seq     *code.Seq     // sequential RT code (post-peephole, pre-compaction)
+	RawSeq  *code.Seq     // as selected, before peephole optimization
+	Code    *code.Program // compacted, encoded instruction words
+	ModeReq asm.ModeReq
+	Stats   codegen.Stats
+	Opt     opt.Stats
+}
+
+// Words returns the encoded instruction words.
+func (r *CompileResult) Words() []uint64 {
+	out := make([]uint64, len(r.Code.Words))
+	for i, w := range r.Code.Words {
+		out[i] = w.Bits
+	}
+	return out
+}
+
+// SeqLen is the pre-compaction code size (number of RT instructions).
+func (r *CompileResult) SeqLen() int { return r.Seq.Len() }
+
+// CodeLen is the post-compaction code size (number of instruction words).
+func (r *CompileResult) CodeLen() int { return r.Code.Len() }
+
+// CompileSource compiles RecC source text for the target.
+func (t *Target) CompileSource(src string, opts CompileOptions) (*CompileResult, error) {
+	prog, err := cfront.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("core: RecC frontend: %w", err)
+	}
+	return t.CompileProgram(prog, opts)
+}
+
+// CompileProgram compiles an IR program for the target.
+func (t *Target) CompileProgram(prog *ir.Program, opts CompileOptions) (*CompileResult, error) {
+	b, err := bind.Bind(prog, t.Net)
+	if err != nil {
+		return nil, err
+	}
+	ets, err := b.LowerProgram(prog)
+	if err != nil {
+		return nil, err
+	}
+	gen := codegen.New(t.Grammar, t.Parser, b)
+	raw, err := gen.Compile(ets)
+	if err != nil {
+		return nil, err
+	}
+	seq := raw
+	var optStats opt.Stats
+	if !opts.NoPeephole {
+		seq, optStats = opt.Optimize(raw)
+	}
+	prg, err := compact.Compact(seq, t.Encoder, compact.Options{Disable: opts.NoCompaction})
+	if err != nil {
+		return nil, err
+	}
+	if err := compact.Verify(seq, prg, t.Encoder); err != nil {
+		return nil, err
+	}
+	mode, err := t.Encoder.EncodeProgram(prg)
+	if err != nil {
+		return nil, err
+	}
+	return &CompileResult{
+		Program: prog,
+		Binding: b,
+		Seq:     seq,
+		RawSeq:  raw,
+		Code:    prg,
+		ModeReq: mode,
+		Stats:   gen.Stats,
+		Opt:     optStats,
+	}, nil
+}
+
+// Listing renders the compiled program as an annotated listing.
+func (t *Target) Listing(r *CompileResult) string {
+	return t.Encoder.Listing(r.Code)
+}
+
+// Execute runs compiled code on the netlist simulator and returns the final
+// values of every program variable (read back from the bound data memory).
+func (t *Target) Execute(r *CompileResult) (ir.Env, error) {
+	s := sim.New(t.Net)
+	if len(r.ModeReq) > 0 {
+		for storage, val := range r.ModeReq {
+			if err := s.SetMemory(storage, []int64{val}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for storage, img := range r.Binding.InitialImages(r.Program) {
+		if err := s.SetMemory(storage, img); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.RunProgram(r.Words()); err != nil {
+		return nil, err
+	}
+	env := make(ir.Env)
+	for _, d := range r.Program.Decls {
+		place, _ := r.Binding.AddrOf(d.Name)
+		memory := s.Mem[place.Storage]
+		cells := make([]int64, d.Cells())
+		copy(cells, memory[place.Addr:place.Addr+d.Cells()])
+		env[d.Name] = cells
+	}
+	return env, nil
+}
+
+// CheckAgainstOracle compiles nothing new: it compares the simulator
+// results with the IR interpreter on the same program and word width,
+// returning a descriptive error on the first mismatch.
+func (t *Target) CheckAgainstOracle(r *CompileResult) error {
+	got, err := t.Execute(r)
+	if err != nil {
+		return fmt.Errorf("core: simulation: %w", err)
+	}
+	want, err := ir.Run(r.Program, r.Binding.Width)
+	if err != nil {
+		return fmt.Errorf("core: oracle: %w", err)
+	}
+	for _, d := range r.Program.Decls {
+		for i := range want[d.Name] {
+			if got[d.Name][i] != want[d.Name][i] {
+				return fmt.Errorf("core: %s[%d] = %d on hardware, %d per oracle",
+					d.Name, i, got[d.Name][i], want[d.Name][i])
+			}
+		}
+	}
+	return nil
+}

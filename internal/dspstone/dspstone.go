@@ -1,0 +1,319 @@
+// Package dspstone contains the ten DSPStone benchmark kernels of the
+// paper's figure 2 (Zivojnovic et al., ICSPAT 1994) written in RecC, plus
+// hand-written reference code sizes for the TMS320C25 model.
+//
+// The kernels are the fixed-point DSPStone basic blocks: real_update,
+// complex_multiply, complex_update, n_real_updates, n_complex_updates,
+// dot_product, fir, biquad_one_section, biquad_N_sections and convolution.
+// Counted loops carry compile-time constant bounds and are unrolled by the
+// frontend, matching the paper's evaluation of basic program blocks.
+//
+// Hand counts are instruction-word counts of carefully hand-scheduled
+// assembly for *this repository's* tms320c25 model (one shared data-memory
+// port, a separate coefficient-ROM port, single-cycle MAC pipeline through
+// T and P); the derivations are documented next to each formula.  They
+// play the role of the paper's "hand-written code = 100%" bars.
+package dspstone
+
+import "fmt"
+
+// Kernel is one DSPStone benchmark.
+type Kernel struct {
+	Name string
+	// N is the size parameter (taps, updates, sections); 0 when the kernel
+	// is inherently scalar.
+	N int
+	// Source is the RecC program text.
+	Source string
+	// HandWords is the hand-written reference code size in instruction
+	// words on the tms320c25 model.
+	HandWords int
+}
+
+// Suite returns the ten kernels with the paper's default sizes.
+func Suite() []Kernel {
+	const n = 8 // array-kernel size parameter (DSPStone uses 8/16)
+	return []Kernel{
+		RealUpdate(),
+		ComplexMultiply(),
+		ComplexUpdate(),
+		NRealUpdates(n),
+		NComplexUpdates(n),
+		DotProduct(n),
+		Fir(n),
+		BiquadOne(),
+		BiquadN(4),
+		Convolution(n),
+	}
+}
+
+// Get returns a kernel by name with the default size, or false.
+func Get(name string) (Kernel, bool) {
+	for _, k := range Suite() {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Kernel{}, false
+}
+
+// RealUpdate: d = c + a*b.
+//
+// Hand schedule: LT a; MPY b; LAC c; APAC; SACL d.  Every instruction
+// except APAC needs the shared data-memory port, and APAC cannot merge
+// with LAC (one ALU operation per word), so 5 words.
+func RealUpdate() Kernel {
+	return Kernel{
+		Name:      "real_update",
+		HandWords: 5,
+		Source: `
+int a = 7;
+int b = 9;
+int c = 11;
+int d;
+d = c + a * b;
+`,
+	}
+}
+
+// ComplexMultiply: cr+j ci = (ar+j ai)(br+j bi).
+//
+// Hand schedule: LT ar; MPY br; {PAC || LT ai}; MPY bi; ...
+//
+//	1 LT ar   2 MPY br   3 PAC||LT ai   4 MPY bi   5 SPAC   6 SACL cr
+//	7 MPY br  8 PAC||LT ar 9 MPY bi    10 APAC    11 SACL ci  = 11 words.
+func ComplexMultiply() Kernel {
+	return Kernel{
+		Name:      "complex_multiply",
+		HandWords: 11,
+		Source: `
+int ar = 3; int ai = -4;
+int br = 5; int bi = 6;
+int cr; int ci;
+cr = ar*br - ai*bi;
+ci = ar*bi + ai*br;
+`,
+	}
+}
+
+// ComplexUpdate: d = c + a*b over complex numbers.
+//
+// Hand schedule is complex_multiply with LAC cr/ci replacing the PACs
+// (each pairs with an LT like the PAC did) plus nothing else:
+//
+//	1 LT ar  2 MPY br  3 LAC cr  4 APAC||LT ai  5 MPY bi  6 SPAC
+//	7 SACL dr  8 MPY br  9 LAC ci  10 APAC||LT ar  11 MPY bi  12 APAC
+//	13 SACL di = 13 words.
+func ComplexUpdate() Kernel {
+	return Kernel{
+		Name:      "complex_update",
+		HandWords: 13,
+		Source: `
+int ar = 3; int ai = -4;
+int br = 5; int bi = 6;
+int cr = 100; int ci = -50;
+int dr; int di;
+dr = cr + ar*br - ai*bi;
+di = ci + ar*bi + ai*br;
+`,
+	}
+}
+
+// NRealUpdates: d[i] = c[i] + a[i]*b[i] for i < n.
+//
+// The constant arrays alternate between memories (a[], c[] in the
+// coefficient ROM; b[] in data memory), so the steady state is a two-word
+// software pipeline per element —
+//
+//	{APAC || MPY b[i] || LT a[i+1]}    (ALU, multiplier and T port)
+//	{SACL d[i-1] || LAC c[i] (ROM)}    (data-memory port and ROM port)
+//
+// plus a three-word prologue/epilogue: 2n + 3 words.
+func NRealUpdates(n int) Kernel {
+	return Kernel{
+		Name:      "n_real_updates",
+		N:         n,
+		HandWords: 2*n + 3,
+		Source: fmt.Sprintf(`
+int a[%d] = {1, 2, 3, 4, 5, 6, 7, 8};
+int b[%d] = {8, 7, 6, 5, 4, 3, 2, 1};
+int c[%d] = {10, 20, 30, 40, 50, 60, 70, 80};
+int d[%d];
+void main() {
+  for (i = 0; i < %d; i++) {
+    d[i] = c[i] + a[i] * b[i];
+  }
+}
+`, n, n, n, n, n),
+	}
+}
+
+// NComplexUpdates: complex d[i] = c[i] + a[i]*b[i] for i < n, arrays
+// interleaved re/im.
+//
+// Per element: four multiplies, two accumulation chains and two stores.
+// With the re/im constant arrays split across the ROM and data memory the
+// MAC pipeline sustains one multiply per word and the stores pair with
+// ROM-side loads: 6 words per element steady state plus a three-word
+// prologue/epilogue, i.e. 6n + 3.
+func NComplexUpdates(n int) Kernel {
+	return Kernel{
+		Name:      "n_complex_updates",
+		N:         n,
+		HandWords: 6*n + 3,
+		Source: fmt.Sprintf(`
+int a[%d] = {1, -2, 3, -4, 5, -6, 7, -8, 1, -2, 3, -4, 5, -6, 7, -8};
+int b[%d] = {2, 2, 2, 2, 3, 3, 3, 3, 2, 2, 2, 2, 3, 3, 3, 3};
+int c[%d] = {9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9};
+int d[%d];
+void main() {
+  for (i = 0; i < %d; i++) {
+    d[2*i]   = c[2*i]   + a[2*i]*b[2*i]   - a[2*i+1]*b[2*i+1];
+    d[2*i+1] = c[2*i+1] + a[2*i]*b[2*i+1] + a[2*i+1]*b[2*i];
+  }
+}
+`, 2*n, 2*n, 2*n, 2*n, n),
+	}
+}
+
+// DotProduct: s = sum a[i]*b[i].
+//
+// With a[] in the coefficient ROM the MAC pipelines to one word per tap:
+//
+//	{ZAC || LT a0}, {MPY b0 || LT a1}, n-1 x {APAC || MPY || LT}, {APAC},
+//	{SACL s}
+//
+// = n + 3 words.
+func DotProduct(n int) Kernel {
+	return Kernel{
+		Name:      "dot_product",
+		N:         n,
+		HandWords: n + 3,
+		Source: fmt.Sprintf(`
+int a[%d] = {1, 2, 3, 4, 5, 6, 7, 8};
+int b[%d] = {8, 7, 6, 5, 4, 3, 2, 1};
+int s;
+void main() {
+  s = 0;
+  for (i = 0; i < %d; i++) {
+    s = s + a[i] * b[i];
+  }
+}
+`, n, n, n),
+	}
+}
+
+// Fir: n-tap FIR with delay-line shift (one output sample).
+//
+// The MAC part equals dot_product (n+3 with h[] in the ROM); the delay
+// line shift x[i] = x[i-1] costs LAC+SACL per element over the shared
+// memory port: 2(n-1) more words.
+func Fir(n int) Kernel {
+	return Kernel{
+		Name:      "fir",
+		N:         n,
+		HandWords: (n + 3) + 2*(n-1),
+		Source: fmt.Sprintf(`
+int h[%d] = {1, 2, 3, 4, 4, 3, 2, 1};
+int x[%d] = {5, 4, 3, 2, 1, 0, -1, -2};
+int x0 = 9;
+int y;
+void main() {
+  y = 0;
+  for (i = 0; i < %d; i++) {
+    y = y + h[i] * x[i];
+  }
+  for (k = 0; k < %d; k++) {
+    x[%d - k] = x[%d - k];
+  }
+  x[0] = x0;
+}
+`, n, n, n, n-1, n-1, n-2),
+	}
+}
+
+// BiquadOne: one biquad section (direct form II).
+//
+//	w  = x - a1*w1 - a2*w2
+//	y  = b0*w + b1*w1 + b2*w2
+//	w2 = w1; w1 = w
+//
+// Hand schedule: 7 (w) + 8 (y) + 4 (delay updates) = 19 words, minus one
+// word because the final SACL w1 pairs with the preceding accumulator
+// traffic: 18 words (coefficients are scalars in data memory).
+func BiquadOne() Kernel {
+	return Kernel{
+		Name:      "biquad_one",
+		HandWords: 18,
+		Source: `
+int x = 64;
+int w1 = 3; int w2 = -2;
+int a1 = 2; int a2 = 1;
+int b0 = 4; int b1 = 3; int b2 = 2;
+int w; int y;
+w = x - a1*w1 - a2*w2;
+y = b0*w + b1*w1 + b2*w2;
+w2 = w1;
+w1 = w;
+`,
+	}
+}
+
+// BiquadN: n cascaded biquad sections; the output of one section feeds
+// the next.  The per-section coefficient arrays alternate between the
+// ROM and data memory, so every section's multiplies pipeline against the
+// neighbouring section's loads/stores; a careful hand schedule reaches
+// 15 words per section plus one epilogue word: 15n + 1.
+func BiquadN(n int) Kernel {
+	arr := func(name string, base int) string {
+		s := fmt.Sprintf("int %s[%d] = {", name, n)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				s += ", "
+			}
+			s += fmt.Sprintf("%d", (base+i)%5-1)
+		}
+		return s + "};\n"
+	}
+	src := "int x = 64;\n" +
+		arr("w1", 3) + arr("w2", 1) +
+		arr("a1", 2) + arr("a2", 4) +
+		arr("b0", 5) + arr("b1", 3) + arr("b2", 2) +
+		fmt.Sprintf(`int w; int y;
+void main() {
+  y = x;
+  for (s = 0; s < %d; s++) {
+    w = y - a1[s]*w1[s] - a2[s]*w2[s];
+    y = b0[s]*w + b1[s]*w1[s] + b2[s]*w2[s];
+    w2[s] = w1[s];
+    w1[s] = w;
+  }
+}
+`, n)
+	return Kernel{
+		Name:      "biquad_N",
+		N:         n,
+		HandWords: 15*n + 1,
+		Source:    src,
+	}
+}
+
+// Convolution: s = sum x[i]*h[n-1-i]; identical pipeline to dot_product.
+func Convolution(n int) Kernel {
+	return Kernel{
+		Name:      "convolution",
+		N:         n,
+		HandWords: n + 3,
+		Source: fmt.Sprintf(`
+int x[%d] = {1, 1, 2, 2, 3, 3, 4, 4};
+int h[%d] = {1, -1, 1, -1, 1, -1, 1, -1};
+int s;
+void main() {
+  s = 0;
+  for (i = 0; i < %d; i++) {
+    s = s + x[i] * h[%d - i];
+  }
+}
+`, n, n, n, n-1),
+	}
+}

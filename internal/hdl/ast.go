@@ -1,0 +1,326 @@
+// Package hdl implements the MDL hardware description language front end:
+// lexer, parser, abstract syntax tree and semantic checker.
+//
+// MDL is a MIMOLA-flavored netlist language.  A processor model consists of
+// module definitions (I/O interface plus a behavior given as concurrent,
+// optionally guarded assignments — paper section 2), part instantiations,
+// tristate busses, and interconnect.  Special part flags mark the
+// instruction memory, mode registers and the program counter.  The checker
+// resolves names, infers and validates bit widths and rejects structurally
+// invalid models, producing an AST that internal/netlist elaborates into
+// the internal graph model.
+package hdl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rtl"
+)
+
+// Dir is a module port direction.
+type Dir int
+
+// Port directions.
+const (
+	DirIn Dir = iota
+	DirOut
+)
+
+func (d Dir) String() string {
+	if d == DirIn {
+		return "IN"
+	}
+	return "OUT"
+}
+
+// PartFlag marks special roles of part instances.
+type PartFlag int
+
+// Part flags.
+const (
+	FlagNone        PartFlag = iota
+	FlagInstruction          // instruction memory: output is the instruction word
+	FlagMode                 // mode register: contents are quasi-static control
+	FlagPC                   // program counter register
+)
+
+func (f PartFlag) String() string {
+	switch f {
+	case FlagInstruction:
+		return "INSTRUCTION"
+	case FlagMode:
+		return "MODE"
+	case FlagPC:
+		return "PC"
+	}
+	return ""
+}
+
+// Model is a parsed processor description.
+type Model struct {
+	Name     string
+	Consts   []*ConstDecl
+	Modules  []*Module
+	Ports    []*PrimaryPort
+	Buses    []*BusDecl
+	Parts    []*Part
+	Connects []*Connect
+
+	// Resolved by Check:
+	ModuleByName map[string]*Module
+	PartByName   map[string]*Part
+	BusByName    map[string]*BusDecl
+	PortByName   map[string]*PrimaryPort
+	ConstByName  map[string]int64
+}
+
+// ConstDecl is a named integer constant (typically a word width).
+type ConstDecl struct {
+	Name  string
+	Value int64
+	Pos   Pos
+}
+
+// Module is a hardware module definition.
+type Module struct {
+	Name  string
+	Ports []*ModPort
+	Vars  []*VarDecl
+	Stmts []*Stmt
+	Pos   Pos
+
+	PortByName map[string]*ModPort
+	VarByName  map[string]*VarDecl
+}
+
+// IsSequential reports whether the module contains storage.
+func (m *Module) IsSequential() bool { return len(m.Vars) > 0 }
+
+// ModPort is a port in a module's interface.
+type ModPort struct {
+	Name     string
+	Dir      Dir
+	WidthRaw Expr // width expression as parsed (number or const name)
+	Width    int  // resolved by Check
+	Pos      Pos
+}
+
+// VarDecl is module-local storage: Size cells of Width bits (Size 1 for
+// plain registers).
+type VarDecl struct {
+	Name     string
+	WidthRaw Expr
+	SizeRaw  Expr // nil for scalar
+	Width    int
+	Size     int
+	Pos      Pos
+}
+
+// Stmt is a concurrent assignment, optionally guarded:
+//
+//	AT guard DO lhs <- rhs;
+//	lhs <- rhs;
+type Stmt struct {
+	Guard Expr // nil when unconditional
+	LHS   *LValue
+	RHS   Expr
+	Pos   Pos
+}
+
+// LValue is an assignment target: an output port, or storage with an
+// optional cell index.
+type LValue struct {
+	Name  string
+	Index Expr // nil for ports and scalar vars
+	Pos   Pos
+
+	// Resolved by Check: exactly one of Port/Var is non-nil.
+	Port *ModPort
+	Var  *VarDecl
+}
+
+// PrimaryPort is a processor-level I/O port.
+type PrimaryPort struct {
+	Name     string
+	Dir      Dir
+	WidthRaw Expr
+	Width    int
+	Pos      Pos
+}
+
+// BusDecl declares a tristate bus.
+type BusDecl struct {
+	Name     string
+	WidthRaw Expr
+	Width    int
+	Pos      Pos
+}
+
+// Part instantiates a module.
+type Part struct {
+	Name    string
+	ModName string
+	Flag    PartFlag
+	Pos     Pos
+
+	Module *Module // resolved by Check
+}
+
+// Connect is an interconnect statement: Sink <- Src [WHEN cond].
+// WHEN is only legal when the sink is a bus (a tristate driver).
+type Connect struct {
+	SinkPart string // "" when sink is a bus or primary output port
+	SinkPort string // port name, bus name or primary output name
+	Src      Expr
+	When     Expr // nil unless a conditional bus driver
+	Pos      Pos
+}
+
+// SinkName renders the sink for diagnostics.
+func (c *Connect) SinkName() string {
+	if c.SinkPart == "" {
+		return c.SinkPort
+	}
+	return c.SinkPart + "." + c.SinkPort
+}
+
+// Expr is an MDL expression node.  Widths are filled in by the checker.
+type Expr interface {
+	ExprPos() Pos
+	ExprWidth() int
+	String() string
+}
+
+// NumExpr is an integer literal.  Its width is inferred from context.
+type NumExpr struct {
+	Val   int64
+	Width int
+	Pos   Pos
+}
+
+// IdentExpr references a module port, module var, named constant, bus, or
+// primary port depending on context (resolved by the checker).
+type IdentExpr struct {
+	Name  string
+	Width int
+	Pos   Pos
+
+	// Resolution results (at most one non-nil / true):
+	Port    *ModPort
+	Var     *VarDecl
+	Primary *PrimaryPort
+	Bus     *BusDecl
+	Const   *ConstDecl
+}
+
+// PortSelExpr references a part's port ("part.port"), used in CONNECT
+// sources and WHEN conditions.
+type PortSelExpr struct {
+	Part  string
+	Port  string
+	Width int
+	Pos   Pos
+
+	PartRef *Part
+	PortRef *ModPort
+}
+
+// IndexExpr is indexing or bit slicing: X[Hi] or X[Hi:Lo].
+// For storage vars it is a cell index (Lo == nil); for ports/buses it is a
+// bit slice with constant bounds.
+type IndexExpr struct {
+	X     Expr
+	Hi    Expr
+	Lo    Expr // nil for single index
+	Width int
+	Pos   Pos
+
+	// Resolved by Check:
+	IsSlice          bool // bit slice (constant bounds) vs storage cell index
+	SliceHi, SliceLo int
+}
+
+// BinExpr is a binary operator application.
+type BinExpr struct {
+	Op    rtl.Op
+	X, Y  Expr
+	Width int
+	Pos   Pos
+}
+
+// UnExpr is a unary operator application.  Op is one of rtl.OpNeg,
+// rtl.OpNot; '!' is parsed as comparison-with-zero and represented as
+// OpEq against 0 by the checker, so it never reaches UnExpr.
+type UnExpr struct {
+	Op    rtl.Op
+	X     Expr
+	Width int
+	Pos   Pos
+}
+
+// CaseExpr is a CASE selector OF value: expr; ... [ELSE: expr;] END.
+type CaseExpr struct {
+	Sel   Expr
+	Alts  []CaseAlt
+	Else  Expr // nil when absent
+	Width int
+	Pos   Pos
+}
+
+// CaseAlt is one alternative of a CASE expression.
+type CaseAlt struct {
+	Val  int64
+	Body Expr
+}
+
+func (e *NumExpr) ExprPos() Pos     { return e.Pos }
+func (e *IdentExpr) ExprPos() Pos   { return e.Pos }
+func (e *PortSelExpr) ExprPos() Pos { return e.Pos }
+func (e *IndexExpr) ExprPos() Pos   { return e.Pos }
+func (e *BinExpr) ExprPos() Pos     { return e.Pos }
+func (e *UnExpr) ExprPos() Pos      { return e.Pos }
+func (e *CaseExpr) ExprPos() Pos    { return e.Pos }
+
+func (e *NumExpr) ExprWidth() int     { return e.Width }
+func (e *IdentExpr) ExprWidth() int   { return e.Width }
+func (e *PortSelExpr) ExprWidth() int { return e.Width }
+func (e *IndexExpr) ExprWidth() int   { return e.Width }
+func (e *BinExpr) ExprWidth() int     { return e.Width }
+func (e *UnExpr) ExprWidth() int      { return e.Width }
+func (e *CaseExpr) ExprWidth() int    { return e.Width }
+
+func (e *NumExpr) String() string     { return fmt.Sprintf("%d", e.Val) }
+func (e *IdentExpr) String() string   { return e.Name }
+func (e *PortSelExpr) String() string { return e.Part + "." + e.Port }
+
+func (e *IndexExpr) String() string {
+	if e.Lo != nil {
+		return fmt.Sprintf("%s[%s:%s]", e.X, e.Hi, e.Lo)
+	}
+	return fmt.Sprintf("%s[%s]", e.X, e.Hi)
+}
+
+func (e *BinExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.X, e.Op, e.Y)
+}
+
+func (e *UnExpr) String() string {
+	if e.Op == rtl.OpNeg {
+		return fmt.Sprintf("-(%s)", e.X)
+	}
+	return fmt.Sprintf("%s(%s)", e.Op, e.X)
+}
+
+func (e *CaseExpr) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CASE %s OF ", e.Sel)
+	for _, a := range e.Alts {
+		fmt.Fprintf(&b, "%d: %s; ", a.Val, a.Body)
+	}
+	if e.Else != nil {
+		fmt.Fprintf(&b, "ELSE: %s; ", e.Else)
+	}
+	b.WriteString("END")
+	return b.String()
+}

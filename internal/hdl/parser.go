@@ -1,0 +1,708 @@
+package hdl
+
+import (
+	"strings"
+
+	"repro/internal/rtl"
+)
+
+// Parse parses MDL source text into an unchecked Model.  Call Check on the
+// result before elaboration.
+func Parse(src string) (*Model, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	m, err := p.parseModel()
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ParseAndCheck parses and semantically checks a model in one step.
+func ParseAndCheck(src string) (*Model, error) {
+	m, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+type parser struct {
+	lx  *lexer
+	tok Token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, errf(p.tok.Pos, "expected %s, found %s", k, p.tok)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return Token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) accept(k TokKind) (bool, error) {
+	if p.tok.Kind != k {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+func (p *parser) parseModel() (*Model, error) {
+	if _, err := p.expect(TokProcessor); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	m := &Model{Name: name.Text}
+	for p.tok.Kind != TokEOF {
+		switch p.tok.Kind {
+		case TokConst:
+			d, err := p.parseConst()
+			if err != nil {
+				return nil, err
+			}
+			m.Consts = append(m.Consts, d)
+		case TokModule:
+			mod, err := p.parseModule()
+			if err != nil {
+				return nil, err
+			}
+			m.Modules = append(m.Modules, mod)
+		case TokPort:
+			pp, err := p.parsePrimaryPort()
+			if err != nil {
+				return nil, err
+			}
+			m.Ports = append(m.Ports, pp)
+		case TokBus:
+			b, err := p.parseBus()
+			if err != nil {
+				return nil, err
+			}
+			m.Buses = append(m.Buses, b)
+		case TokParts:
+			if err := p.parseParts(m); err != nil {
+				return nil, err
+			}
+		case TokConnect:
+			if err := p.parseConnects(m); err != nil {
+				return nil, err
+			}
+		case TokEnd:
+			// Optional trailing "END." or "END;".
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.Kind == TokDot || p.tok.Kind == TokSemi {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			if p.tok.Kind != TokEOF {
+				return nil, errf(p.tok.Pos, "text after final END")
+			}
+			return m, nil
+		default:
+			return nil, errf(p.tok.Pos, "expected declaration, found %s", p.tok)
+		}
+	}
+	return m, nil
+}
+
+func (p *parser) parseConst() (*ConstDecl, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil { // CONST
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokEqual); err != nil {
+		return nil, err
+	}
+	num, err := p.expect(TokNumber)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &ConstDecl{Name: name.Text, Value: num.Val, Pos: pos}, nil
+}
+
+// widthExpr parses a width specifier: a number or a constant name.
+func (p *parser) widthExpr() (Expr, error) {
+	switch p.tok.Kind {
+	case TokNumber:
+		e := &NumExpr{Val: p.tok.Val, Pos: p.tok.Pos}
+		return e, p.advance()
+	case TokIdent:
+		e := &IdentExpr{Name: p.tok.Text, Pos: p.tok.Pos}
+		return e, p.advance()
+	}
+	return nil, errf(p.tok.Pos, "expected width (number or constant), found %s", p.tok)
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil { // MODULE
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{Name: name.Text, Pos: pos}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	for p.tok.Kind != TokRParen {
+		var dir Dir
+		switch p.tok.Kind {
+		case TokIn:
+			dir = DirIn
+		case TokOut:
+			dir = DirOut
+		default:
+			return nil, errf(p.tok.Pos, "expected IN or OUT, found %s", p.tok)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		pn, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		w, err := p.widthExpr()
+		if err != nil {
+			return nil, err
+		}
+		mod.Ports = append(mod.Ports, &ModPort{Name: pn.Text, Dir: dir, WidthRaw: w, Pos: pn.Pos})
+		if ok, err := p.accept(TokSemi); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	// Optional VAR section.
+	for p.tok.Kind == TokVar {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for p.tok.Kind == TokIdent {
+			vn := p.tok
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokColon); err != nil {
+				return nil, err
+			}
+			w, err := p.widthExpr()
+			if err != nil {
+				return nil, err
+			}
+			v := &VarDecl{Name: vn.Text, WidthRaw: w, Pos: vn.Pos}
+			if ok, err := p.accept(TokLBrack); err != nil {
+				return nil, err
+			} else if ok {
+				sz, err := p.widthExpr()
+				if err != nil {
+					return nil, err
+				}
+				v.SizeRaw = sz
+				if _, err := p.expect(TokRBrack); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			mod.Vars = append(mod.Vars, v)
+		}
+	}
+	// Optional behavior.
+	if ok, err := p.accept(TokBegin); err != nil {
+		return nil, err
+	} else if ok {
+		for p.tok.Kind != TokEnd {
+			st, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			mod.Stmts = append(mod.Stmts, st)
+		}
+		if err := p.advance(); err != nil { // END
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return mod, nil
+}
+
+func (p *parser) parseStmt() (*Stmt, error) {
+	pos := p.tok.Pos
+	st := &Stmt{Pos: pos}
+	if ok, err := p.accept(TokAt); err != nil {
+		return nil, err
+	} else if ok {
+		g, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Guard = g
+		if _, err := p.expect(TokDo); err != nil {
+			return nil, err
+		}
+	}
+	lv, err := p.parseLValue()
+	if err != nil {
+		return nil, err
+	}
+	st.LHS = lv
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	st.RHS = rhs
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) parseLValue() (*LValue, error) {
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	lv := &LValue{Name: name.Text, Pos: name.Pos}
+	if ok, err := p.accept(TokLBrack); err != nil {
+		return nil, err
+	} else if ok {
+		ix, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		lv.Index = ix
+		if _, err := p.expect(TokRBrack); err != nil {
+			return nil, err
+		}
+	}
+	return lv, nil
+}
+
+func (p *parser) parsePrimaryPort() (*PrimaryPort, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil { // PORT
+		return nil, err
+	}
+	var dir Dir
+	switch p.tok.Kind {
+	case TokIn:
+		dir = DirIn
+	case TokOut:
+		dir = DirOut
+	default:
+		return nil, errf(p.tok.Pos, "expected IN or OUT after PORT, found %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	w, err := p.widthExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &PrimaryPort{Name: name.Text, Dir: dir, WidthRaw: w, Pos: pos}, nil
+}
+
+func (p *parser) parseBus() (*BusDecl, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil { // BUS
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	w, err := p.widthExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &BusDecl{Name: name.Text, WidthRaw: w, Pos: pos}, nil
+}
+
+func (p *parser) parseParts(m *Model) error {
+	if err := p.advance(); err != nil { // PARTS
+		return err
+	}
+	for p.tok.Kind == TokIdent {
+		name := p.tok
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return err
+		}
+		modName, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		part := &Part{Name: name.Text, ModName: modName.Text, Pos: name.Pos}
+		if p.tok.Kind == TokIdent {
+			switch strings.ToUpper(p.tok.Text) {
+			case "INSTRUCTION":
+				part.Flag = FlagInstruction
+			case "MODE":
+				part.Flag = FlagMode
+			case "PC":
+				part.Flag = FlagPC
+			default:
+				return errf(p.tok.Pos, "unknown part flag %q (want INSTRUCTION, MODE or PC)", p.tok.Text)
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return err
+		}
+		m.Parts = append(m.Parts, part)
+	}
+	return nil
+}
+
+func (p *parser) parseConnects(m *Model) error {
+	if err := p.advance(); err != nil { // CONNECT
+		return err
+	}
+	for p.tok.Kind == TokIdent {
+		pos := p.tok.Pos
+		first := p.tok
+		if err := p.advance(); err != nil {
+			return err
+		}
+		c := &Connect{Pos: pos}
+		if ok, err := p.accept(TokDot); err != nil {
+			return err
+		} else if ok {
+			port, err := p.expect(TokIdent)
+			if err != nil {
+				return err
+			}
+			c.SinkPart = first.Text
+			c.SinkPort = port.Text
+		} else {
+			c.SinkPort = first.Text // bus or primary output
+		}
+		if _, err := p.expect(TokAssign); err != nil {
+			return err
+		}
+		src, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		c.Src = src
+		if ok, err := p.accept(TokWhen); err != nil {
+			return err
+		} else if ok {
+			w, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			c.When = w
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return err
+		}
+		m.Connects = append(m.Connects, c)
+	}
+	return nil
+}
+
+// Expression parsing with C-like precedence, lowest first:
+//
+//	|  ^  &  ==/!=  </<=/>/>=  <</>>/>>>  +/-  * / %  unary  primary
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+type binLevel struct {
+	toks map[TokKind]rtl.Op
+	next func() (Expr, error)
+}
+
+func (p *parser) binary(lv binLevel) (Expr, error) {
+	x, err := lv.next()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := lv.toks[p.tok.Kind]
+		if !ok {
+			return x, nil
+		}
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		y, err := lv.next()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinExpr{Op: op, X: x, Y: y, Pos: pos}
+	}
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	return p.binary(binLevel{map[TokKind]rtl.Op{TokPipe: rtl.OpOr}, p.parseXor})
+}
+
+func (p *parser) parseXor() (Expr, error) {
+	return p.binary(binLevel{map[TokKind]rtl.Op{TokCaret: rtl.OpXor}, p.parseAnd})
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	return p.binary(binLevel{map[TokKind]rtl.Op{TokAmp: rtl.OpAnd}, p.parseEquality})
+}
+
+func (p *parser) parseEquality() (Expr, error) {
+	return p.binary(binLevel{map[TokKind]rtl.Op{TokEq: rtl.OpEq, TokNe: rtl.OpNe}, p.parseRelational})
+}
+
+func (p *parser) parseRelational() (Expr, error) {
+	return p.binary(binLevel{map[TokKind]rtl.Op{
+		TokLt: rtl.OpLt, TokLe: rtl.OpLe, TokGt: rtl.OpGt, TokGe: rtl.OpGe}, p.parseShift})
+}
+
+func (p *parser) parseShift() (Expr, error) {
+	return p.binary(binLevel{map[TokKind]rtl.Op{
+		TokShl: rtl.OpShl, TokShr: rtl.OpShr, TokAshr: rtl.OpAshr}, p.parseAdditive})
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	return p.binary(binLevel{map[TokKind]rtl.Op{TokPlus: rtl.OpAdd, TokMinus: rtl.OpSub}, p.parseMultiplicative})
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	return p.binary(binLevel{map[TokKind]rtl.Op{
+		TokStar: rtl.OpMul, TokSlash: rtl.OpDiv, TokPercent: rtl.OpMod}, p.parseUnary})
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokMinus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: rtl.OpNeg, X: x, Pos: pos}, nil
+	case TokTilde:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: rtl.OpNot, X: x, Pos: pos}, nil
+	case TokBang:
+		// !x is sugar for x == 0.
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: rtl.OpEq, X: x, Y: &NumExpr{Val: 0, Pos: pos}, Pos: pos}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokLBrack {
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ix := &IndexExpr{X: x, Hi: hi, Pos: pos}
+		if ok, err := p.accept(TokColon); err != nil {
+			return nil, err
+		} else if ok {
+			lo, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			ix.Lo = lo
+		}
+		if _, err := p.expect(TokRBrack); err != nil {
+			return nil, err
+		}
+		x = ix
+	}
+	return x, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokNumber:
+		v := p.tok.Val
+		return &NumExpr{Val: v, Pos: pos}, p.advance()
+	case TokIdent:
+		name := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if ok, err := p.accept(TokDot); err != nil {
+			return nil, err
+		} else if ok {
+			port, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			return &PortSelExpr{Part: name, Port: port.Text, Pos: pos}, nil
+		}
+		return &IdentExpr{Name: name, Pos: pos}, nil
+	case TokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case TokCase:
+		return p.parseCase()
+	}
+	return nil, errf(pos, "expected expression, found %s", p.tok)
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil { // CASE
+		return nil, err
+	}
+	sel, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokOf); err != nil {
+		return nil, err
+	}
+	ce := &CaseExpr{Sel: sel, Pos: pos}
+	for p.tok.Kind != TokEnd {
+		if ok, err := p.accept(TokElse); err != nil {
+			return nil, err
+		} else if ok {
+			if _, err := p.expect(TokColon); err != nil {
+				return nil, err
+			}
+			body, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			ce.Else = body
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		neg := false
+		if ok, err := p.accept(TokMinus); err != nil {
+			return nil, err
+		} else if ok {
+			neg = true
+		}
+		num, err := p.expect(TokNumber)
+		if err != nil {
+			return nil, err
+		}
+		val := num.Val
+		if neg {
+			val = -val
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		body, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Alts = append(ce.Alts, CaseAlt{Val: val, Body: body})
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.advance(); err != nil { // END
+		return nil, err
+	}
+	return ce, nil
+}

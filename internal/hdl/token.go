@@ -1,0 +1,140 @@
+package hdl
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds of the MDL processor description
+// language.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+
+	// Punctuation and operators.
+	TokSemi    // ;
+	TokColon   // :
+	TokComma   // ,
+	TokDot     // .
+	TokLParen  // (
+	TokRParen  // )
+	TokLBrack  // [
+	TokRBrack  // ]
+	TokAssign  // <-
+	TokEqual   // =
+	TokPlus    // +
+	TokMinus   // -
+	TokStar    // *
+	TokSlash   // /
+	TokPercent // %
+	TokAmp     // &
+	TokPipe    // |
+	TokCaret   // ^
+	TokTilde   // ~
+	TokBang    // !
+	TokLt      // <
+	TokGt      // >
+	TokLe      // <=
+	TokGe      // >=
+	TokEq      // ==
+	TokNe      // !=
+	TokShl     // <<
+	TokShr     // >>
+	TokAshr    // >>>
+
+	// Keywords.
+	TokProcessor
+	TokModule
+	TokIn
+	TokOut
+	TokBegin
+	TokEnd
+	TokVar
+	TokAt
+	TokDo
+	TokCase
+	TokOf
+	TokElse
+	TokParts
+	TokConnect
+	TokBus
+	TokWhen
+	TokConst
+	TokPort
+	TokInstruction
+	TokMode
+	TokPC
+)
+
+var keywords = map[string]TokKind{
+	"PROCESSOR": TokProcessor,
+	"MODULE":    TokModule,
+	"IN":        TokIn,
+	"OUT":       TokOut,
+	"BEGIN":     TokBegin,
+	"END":       TokEnd,
+	"VAR":       TokVar,
+	"AT":        TokAt,
+	"DO":        TokDo,
+	"CASE":      TokCase,
+	"OF":        TokOf,
+	"ELSE":      TokElse,
+	"PARTS":     TokParts,
+	"CONNECT":   TokConnect,
+	"BUS":       TokBus,
+	"WHEN":      TokWhen,
+	"CONST":     TokConst,
+	"PORT":      TokPort,
+	// INSTRUCTION, MODE and PC are contextual: they only act as keywords
+	// in part-flag position, so parts may freely be named "pc" etc.
+}
+
+var tokNames = map[TokKind]string{
+	TokEOF: "end of file", TokIdent: "identifier", TokNumber: "number",
+	TokSemi: "';'", TokColon: "':'", TokComma: "','", TokDot: "'.'",
+	TokLParen: "'('", TokRParen: "')'", TokLBrack: "'['", TokRBrack: "']'",
+	TokAssign: "'<-'", TokEqual: "'='", TokPlus: "'+'", TokMinus: "'-'",
+	TokStar: "'*'", TokSlash: "'/'", TokPercent: "'%'", TokAmp: "'&'",
+	TokPipe: "'|'", TokCaret: "'^'", TokTilde: "'~'", TokBang: "'!'",
+	TokLt: "'<'", TokGt: "'>'", TokLe: "'<='", TokGe: "'>='",
+	TokEq: "'=='", TokNe: "'!='", TokShl: "'<<'", TokShr: "'>>'",
+	TokAshr:      "'>>>'",
+	TokProcessor: "PROCESSOR", TokModule: "MODULE", TokIn: "IN", TokOut: "OUT",
+	TokBegin: "BEGIN", TokEnd: "END", TokVar: "VAR", TokAt: "AT", TokDo: "DO",
+	TokCase: "CASE", TokOf: "OF", TokElse: "ELSE", TokParts: "PARTS",
+	TokConnect: "CONNECT", TokBus: "BUS", TokWhen: "WHEN", TokConst: "CONST",
+	TokPort: "PORT", TokInstruction: "INSTRUCTION", TokMode: "MODE", TokPC: "PC",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Pos is a source position for diagnostics.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string // identifier spelling
+	Val  int64  // numeric value for TokNumber
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case TokNumber:
+		return fmt.Sprintf("number %d", t.Val)
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,260 @@
+package ir
+
+// Control flow: structured if/while statements and their lowering to a
+// control-flow graph of basic blocks.  The paper's evaluation operates on
+// basic blocks (loops unrolled at compile time); this is the "standard
+// jump instructions" extension of its processor class (table 1): counted
+// and condition-controlled loops compile to the PC-destination RT
+// templates instruction-set extraction discovers, instead of being
+// unrolled.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rtl"
+)
+
+// If is "if (cond) { Then } else { Else }"; Cond is any 1-bit expression
+// (typically a comparison).
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// While is "while (cond) { Body }".
+type While struct {
+	Cond Expr
+	Body []Stmt
+}
+
+func (*If) stmt()    {}
+func (*While) stmt() {}
+
+func (s *If) String() string {
+	out := fmt.Sprintf("if (%s) { %s }", s.Cond, stmtsString(s.Then))
+	if len(s.Else) > 0 {
+		out += fmt.Sprintf(" else { %s }", stmtsString(s.Else))
+	}
+	return out
+}
+
+func (s *While) String() string {
+	return fmt.Sprintf("while (%s) { %s }", s.Cond, stmtsString(s.Body))
+}
+
+func stmtsString(stmts []Stmt) string {
+	parts := make([]string, len(stmts))
+	for i, s := range stmts {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Terminator ends a basic block.
+type Terminator interface{ term() }
+
+// Goto transfers unconditionally to another block.
+type Goto struct{ Target int }
+
+// Branch tests Cond: true goes to Then, false to Else.
+type Branch struct {
+	Cond Expr
+	Then int
+	Else int
+}
+
+// Halt ends the program.
+type Halt struct{}
+
+func (*Goto) term()   {}
+func (*Branch) term() {}
+func (*Halt) term()   {}
+
+// Block is one basic block: straight-line assignments plus a terminator.
+type Block struct {
+	ID      int
+	Assigns []*Assign
+	Term    Terminator
+}
+
+// CFG is a lowered program: basic blocks with explicit control flow.
+// Block 0 is the entry.
+type CFG struct {
+	Decls  []*Decl
+	Blocks []*Block
+}
+
+// HasControlFlow reports whether the program contains if/while statements
+// (callers without branch support fall back to Flatten).
+func HasControlFlow(p *Program) bool { return hasCF(p.Body) }
+
+func hasCF(stmts []Stmt) bool {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *If:
+			return true
+		case *While:
+			return true
+		case *For:
+			if hasCF(st.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// BuildCFG lowers a program to basic blocks.  For-loops become genuine
+// loops (induction variable materialized as a synthetic declaration), so
+// nothing is unrolled.
+func BuildCFG(p *Program) (*CFG, error) {
+	b := &cfgBuilder{decls: append([]*Decl(nil), p.Decls...)}
+	declared := make(map[string]bool)
+	for _, d := range p.Decls {
+		declared[d.Name] = true
+	}
+	b.declared = declared
+	entry := b.newBlock()
+	last, err := b.lower(p.Body, entry)
+	if err != nil {
+		return nil, err
+	}
+	last.Term = &Halt{}
+	return &CFG{Decls: b.decls, Blocks: b.blocks}, nil
+}
+
+type cfgBuilder struct {
+	blocks   []*Block
+	decls    []*Decl
+	declared map[string]bool
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{ID: len(b.blocks)}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+// lower appends stmts starting in cur, returning the block control falls
+// out of (its Term left nil for the caller to fill).
+func (b *cfgBuilder) lower(stmts []Stmt, cur *Block) (*Block, error) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *Assign:
+			cur.Assigns = append(cur.Assigns, st)
+
+		case *If:
+			thenB := b.newBlock()
+			var elseB *Block
+			join := b.newBlock()
+			if len(st.Else) > 0 {
+				elseB = b.newBlock()
+				cur.Term = &Branch{Cond: st.Cond, Then: thenB.ID, Else: elseB.ID}
+			} else {
+				cur.Term = &Branch{Cond: st.Cond, Then: thenB.ID, Else: join.ID}
+			}
+			tEnd, err := b.lower(st.Then, thenB)
+			if err != nil {
+				return nil, err
+			}
+			tEnd.Term = &Goto{Target: join.ID}
+			if elseB != nil {
+				eEnd, err := b.lower(st.Else, elseB)
+				if err != nil {
+					return nil, err
+				}
+				eEnd.Term = &Goto{Target: join.ID}
+			}
+			cur = join
+
+		case *While:
+			head := b.newBlock()
+			body := b.newBlock()
+			exit := b.newBlock()
+			cur.Term = &Goto{Target: head.ID}
+			head.Term = &Branch{Cond: st.Cond, Then: body.ID, Else: exit.ID}
+			bEnd, err := b.lower(st.Body, body)
+			if err != nil {
+				return nil, err
+			}
+			bEnd.Term = &Goto{Target: head.ID}
+			cur = exit
+
+		case *For:
+			// i = From; while (i < To) { body; i = i + Step }
+			if !b.declared[st.Var] {
+				b.decls = append(b.decls, &Decl{Name: st.Var})
+				b.declared[st.Var] = true
+			}
+			iv := &Ref{Name: st.Var}
+			cur.Assigns = append(cur.Assigns, &Assign{LHS: iv, RHS: st.From})
+			loop := &While{
+				Cond: &Bin{Op: rtl.OpLt, X: &Ref{Name: st.Var}, Y: st.To},
+				Body: append(append([]Stmt(nil), st.Body...),
+					&Assign{LHS: iv,
+						RHS: &Bin{Op: rtl.OpAdd, X: &Ref{Name: st.Var}, Y: st.Step}}),
+			}
+			next, err := b.lower([]Stmt{loop}, cur)
+			if err != nil {
+				return nil, err
+			}
+			cur = next
+
+		default:
+			return nil, fmt.Errorf("ir: cannot lower %T to a CFG", s)
+		}
+	}
+	return cur, nil
+}
+
+// MaxCFGSteps bounds CFG interpretation (runaway-loop protection).
+const MaxCFGSteps = 1 << 20
+
+// Interp executes the CFG at the given word width, mutating env.
+func (c *CFG) Interp(env Env, width int) error {
+	steps := 0
+	cur := 0
+	for {
+		blk := c.Blocks[cur]
+		if err := Interp(blk.Assigns, env, width); err != nil {
+			return err
+		}
+		steps += len(blk.Assigns) + 1
+		if steps > MaxCFGSteps {
+			return fmt.Errorf("ir: CFG interpretation exceeded %d steps (non-terminating loop?)", MaxCFGSteps)
+		}
+		switch t := blk.Term.(type) {
+		case *Halt:
+			return nil
+		case *Goto:
+			cur = t.Target
+		case *Branch:
+			v, err := evalExpr(t.Cond, env, width)
+			if err != nil {
+				return err
+			}
+			if v != 0 {
+				cur = t.Then
+			} else {
+				cur = t.Else
+			}
+		default:
+			return fmt.Errorf("ir: block %d has no terminator", cur)
+		}
+	}
+}
+
+// RunCFG builds the CFG, interprets it, and returns the final environment.
+func RunCFG(p *Program, width int) (Env, error) {
+	cfg, err := BuildCFG(p)
+	if err != nil {
+		return nil, err
+	}
+	env := NewEnv(&Program{Decls: cfg.Decls}, width)
+	if err := cfg.Interp(env, width); err != nil {
+		return nil, err
+	}
+	return env, nil
+}

@@ -1,0 +1,190 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rtl"
+)
+
+func lt(x, y Expr) Expr { return &Bin{Op: rtl.OpLt, X: x, Y: y} }
+
+func TestBuildCFGStraightLine(t *testing.T) {
+	p := &Program{
+		Decls: []*Decl{{Name: "x"}},
+		Body:  []Stmt{&Assign{LHS: ref("x"), RHS: c(1)}},
+	}
+	cfg, err := BuildCFG(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Blocks) != 1 {
+		t.Fatalf("blocks = %d", len(cfg.Blocks))
+	}
+	if _, ok := cfg.Blocks[0].Term.(*Halt); !ok {
+		t.Fatalf("terminator = %T", cfg.Blocks[0].Term)
+	}
+}
+
+func TestBuildCFGIf(t *testing.T) {
+	p := &Program{
+		Decls: []*Decl{{Name: "x"}, {Name: "y"}},
+		Body: []Stmt{
+			&If{Cond: lt(ref("x"), c(5)),
+				Then: []Stmt{&Assign{LHS: ref("y"), RHS: c(1)}},
+				Else: []Stmt{&Assign{LHS: ref("y"), RHS: c(2)}}},
+			&Assign{LHS: ref("x"), RHS: c(9)},
+		},
+	}
+	cfg, err := BuildCFG(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, ok := cfg.Blocks[0].Term.(*Branch)
+	if !ok {
+		t.Fatalf("entry terminator = %T", cfg.Blocks[0].Term)
+	}
+	thenB, elseB := cfg.Blocks[br.Then], cfg.Blocks[br.Else]
+	if len(thenB.Assigns) != 1 || len(elseB.Assigns) != 1 {
+		t.Fatal("branch targets wrong")
+	}
+	tg, ok := thenB.Term.(*Goto)
+	if !ok {
+		t.Fatalf("then terminator = %T", thenB.Term)
+	}
+	eg := elseB.Term.(*Goto)
+	if tg.Target != eg.Target {
+		t.Fatal("branches do not rejoin")
+	}
+	join := cfg.Blocks[tg.Target]
+	if len(join.Assigns) != 1 {
+		t.Fatal("join block missing trailing assignment")
+	}
+}
+
+func TestBuildCFGWhile(t *testing.T) {
+	p := &Program{
+		Decls: []*Decl{{Name: "i"}},
+		Body: []Stmt{
+			&While{Cond: lt(ref("i"), c(3)),
+				Body: []Stmt{&Assign{LHS: ref("i"),
+					RHS: &Bin{Op: rtl.OpAdd, X: ref("i"), Y: c(1)}}}},
+		},
+	}
+	cfg, err := BuildCFG(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// entry -> head(branch) -> body -> head; exit.
+	head := cfg.Blocks[cfg.Blocks[0].Term.(*Goto).Target]
+	br := head.Term.(*Branch)
+	body := cfg.Blocks[br.Then]
+	back := body.Term.(*Goto)
+	if back.Target != head.ID {
+		t.Fatal("loop back edge missing")
+	}
+	if _, ok := cfg.Blocks[br.Else].Term.(*Halt); !ok {
+		t.Fatal("exit does not halt")
+	}
+}
+
+func TestBuildCFGForMaterializesInduction(t *testing.T) {
+	p := &Program{
+		Decls: []*Decl{{Name: "s"}},
+		Body: []Stmt{
+			&For{Var: "k", From: c(0), To: c(4), Step: c(1),
+				Body: []Stmt{&Assign{LHS: ref("s"),
+					RHS: &Bin{Op: rtl.OpAdd, X: ref("s"), Y: ref("k")}}}},
+		},
+	}
+	cfg, err := BuildCFG(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range cfg.Decls {
+		if d.Name == "k" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("induction variable not declared")
+	}
+	env := NewEnv(&Program{Decls: cfg.Decls}, 16)
+	if err := cfg.Interp(env, 16); err != nil {
+		t.Fatal(err)
+	}
+	if env["s"][0] != 0+1+2+3 {
+		t.Errorf("s = %d", env["s"][0])
+	}
+	if env["k"][0] != 4 {
+		t.Errorf("k = %d", env["k"][0])
+	}
+}
+
+func TestCFGInterpMatchesFlattenOnLoops(t *testing.T) {
+	// A program both paths can run: results must agree.
+	p := &Program{
+		Decls: []*Decl{{Name: "s"}, {Name: "a", Size: 4, Init: []int64{3, 1, 4, 1}}},
+		Body: []Stmt{
+			&Assign{LHS: ref("s"), RHS: c(0)},
+			&For{Var: "i", From: c(0), To: c(4), Step: c(1),
+				Body: []Stmt{&Assign{LHS: ref("s"),
+					RHS: &Bin{Op: rtl.OpAdd, X: ref("s"), Y: idx("a", ref("i"))}}}},
+		},
+	}
+	flat, err := Run(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgEnv, err := RunCFG(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat["s"][0] != cfgEnv["s"][0] {
+		t.Fatalf("flatten %d != cfg %d", flat["s"][0], cfgEnv["s"][0])
+	}
+}
+
+func TestCFGNonTermination(t *testing.T) {
+	p := &Program{
+		Decls: []*Decl{{Name: "x"}},
+		Body: []Stmt{
+			&While{Cond: &Bin{Op: rtl.OpEq, X: ref("x"), Y: c(0)},
+				Body: []Stmt{&Assign{LHS: ref("x"), RHS: c(0)}}},
+		},
+	}
+	if _, err := RunCFG(p, 16); err == nil || !strings.Contains(err.Error(), "steps") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHasControlFlow(t *testing.T) {
+	plain := &Program{Body: []Stmt{&Assign{LHS: ref("x"), RHS: c(0)}}}
+	if HasControlFlow(plain) {
+		t.Error("plain program reported control flow")
+	}
+	nested := &Program{Body: []Stmt{
+		&For{Var: "i", From: c(0), To: c(2), Step: c(1),
+			Body: []Stmt{&If{Cond: c(1), Then: []Stmt{}}}},
+	}}
+	if !HasControlFlow(nested) {
+		t.Error("nested if missed")
+	}
+	loop := &Program{Body: []Stmt{&While{Cond: c(1)}}}
+	if !HasControlFlow(loop) {
+		t.Error("while missed")
+	}
+}
+
+func TestIfWhileStrings(t *testing.T) {
+	s := (&If{Cond: c(1), Then: []Stmt{&Assign{LHS: ref("x"), RHS: c(2)}},
+		Else: []Stmt{&Assign{LHS: ref("x"), RHS: c(3)}}}).String()
+	if !strings.Contains(s, "if (1)") || !strings.Contains(s, "else") {
+		t.Errorf("if rendering: %s", s)
+	}
+	w := (&While{Cond: c(1), Body: []Stmt{&Assign{LHS: ref("x"), RHS: c(2)}}}).String()
+	if !strings.Contains(w, "while (1)") {
+		t.Errorf("while rendering: %s", w)
+	}
+}

@@ -1,0 +1,242 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rtl"
+)
+
+func ref(name string) *Ref         { return &Ref{Name: name} }
+func idx(name string, i Expr) *Ref { return &Ref{Name: name, Index: i} }
+func c(v int64) *Const             { return &Const{Val: v} }
+func add(x, y Expr) *Bin           { return &Bin{Op: rtl.OpAdd, X: x, Y: y} }
+func mul(x, y Expr) *Bin           { return &Bin{Op: rtl.OpMul, X: x, Y: y} }
+
+func TestFlattenStraightLine(t *testing.T) {
+	p := &Program{
+		Decls: []*Decl{{Name: "x"}, {Name: "y"}},
+		Body: []Stmt{
+			&Assign{LHS: ref("x"), RHS: c(5)},
+			&Assign{LHS: ref("y"), RHS: add(ref("x"), c(2))},
+		},
+	}
+	as, err := Flatten(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 {
+		t.Fatalf("assigns = %d", len(as))
+	}
+	if as[1].String() != "y = (x + 2);" {
+		t.Errorf("assign = %s", as[1])
+	}
+}
+
+func TestFlattenUnrollsLoop(t *testing.T) {
+	// for (i=0; i<4; i=i+1) s = s + a[i];
+	p := &Program{
+		Decls: []*Decl{{Name: "s"}, {Name: "a", Size: 4}},
+		Body: []Stmt{
+			&For{Var: "i", From: c(0), To: c(4), Step: c(1),
+				Body: []Stmt{
+					&Assign{LHS: ref("s"), RHS: add(ref("s"), idx("a", ref("i")))},
+				}},
+		},
+	}
+	as, err := Flatten(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 4 {
+		t.Fatalf("unrolled to %d assigns", len(as))
+	}
+	// Induction variable substituted by constants.
+	if as[2].String() != "s = (s + a[2]);" {
+		t.Errorf("iteration 2 = %s", as[2])
+	}
+	for _, a := range as {
+		if strings.Contains(a.String(), "i") && strings.Contains(a.String(), "a[i]") {
+			t.Errorf("induction variable leaked: %s", a)
+		}
+	}
+}
+
+func TestFlattenNestedLoops(t *testing.T) {
+	// for i in 0..2 { for j in 0..3 { m[i*3+j] = i + j; } }
+	p := &Program{
+		Decls: []*Decl{{Name: "m", Size: 6}},
+		Body: []Stmt{
+			&For{Var: "i", From: c(0), To: c(2), Step: c(1), Body: []Stmt{
+				&For{Var: "j", From: c(0), To: c(3), Step: c(1), Body: []Stmt{
+					&Assign{
+						LHS: idx("m", add(mul(ref("i"), c(3)), ref("j"))),
+						RHS: add(ref("i"), ref("j")),
+					},
+				}},
+			}},
+		},
+	}
+	as, err := Flatten(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 6 {
+		t.Fatalf("assigns = %d", len(as))
+	}
+	// Everything folded to constants.
+	if as[5].String() != "m[5] = 3;" {
+		t.Errorf("last = %s", as[5])
+	}
+}
+
+func TestFlattenLoopBoundsUsingOuterVar(t *testing.T) {
+	p := &Program{
+		Decls: []*Decl{{Name: "s"}},
+		Body: []Stmt{
+			&For{Var: "i", From: c(1), To: c(3), Step: c(1), Body: []Stmt{
+				&For{Var: "j", From: c(0), To: ref("i"), Step: c(1), Body: []Stmt{
+					&Assign{LHS: ref("s"), RHS: add(ref("s"), c(1))},
+				}},
+			}},
+		},
+	}
+	as, err := Flatten(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 3 { // i=1: 1 iter; i=2: 2 iters
+		t.Fatalf("assigns = %d", len(as))
+	}
+}
+
+func TestFlattenErrors(t *testing.T) {
+	nonConst := &Program{
+		Decls: []*Decl{{Name: "n"}, {Name: "s"}},
+		Body: []Stmt{
+			&For{Var: "i", From: c(0), To: ref("n"), Step: c(1),
+				Body: []Stmt{&Assign{LHS: ref("s"), RHS: c(0)}}},
+		},
+	}
+	if _, err := Flatten(nonConst); err == nil || !strings.Contains(err.Error(), "non-constant") {
+		t.Errorf("err = %v", err)
+	}
+	badStep := &Program{
+		Body: []Stmt{&For{Var: "i", From: c(0), To: c(4), Step: c(0)}},
+	}
+	if _, err := Flatten(badStep); err == nil || !strings.Contains(err.Error(), "step") {
+		t.Errorf("err = %v", err)
+	}
+	huge := &Program{
+		Body: []Stmt{&For{Var: "i", From: c(0), To: c(1 << 20), Step: c(1)}},
+	}
+	if _, err := Flatten(huge); err == nil || !strings.Contains(err.Error(), "unrolls") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestInterpDotProduct(t *testing.T) {
+	p := &Program{
+		Decls: []*Decl{
+			{Name: "a", Size: 4, Init: []int64{1, 2, 3, 4}},
+			{Name: "b", Size: 4, Init: []int64{5, 6, 7, 8}},
+			{Name: "s"},
+		},
+		Body: []Stmt{
+			&Assign{LHS: ref("s"), RHS: c(0)},
+			&For{Var: "i", From: c(0), To: c(4), Step: c(1), Body: []Stmt{
+				&Assign{LHS: ref("s"),
+					RHS: add(ref("s"), mul(idx("a", ref("i")), idx("b", ref("i"))))},
+			}},
+		},
+	}
+	env, err := Run(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := env["s"][0]; got != 1*5+2*6+3*7+4*8 {
+		t.Fatalf("dot product = %d", got)
+	}
+}
+
+func TestInterpWrapsAtWidth(t *testing.T) {
+	p := &Program{
+		Decls: []*Decl{{Name: "x", Init: []int64{30000}}, {Name: "y"}},
+		Body: []Stmt{
+			&Assign{LHS: ref("y"), RHS: add(ref("x"), ref("x"))},
+		},
+	}
+	env, err := Run(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := env["y"][0]; got != rtl.Wrap(60000, 16) {
+		t.Fatalf("wrapped add = %d, want %d", got, rtl.Wrap(60000, 16))
+	}
+}
+
+func TestInterpErrors(t *testing.T) {
+	undeclared := []*Assign{{LHS: ref("zz"), RHS: c(0)}}
+	if err := Interp(undeclared, Env{}, 16); err == nil {
+		t.Error("undeclared assignment accepted")
+	}
+	oob := &Program{
+		Decls: []*Decl{{Name: "a", Size: 2}},
+		Body:  []Stmt{&Assign{LHS: idx("a", c(5)), RHS: c(0)}},
+	}
+	if _, err := Run(oob, 16); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("err = %v", err)
+	}
+	unkRead := &Program{
+		Decls: []*Decl{{Name: "a"}},
+		Body:  []Stmt{&Assign{LHS: ref("a"), RHS: ref("ghost")}},
+	}
+	if _, err := Run(unkRead, 16); err == nil {
+		t.Error("undeclared read accepted")
+	}
+}
+
+func TestFoldAndStrings(t *testing.T) {
+	e := Fold(&Bin{Op: rtl.OpMul, X: c(6), Y: c(7)})
+	if cc, ok := e.(*Const); !ok || cc.Val != 42 {
+		t.Errorf("fold = %v", e)
+	}
+	u := Fold(&Un{Op: rtl.OpNeg, X: c(5)})
+	if cc, ok := u.(*Const); !ok || cc.Val != -5 {
+		t.Errorf("fold neg = %v", u)
+	}
+	// Non-constant untouched.
+	if _, ok := Fold(add(ref("x"), c(1))).(*Bin); !ok {
+		t.Error("non-const folded away")
+	}
+	if (&Un{Op: rtl.OpNeg, X: ref("x")}).String() != "-(x)" {
+		t.Error("neg rendering")
+	}
+	f := &For{Var: "i", From: c(0), To: c(4), Step: c(1),
+		Body: []Stmt{&Assign{LHS: ref("s"), RHS: c(0)}}}
+	if !strings.Contains(f.String(), "for (i = 0; i < 4;") {
+		t.Errorf("for rendering = %s", f)
+	}
+}
+
+func TestNewEnvInitAndDecl(t *testing.T) {
+	p := &Program{Decls: []*Decl{
+		{Name: "x", Init: []int64{70000}},
+		{Name: "a", Size: 3, Init: []int64{1, 2}},
+	}}
+	env := NewEnv(p, 16)
+	if env["x"][0] != rtl.Wrap(70000, 16) {
+		t.Error("scalar init not wrapped")
+	}
+	if len(env["a"]) != 3 || env["a"][1] != 2 || env["a"][2] != 0 {
+		t.Errorf("array init = %v", env["a"])
+	}
+	d := &Decl{Name: "a", Size: 3}
+	if !d.IsArray() || d.Cells() != 3 {
+		t.Error("array decl queries wrong")
+	}
+	s := &Decl{Name: "x"}
+	if s.IsArray() || s.Cells() != 1 {
+		t.Error("scalar decl queries wrong")
+	}
+}

@@ -1,0 +1,917 @@
+// Package ise implements instruction-set extraction (ISE): it derives the
+// complete set of valid RT templates from the elaborated netlist model
+// (paper section 2; Leupers/Marwedel ED&TC 1995).
+//
+// ISE performs the paper's two steps:
+//
+//   - Enumeration of data transfer routes.  For every RT destination
+//     (register, memory cell, primary output port) a backwards traversal of
+//     the netlist collects all routes delivering a value within a single
+//     machine cycle.  Traversal crosses interconnect, tristate busses and
+//     combinational modules; it forks at multiple-input modules (CASE-
+//     controlled functional units and multiplexers, bus drivers) and stops
+//     at storage reads, primary inputs, hardwired constants and instruction
+//     fields (immediates).  Every route yields a tree-shaped RT template.
+//
+//   - Analysis of control signals.  Conditions governing a route — guard
+//     expressions, CASE selector matches and tristate enables — are traced
+//     back through arbitrary decoder logic to the primary control sources:
+//     instruction-word bits and mode-register bits.  Each template's
+//     execution condition is a BDD over those bits; templates whose
+//     condition is unsatisfiable (encoding conflicts, bus contention) are
+//     discarded.  Conditions that depend on run-time data (e.g. a status
+//     flag steering a conditional jump) are kept as residual dynamic
+//     guards.
+package ise
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/bitvec"
+	"repro/internal/hdl"
+	"repro/internal/netlist"
+	"repro/internal/rtl"
+)
+
+// Options tunes extraction.
+type Options struct {
+	// MaxAlts bounds the number of alternative routes considered per
+	// traversal point, guarding against pathological fan-in explosion.
+	MaxAlts int
+	// MaxTemplates bounds the final template count.
+	MaxTemplates int
+	// MSBFirstVars declares instruction-word BDD variables MSB-first
+	// instead of LSB-first (variable-order ablation; conditions are
+	// typically decoded from high opcode bits, so order affects BDD size).
+	MSBFirstVars bool
+}
+
+// DefaultOptions returns the limits used by the paper-scale models.
+func DefaultOptions() Options {
+	return Options{MaxAlts: 4096, MaxTemplates: 65536}
+}
+
+// VarMap records how BDD variables map onto control sources.
+type VarMap struct {
+	M *bdd.Manager
+	// InsnVars[i] is the BDD variable index of instruction word bit i.
+	InsnVars []int
+	// ModeVars maps a mode storage qualified name to the BDD variable
+	// indices of its bits (LSB first).
+	ModeVars map[string][]int
+}
+
+// InsnWidth returns the instruction word width.
+func (v *VarMap) InsnWidth() int { return len(v.InsnVars) }
+
+// IsInsnVar reports whether BDD variable x is an instruction bit, returning
+// the bit position.
+func (v *VarMap) IsInsnVar(x int) (bit int, ok bool) {
+	for i, iv := range v.InsnVars {
+		if iv == x {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// ModeVarOwner returns the mode storage owning BDD variable x, with the bit
+// position, or "" when x is not a mode bit.
+func (v *VarMap) ModeVarOwner(x int) (storage string, bit int) {
+	for name, vars := range v.ModeVars {
+		for i, mv := range vars {
+			if mv == x {
+				return name, i
+			}
+		}
+	}
+	return "", 0
+}
+
+// Stats reports extraction effort.
+type Stats struct {
+	RoutesEnumerated int // candidate templates before pruning
+	Unsatisfiable    int // discarded: conflicting execution conditions
+	Templates        int // final template count
+	BDDNodes         int // size of the BDD universe after extraction
+}
+
+// Result is the output of extraction.
+type Result struct {
+	Base  *rtl.Base
+	Vars  *VarMap
+	Stats Stats
+	// Net is the netlist the base was extracted from.
+	Net *netlist.Netlist
+}
+
+// Extract runs instruction-set extraction on an elaborated netlist.
+func Extract(n *netlist.Netlist, opts Options) (*Result, error) {
+	if opts.MaxAlts <= 0 {
+		opts.MaxAlts = DefaultOptions().MaxAlts
+	}
+	if opts.MaxTemplates <= 0 {
+		opts.MaxTemplates = DefaultOptions().MaxTemplates
+	}
+	x := &extractor{
+		n:       n,
+		opts:    opts,
+		m:       bdd.New(),
+		outMemo: make(map[string][]alt),
+		symMemo: make(map[string]symResult),
+	}
+	x.declareVars()
+	if err := x.run(); err != nil {
+		return nil, err
+	}
+	x.res.Stats.Templates = x.res.Base.Len()
+	x.res.Stats.BDDNodes = x.m.Size()
+	return x.res, nil
+}
+
+// alt is one alternative route: a pattern with the conditions required to
+// steer the hardware along it.
+type alt struct {
+	expr *rtl.Expr
+	cond *bdd.Node
+	dyn  []*rtl.Expr
+}
+
+type symResult struct {
+	vec bitvec.Vec
+	ok  bool
+}
+
+type extractor struct {
+	n    *netlist.Netlist
+	opts Options
+	m    *bdd.Manager
+	vars *VarMap
+	res  *Result
+
+	outMemo map[string][]alt     // "inst.port" -> route alternatives
+	symMemo map[string]symResult // "inst.port" -> symbolic control value
+}
+
+// declareVars declares instruction bits first (they dominate conditions),
+// then mode-register bits.
+func (x *extractor) declareVars() {
+	v := &VarMap{M: x.m, ModeVars: make(map[string][]int)}
+	v.InsnVars = make([]int, x.n.InsnWidth)
+	if x.opts.MSBFirstVars {
+		for i := x.n.InsnWidth - 1; i >= 0; i-- {
+			v.InsnVars[i] = x.m.DeclareVar(fmt.Sprintf("I%d", i))
+		}
+	} else {
+		for i := 0; i < x.n.InsnWidth; i++ {
+			v.InsnVars[i] = x.m.DeclareVar(fmt.Sprintf("I%d", i))
+		}
+	}
+	for _, s := range x.n.ModeStorages() {
+		var bits []int
+		for b := 0; b < s.Width(); b++ {
+			bits = append(bits, x.m.DeclareVar(fmt.Sprintf("M.%s.%d", s.QName(), b)))
+		}
+		v.ModeVars[s.QName()] = bits
+	}
+	x.vars = v
+	x.res = &Result{Base: rtl.NewBase(x.m), Vars: v, Net: x.n}
+}
+
+func (x *extractor) run() error {
+	// RT destinations: every write statement of every data storage ...
+	for _, s := range x.n.DataStorages() {
+		inst := s.Inst
+		for _, st := range inst.Mod.Stmts {
+			if st.LHS.Var == nil || st.LHS.Name != s.Var.Name {
+				continue
+			}
+			if err := x.extractWrite(s, inst, st); err != nil {
+				return err
+			}
+		}
+	}
+	// ... plus primary output ports.
+	for name, drv := range x.n.PrimaryOut {
+		alts, err := x.resolveDriver(drv)
+		if err != nil {
+			return err
+		}
+		for _, a := range alts {
+			x.emit(&rtl.Template{
+				Dest:     name,
+				DestPort: true,
+				Src:      a.expr,
+				Width:    drv.Width,
+				Cond:     rtl.ExecCond{Static: a.cond, Dynamic: a.dyn},
+			})
+		}
+	}
+	return nil
+}
+
+// extractWrite enumerates templates for one guarded storage write.
+func (x *extractor) extractWrite(s *netlist.Storage, inst *netlist.Inst, st *hdl.Stmt) error {
+	// Guard condition.
+	gCond, gDyn := x.m.True(), []*rtl.Expr(nil)
+	if st.Guard != nil {
+		c, d, err := x.condition(inst, st.Guard)
+		if err != nil {
+			return err
+		}
+		gCond, gDyn = c, d
+	}
+	if gCond == x.m.False() {
+		x.res.Stats.Unsatisfiable++
+		return nil
+	}
+
+	// Destination address routes (for array storages).
+	addrAlts := []alt{{expr: nil, cond: x.m.True()}}
+	if st.LHS.Index != nil {
+		var err error
+		addrAlts, err = x.resolveModExpr(inst, st.LHS.Index)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Data routes.
+	dataAlts, err := x.resolveModExpr(inst, st.RHS)
+	if err != nil {
+		return err
+	}
+
+	for _, aa := range addrAlts {
+		for _, da := range dataAlts {
+			cond := x.m.And(gCond, aa.cond, da.cond)
+			x.res.Stats.RoutesEnumerated++
+			if cond == x.m.False() {
+				x.res.Stats.Unsatisfiable++
+				continue
+			}
+			dyn := concatDyn(gDyn, aa.dyn, da.dyn)
+			x.emit(&rtl.Template{
+				Dest:     s.QName(),
+				DestAddr: aa.expr,
+				Src:      da.expr,
+				Width:    s.Width(),
+				Cond:     rtl.ExecCond{Static: cond, Dynamic: dyn},
+			})
+		}
+	}
+	return nil
+}
+
+func (x *extractor) emit(t *rtl.Template) {
+	if x.res.Base.Len() >= x.opts.MaxTemplates {
+		return
+	}
+	x.res.Base.Add(t)
+}
+
+func concatDyn(ds ...[]*rtl.Expr) []*rtl.Expr {
+	var out []*rtl.Expr
+	for _, d := range ds {
+		out = append(out, d...)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	// Deduplicate structurally equal guards.
+	var uniq []*rtl.Expr
+	seen := make(map[string]bool)
+	for _, g := range out {
+		k := g.Key()
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, g)
+		}
+	}
+	return uniq
+}
+
+// ----- symbolic control evaluation ------------------------------------
+
+// symOut symbolically evaluates instance output port out over instruction
+// and mode bits.  ok is false when the value depends on run-time data.
+func (x *extractor) symOut(inst *netlist.Inst, out string) (bitvec.Vec, bool) {
+	key := inst.Name + "." + out
+	if r, hit := x.symMemo[key]; hit {
+		return r.vec, r.ok
+	}
+	// Avoid infinite recursion on (already rejected) cycles.
+	x.symMemo[key] = symResult{nil, false}
+	vec, ok := x.symOutUncached(inst, out)
+	x.symMemo[key] = symResult{vec, ok}
+	return vec, ok
+}
+
+func (x *extractor) symOutUncached(inst *netlist.Inst, out string) (bitvec.Vec, bool) {
+	// The instruction word itself.
+	if inst == x.n.InsnInst && out == x.n.InsnPort {
+		vec := make(bitvec.Vec, x.n.InsnWidth)
+		for i, v := range x.vars.InsnVars {
+			vec[i] = x.m.Var(v)
+		}
+		return vec, true
+	}
+	st := inst.OutStmt(out)
+	if st == nil {
+		return nil, false
+	}
+	return x.symModExpr(inst, st.RHS)
+}
+
+// symModExpr evaluates a module-scope expression symbolically.
+func (x *extractor) symModExpr(inst *netlist.Inst, e hdl.Expr) (bitvec.Vec, bool) {
+	switch ex := e.(type) {
+	case *hdl.NumExpr:
+		return bitvec.Const(x.m, ex.Val, ex.Width), true
+	case *hdl.IdentExpr:
+		switch {
+		case ex.Port != nil:
+			return x.symPort(inst, ex.Name)
+		case ex.Var != nil:
+			// Storage read: only mode registers are static control.
+			s := x.n.Storages[inst.Name+"."+ex.Var.Name]
+			if s != nil && s.Mode && s.Size() == 1 {
+				bits := x.vars.ModeVars[s.QName()]
+				vec := make(bitvec.Vec, len(bits))
+				for i, v := range bits {
+					vec[i] = x.m.Var(v)
+				}
+				return vec, true
+			}
+			return nil, false
+		case ex.Const != nil:
+			return bitvec.Const(x.m, ex.Const.Value, ex.Width), true
+		}
+		return nil, false
+	case *hdl.IndexExpr:
+		if ex.IsSlice {
+			base, ok := x.symModExpr(inst, ex.X)
+			if !ok {
+				return nil, false
+			}
+			return bitvec.Slice(base, ex.SliceHi, ex.SliceLo), true
+		}
+		return nil, false // data memory read: dynamic
+	case *hdl.BinExpr:
+		a, okA := x.symModExpr(inst, ex.X)
+		if !okA {
+			return nil, false
+		}
+		b, okB := x.symModExpr(inst, ex.Y)
+		if !okB {
+			return nil, false
+		}
+		return x.symBin(ex.Op, a, b)
+	case *hdl.UnExpr:
+		a, ok := x.symModExpr(inst, ex.X)
+		if !ok {
+			return nil, false
+		}
+		switch ex.Op {
+		case rtl.OpNeg:
+			return bitvec.Neg(x.m, a), true
+		case rtl.OpNot:
+			return bitvec.Not(x.m, a), true
+		}
+		return nil, false
+	case *hdl.CaseExpr:
+		sel, ok := x.symModExpr(inst, ex.Sel)
+		if !ok {
+			return nil, false
+		}
+		var out bitvec.Vec
+		if ex.Else != nil {
+			out, ok = x.symModExpr(inst, ex.Else)
+			if !ok {
+				return nil, false
+			}
+		} else {
+			out = bitvec.Const(x.m, 0, ex.Width)
+		}
+		for _, a := range ex.Alts {
+			body, okB := x.symModExpr(inst, a.Body)
+			if !okB {
+				return nil, false
+			}
+			out = bitvec.Mux(x.m, bitvec.EqConst(x.m, sel, a.Val), body, out)
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+func (x *extractor) symBin(op rtl.Op, a, b bitvec.Vec) (bitvec.Vec, bool) {
+	m := x.m
+	switch op {
+	case rtl.OpAdd:
+		return bitvec.Add(m, a, b), true
+	case rtl.OpSub:
+		return bitvec.Sub(m, a, b), true
+	case rtl.OpMul:
+		return bitvec.Mul(m, a, b), true
+	case rtl.OpAnd:
+		return bitvec.And(m, a, b), true
+	case rtl.OpOr:
+		return bitvec.Or(m, a, b), true
+	case rtl.OpXor:
+		return bitvec.Xor(m, a, b), true
+	case rtl.OpEq:
+		return bitvec.Bool(bitvec.Eq(m, a, b)), true
+	case rtl.OpNe:
+		return bitvec.Bool(m.Not(bitvec.Eq(m, a, b))), true
+	case rtl.OpLt:
+		return bitvec.Bool(bitvec.Ult(m, a, b)), true
+	case rtl.OpGe:
+		return bitvec.Bool(m.Not(bitvec.Ult(m, a, b))), true
+	case rtl.OpGt:
+		return bitvec.Bool(bitvec.Ult(m, b, a)), true
+	case rtl.OpLe:
+		return bitvec.Bool(m.Not(bitvec.Ult(m, b, a))), true
+	case rtl.OpShl, rtl.OpShr, rtl.OpAshr:
+		if k, ok := bitvec.IsConst(m, b); ok {
+			switch op {
+			case rtl.OpShl:
+				return bitvec.ShlConst(m, a, int(k)), true
+			case rtl.OpShr:
+				return bitvec.ShrConst(m, a, int(k)), true
+			default:
+				return bitvec.AshrConst(m, a, int(k)), true
+			}
+		}
+	}
+	return nil, false
+}
+
+// symPort symbolically evaluates an instance input port through its driver.
+func (x *extractor) symPort(inst *netlist.Inst, port string) (bitvec.Vec, bool) {
+	d := inst.Drivers[port]
+	if d == nil {
+		return nil, false
+	}
+	return x.symDriver(d)
+}
+
+func (x *extractor) symDriver(d *netlist.Driver) (bitvec.Vec, bool) {
+	switch d.Kind {
+	case netlist.DriveConst:
+		return bitvec.Const(x.m, d.Const, d.Width), true
+	case netlist.DrivePort:
+		full, ok := x.symOut(d.Inst, d.Port)
+		if !ok {
+			return nil, false
+		}
+		return bitvec.Slice(full, d.Hi, d.Lo), true
+	case netlist.DriveBus:
+		// A bus is static control only when it has a single unconditional
+		// driver.
+		if len(d.Bus.Drivers) == 1 && d.Bus.Drivers[0].When == nil {
+			full, ok := x.symDriver(d.Bus.Drivers[0].Src)
+			if !ok {
+				return nil, false
+			}
+			return bitvec.Slice(full, d.Hi, d.Lo), true
+		}
+		return nil, false
+	case netlist.DrivePrimary:
+		return nil, false // run-time data
+	}
+	return nil, false
+}
+
+// condition converts a module-scope Boolean expression into a static BDD
+// condition, or a residual dynamic guard when it depends on run-time data.
+func (x *extractor) condition(inst *netlist.Inst, e hdl.Expr) (*bdd.Node, []*rtl.Expr, error) {
+	if vec, ok := x.symModExpr(inst, e); ok {
+		return bitvec.Truth(x.m, vec), nil, nil
+	}
+	g, err := x.guardExpr(inst, e)
+	if err != nil {
+		return nil, nil, err
+	}
+	return x.m.True(), []*rtl.Expr{g}, nil
+}
+
+// guardExpr lowers a dynamic condition to an RT expression (no forking:
+// guards must be mux-free routes).
+func (x *extractor) guardExpr(inst *netlist.Inst, e hdl.Expr) (*rtl.Expr, error) {
+	alts, err := x.resolveModExpr(inst, e)
+	if err != nil {
+		return nil, err
+	}
+	if len(alts) != 1 || alts[0].cond != x.m.True() || len(alts[0].dyn) != 0 {
+		return nil, fmt.Errorf("ise: dynamic guard %s in %s is steered by control logic; unsupported", e, inst.Name)
+	}
+	return alts[0].expr, nil
+}
+
+// ----- route enumeration ----------------------------------------------
+
+// resolveModExpr enumerates route alternatives for a module-scope
+// expression in instance inst.
+func (x *extractor) resolveModExpr(inst *netlist.Inst, e hdl.Expr) ([]alt, error) {
+	switch ex := e.(type) {
+	case *hdl.NumExpr:
+		return []alt{{expr: rtl.NewConst(ex.Val, ex.Width), cond: x.m.True()}}, nil
+
+	case *hdl.IdentExpr:
+		switch {
+		case ex.Port != nil:
+			return x.resolvePort(inst, ex.Name)
+		case ex.Var != nil:
+			q := inst.Name + "." + ex.Var.Name
+			return []alt{{expr: rtl.NewRead(q, ex.Var.Width, nil), cond: x.m.True()}}, nil
+		case ex.Const != nil:
+			return []alt{{expr: rtl.NewConst(ex.Const.Value, ex.Width), cond: x.m.True()}}, nil
+		}
+		return nil, fmt.Errorf("ise: unresolved identifier %s", ex.Name)
+
+	case *hdl.IndexExpr:
+		if ex.IsSlice {
+			alts, err := x.resolveModExpr(inst, ex.X)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]alt, 0, len(alts))
+			for _, a := range alts {
+				out = append(out, alt{
+					expr: rtl.NewSlice(ex.SliceHi, ex.SliceLo, a.expr),
+					cond: a.cond, dyn: a.dyn,
+				})
+			}
+			return out, nil
+		}
+		// Array storage read: enumerate address routes.
+		id := ex.X.(*hdl.IdentExpr)
+		q := inst.Name + "." + id.Var.Name
+		addrAlts, err := x.resolveModExpr(inst, ex.Hi)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]alt, 0, len(addrAlts))
+		for _, a := range addrAlts {
+			out = append(out, alt{
+				expr: rtl.NewRead(q, id.Var.Width, a.expr),
+				cond: a.cond, dyn: a.dyn,
+			})
+		}
+		return out, nil
+
+	case *hdl.BinExpr:
+		as, err := x.resolveModExpr(inst, ex.X)
+		if err != nil {
+			return nil, err
+		}
+		bs, err := x.resolveModExpr(inst, ex.Y)
+		if err != nil {
+			return nil, err
+		}
+		var out []alt
+		for _, a := range as {
+			for _, b := range bs {
+				cond := x.m.And(a.cond, b.cond)
+				if cond == x.m.False() {
+					continue
+				}
+				out = append(out, alt{
+					expr: rtl.NewOp(ex.Op, ex.Width, a.expr, b.expr),
+					cond: cond,
+					dyn:  concatDyn(a.dyn, b.dyn),
+				})
+				if len(out) > x.opts.MaxAlts {
+					return nil, fmt.Errorf("ise: route explosion in %s (limit %d)", inst.Name, x.opts.MaxAlts)
+				}
+			}
+		}
+		return out, nil
+
+	case *hdl.UnExpr:
+		as, err := x.resolveModExpr(inst, ex.X)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]alt, 0, len(as))
+		for _, a := range as {
+			out = append(out, alt{
+				expr: rtl.NewOp(ex.Op, ex.Width, a.expr),
+				cond: a.cond, dyn: a.dyn,
+			})
+		}
+		return out, nil
+
+	case *hdl.CaseExpr:
+		return x.resolveCase(inst, ex)
+	}
+	return nil, fmt.Errorf("ise: cannot enumerate routes for %s", e)
+}
+
+// resolveCase forks traversal across CASE alternatives, constraining each
+// branch by the selector condition.
+func (x *extractor) resolveCase(inst *netlist.Inst, ce *hdl.CaseExpr) ([]alt, error) {
+	selVec, selStatic := x.symModExpr(inst, ce.Sel)
+	var selDynBase *rtl.Expr
+	if !selStatic {
+		g, err := x.guardExpr(inst, ce.Sel)
+		if err != nil {
+			return nil, err
+		}
+		selDynBase = g
+	}
+
+	branchCond := func(val int64) (*bdd.Node, []*rtl.Expr) {
+		if selStatic {
+			return bitvec.EqConst(x.m, selVec, val), nil
+		}
+		selW := ce.Sel.ExprWidth()
+		g := rtl.NewOp(rtl.OpEq, 1, selDynBase, rtl.NewConst(val, selW))
+		return x.m.True(), []*rtl.Expr{g}
+	}
+
+	var out []alt
+	addBranch := func(cond *bdd.Node, dyn []*rtl.Expr, body hdl.Expr) error {
+		if cond == x.m.False() {
+			x.res.Stats.Unsatisfiable++
+			return nil
+		}
+		alts, err := x.resolveModExpr(inst, body)
+		if err != nil {
+			return err
+		}
+		for _, a := range alts {
+			c := x.m.And(cond, a.cond)
+			if c == x.m.False() {
+				x.res.Stats.Unsatisfiable++
+				continue
+			}
+			out = append(out, alt{expr: a.expr, cond: c, dyn: concatDyn(dyn, a.dyn)})
+			if len(out) > x.opts.MaxAlts {
+				return fmt.Errorf("ise: route explosion in CASE of %s (limit %d)", inst.Name, x.opts.MaxAlts)
+			}
+		}
+		return nil
+	}
+
+	for _, a := range ce.Alts {
+		c, dyn := branchCond(a.Val)
+		if err := addBranch(c, dyn, a.Body); err != nil {
+			return nil, err
+		}
+	}
+	if ce.Else != nil {
+		if selStatic {
+			// ELSE condition: none of the listed values match.
+			c := x.m.True()
+			for _, a := range ce.Alts {
+				c = x.m.And(c, x.m.Not(bitvec.EqConst(x.m, selVec, a.Val)))
+			}
+			if err := addBranch(c, nil, ce.Else); err != nil {
+				return nil, err
+			}
+		} else {
+			selW := ce.Sel.ExprWidth()
+			var dyn []*rtl.Expr
+			for _, a := range ce.Alts {
+				dyn = append(dyn, rtl.NewOp(rtl.OpNe, 1, selDynBase, rtl.NewConst(a.Val, selW)))
+			}
+			if err := addBranch(x.m.True(), dyn, ce.Else); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// resolvePort enumerates routes arriving at an instance input port.
+func (x *extractor) resolvePort(inst *netlist.Inst, port string) ([]alt, error) {
+	d := inst.Drivers[port]
+	if d == nil {
+		return nil, fmt.Errorf("ise: input port %s.%s undriven", inst.Name, port)
+	}
+	return x.resolveDriver(d)
+}
+
+// resolveDriver enumerates routes through a driver, applying its bit slice.
+func (x *extractor) resolveDriver(d *netlist.Driver) ([]alt, error) {
+	switch d.Kind {
+	case netlist.DriveConst:
+		return []alt{{expr: rtl.NewConst(d.Const, d.Width), cond: x.m.True()}}, nil
+
+	case netlist.DrivePrimary:
+		w := x.n.PrimaryIn[d.Primary].Width
+		e := rtl.NewSlice(d.Hi, d.Lo, rtl.NewPort(d.Primary, w))
+		return []alt{{expr: e, cond: x.m.True()}}, nil
+
+	case netlist.DrivePort:
+		alts, err := x.resolveOut(d.Inst, d.Port)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]alt, 0, len(alts))
+		for _, a := range alts {
+			out = append(out, alt{
+				expr: rtl.NewSlice(d.Hi, d.Lo, a.expr),
+				cond: a.cond, dyn: a.dyn,
+			})
+		}
+		return out, nil
+
+	case netlist.DriveBus:
+		alts, err := x.resolveBus(d.Bus)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]alt, 0, len(alts))
+		for _, a := range alts {
+			out = append(out, alt{
+				expr: rtl.NewSlice(d.Hi, d.Lo, a.expr),
+				cond: a.cond, dyn: a.dyn,
+			})
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("ise: bad driver kind %d", d.Kind)
+}
+
+// resolveBus forks across tristate drivers.  Selecting driver i requires
+// its enable condition true and every other statically-analysable enable
+// false (otherwise the routes would contend on the bus).
+func (x *extractor) resolveBus(b *netlist.Bus) ([]alt, error) {
+	// Precompute enable conditions.
+	type enable struct {
+		cond   *bdd.Node
+		dyn    *rtl.Expr
+		static bool
+	}
+	enables := make([]enable, len(b.Drivers))
+	for i, bd := range b.Drivers {
+		if bd.When == nil {
+			enables[i] = enable{cond: x.m.True(), static: true}
+			continue
+		}
+		// WHEN conditions are connect-scope expressions.
+		if vec, ok := x.symConnExpr(bd.When); ok {
+			enables[i] = enable{cond: bitvec.Truth(x.m, vec), static: true}
+			continue
+		}
+		g, err := x.connGuardExpr(bd.When)
+		if err != nil {
+			return nil, err
+		}
+		enables[i] = enable{cond: x.m.True(), dyn: g, static: false}
+	}
+
+	var out []alt
+	for i, bd := range b.Drivers {
+		cond := enables[i].cond
+		var dyn []*rtl.Expr
+		if enables[i].dyn != nil {
+			dyn = append(dyn, enables[i].dyn)
+		}
+		// Exclusivity against other drivers.
+		for j := range b.Drivers {
+			if j == i {
+				continue
+			}
+			if enables[j].static {
+				cond = x.m.And(cond, x.m.Not(enables[j].cond))
+			}
+		}
+		if cond == x.m.False() {
+			x.res.Stats.Unsatisfiable++
+			continue
+		}
+		srcAlts, err := x.resolveDriver(bd.Src)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range srcAlts {
+			c := x.m.And(cond, a.cond)
+			if c == x.m.False() {
+				x.res.Stats.Unsatisfiable++
+				continue
+			}
+			out = append(out, alt{expr: a.expr, cond: c, dyn: concatDyn(dyn, a.dyn)})
+			if len(out) > x.opts.MaxAlts {
+				return nil, fmt.Errorf("ise: route explosion on bus %s (limit %d)", b.Name, x.opts.MaxAlts)
+			}
+		}
+	}
+	return out, nil
+}
+
+// resolveOut enumerates routes producing an instance output port; results
+// are memoized (patterns and conditions are immutable).
+func (x *extractor) resolveOut(inst *netlist.Inst, out string) ([]alt, error) {
+	key := inst.Name + "." + out
+	if alts, ok := x.outMemo[key]; ok {
+		return alts, nil
+	}
+	// The instruction word read is an immediate field.
+	if inst == x.n.InsnInst && out == x.n.InsnPort {
+		alts := []alt{{expr: rtl.NewInsnField(x.n.InsnWidth-1, 0), cond: x.m.True()}}
+		x.outMemo[key] = alts
+		return alts, nil
+	}
+	st := inst.OutStmt(out)
+	if st == nil {
+		return nil, fmt.Errorf("ise: output %s has no behavior", key)
+	}
+	alts, err := x.resolveModExpr(inst, st.RHS)
+	if err != nil {
+		return nil, err
+	}
+	x.outMemo[key] = alts
+	return alts, nil
+}
+
+// ----- connect-scope expressions (bus WHEN conditions) -----------------
+
+func (x *extractor) symConnExpr(e hdl.Expr) (bitvec.Vec, bool) {
+	switch ex := e.(type) {
+	case *hdl.NumExpr:
+		return bitvec.Const(x.m, ex.Val, ex.Width), true
+	case *hdl.PortSelExpr:
+		inst := x.n.InstByName[ex.Part]
+		return x.symOut(inst, ex.Port)
+	case *hdl.IndexExpr:
+		if !ex.IsSlice {
+			return nil, false
+		}
+		base, ok := x.symConnExpr(ex.X)
+		if !ok {
+			return nil, false
+		}
+		return bitvec.Slice(base, ex.SliceHi, ex.SliceLo), true
+	case *hdl.BinExpr:
+		a, okA := x.symConnExpr(ex.X)
+		if !okA {
+			return nil, false
+		}
+		b, okB := x.symConnExpr(ex.Y)
+		if !okB {
+			return nil, false
+		}
+		return x.symBin(ex.Op, a, b)
+	case *hdl.UnExpr:
+		a, ok := x.symConnExpr(ex.X)
+		if !ok {
+			return nil, false
+		}
+		switch ex.Op {
+		case rtl.OpNeg:
+			return bitvec.Neg(x.m, a), true
+		case rtl.OpNot:
+			return bitvec.Not(x.m, a), true
+		}
+	}
+	return nil, false
+}
+
+// connGuardExpr lowers a dynamic WHEN condition to an RT expression.
+func (x *extractor) connGuardExpr(e hdl.Expr) (*rtl.Expr, error) {
+	switch ex := e.(type) {
+	case *hdl.NumExpr:
+		return rtl.NewConst(ex.Val, ex.Width), nil
+	case *hdl.PortSelExpr:
+		inst := x.n.InstByName[ex.Part]
+		alts, err := x.resolveOut(inst, ex.Port)
+		if err != nil {
+			return nil, err
+		}
+		if len(alts) != 1 || alts[0].cond != x.m.True() || len(alts[0].dyn) != 0 {
+			return nil, fmt.Errorf("ise: dynamic bus enable %s is itself multiplexed; unsupported", e)
+		}
+		return alts[0].expr, nil
+	case *hdl.IndexExpr:
+		if !ex.IsSlice {
+			break
+		}
+		base, err := x.connGuardExpr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		return rtl.NewSlice(ex.SliceHi, ex.SliceLo, base), nil
+	case *hdl.BinExpr:
+		a, err := x.connGuardExpr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		b, err := x.connGuardExpr(ex.Y)
+		if err != nil {
+			return nil, err
+		}
+		return rtl.NewOp(ex.Op, ex.Width, a, b), nil
+	case *hdl.UnExpr:
+		a, err := x.connGuardExpr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		return rtl.NewOp(ex.Op, ex.Width, a), nil
+	}
+	return nil, fmt.Errorf("ise: unsupported dynamic bus enable %s", e)
+}

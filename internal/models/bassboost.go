@@ -1,0 +1,93 @@
+package models
+
+// BassBoostMDL models a minimal industrial audio ASIP in the style of the
+// Philips in-house bass-boost DSP core (Strik et al., ED&TC 1995): a
+// dedicated biquad-filter engine with a single-cycle multiply-accumulate
+// datapath, a small sample/state RAM and a coefficient ROM.  It is the
+// smallest machine of the evaluation set.
+//
+// Instruction word (24 bits):
+//
+//	[23:22] aluop (0 acc+b, 1 b, 2 acc-b, 3 acc)
+//	[21:20] bsel (0 MAC, 1 RAM, 2 immediate)
+//	[19] acc.ld   [18] ram write
+//	[15:0] immediate; [6:4] coefficient-ROM address; [3:0] RAM address
+const BassBoostMDL = `
+PROCESSOR bass_boost;
+CONST WORD = 16;
+
+MODULE MacAlu (IN a: WORD; IN b: WORD; IN op: 2; OUT y: WORD);
+BEGIN
+  y <- CASE op OF
+         0: a + b;
+         1: b;
+         2: a - b;
+         3: a;
+       END;
+END;
+
+MODULE Mult (IN x: WORD; IN c: WORD; OUT y: WORD);
+BEGIN
+  y <- x * c;
+END;
+
+MODULE BMux (IN mac: WORD; IN m: WORD; IN imm: WORD; IN s: 2; OUT y: WORD);
+BEGIN
+  y <- CASE s OF 0: mac; 1: m; 2: imm; ELSE: mac; END;
+END;
+
+MODULE Reg (IN d: WORD; IN ld: 1; OUT q: WORD);
+VAR r: WORD;
+BEGIN q <- r; AT ld == 1 DO r <- d; END;
+
+MODULE Ram (IN a: 4; IN d: WORD; IN w: 1; OUT q: WORD);
+VAR m: WORD [16];
+BEGIN q <- m[a]; AT w == 1 DO m[a] <- d; END;
+
+MODULE CRom (IN a: 3; OUT q: WORD);
+VAR m: WORD [8];
+BEGIN q <- m[a]; END;
+
+MODULE IRom (IN a: 8; OUT q: 24);
+VAR m: 24 [256];
+BEGIN q <- m[a]; END;
+
+MODULE PcReg (IN d: 8; OUT q: 8);
+VAR r: 8;
+BEGIN q <- r; r <- d; END;
+
+MODULE Inc8 (IN a: 8; OUT y: 8);
+BEGIN y <- a + 1; END;
+
+PARTS
+  alu  : MacAlu;
+  mult : Mult;
+  bmux : BMux;
+  acc  : Reg;
+  ram  : Ram;
+  crom : CRom;
+  imem : IRom INSTRUCTION;
+  pc   : PcReg PC;
+  pinc : Inc8;
+
+CONNECT
+  mult.x  <- ram.q;
+  mult.c  <- crom.q;
+  bmux.mac<- mult.y;
+  bmux.m  <- ram.q;
+  bmux.imm<- imem.q[15:0];
+  bmux.s  <- imem.q[21:20];
+  alu.a   <- acc.q;
+  alu.b   <- bmux.y;
+  alu.op  <- imem.q[23:22];
+  acc.d   <- alu.y;
+  acc.ld  <- imem.q[19];
+  ram.a   <- imem.q[3:0];
+  ram.d   <- acc.q;
+  ram.w   <- imem.q[18];
+  crom.a  <- imem.q[6:4];
+  imem.a  <- pc.q;
+  pinc.a  <- pc.q;
+  pc.d    <- pinc.y;
+END.
+`

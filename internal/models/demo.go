@@ -1,0 +1,120 @@
+package models
+
+// DemoMDL is the paper's mid-size synthetic example: a dual-accumulator
+// datapath whose ALU B operand passes through a shifter, so every ALU
+// operation exists in plain and add-with-shift chained form — the chained
+// operations the paper highlights as optimally exploited by tree parsing.
+// Operand routing is deliberately rich (two accumulators, an index
+// register, direct and register-indirect memory addressing, immediates),
+// which multiplies the extracted RT template count into the several
+// hundreds.
+//
+// Instruction word (32 bits):
+//
+//	[31:29] aluop   [28] asel (A operand: acc0/acc1)
+//	[27:26] bsel    (0 x, 1 immediate, 2 memory)
+//	[25] shift      (B shifted left by 1 when set)
+//	[24] acc0.ld    [23] acc1.ld   [22] x.ld
+//	[21] mem write  [20] amode     (0 direct, 1 x-indirect)
+//	[15:0] immediate; [7:0] address
+const DemoMDL = `
+PROCESSOR demo;
+CONST WORD = 16;
+
+MODULE Alu (IN a: WORD; IN b: WORD; IN op: 3; OUT y: WORD);
+BEGIN
+  y <- CASE op OF
+         0: a + b;
+         1: a - b;
+         2: a & b;
+         3: a | b;
+         4: a ^ b;
+         5: b;
+         6: a * b;
+         7: -b;
+       END;
+END;
+
+MODULE AMux (IN r0: WORD; IN r1: WORD; IN s: 1; OUT y: WORD);
+BEGIN
+  y <- CASE s OF 0: r0; 1: r1; END;
+END;
+
+MODULE BMux (IN x: WORD; IN imm: WORD; IN m: WORD; IN s: 2; OUT y: WORD);
+BEGIN
+  y <- CASE s OF 0: x; 1: imm; 2: m; ELSE: x; END;
+END;
+
+MODULE Shifter (IN a: WORD; IN s: 1; OUT y: WORD);
+BEGIN
+  y <- CASE s OF 0: a; 1: a << 1; END;
+END;
+
+MODULE AddrMux (IN d: 8; IN xr: 8; IN s: 1; OUT y: 8);
+BEGIN
+  y <- CASE s OF 0: d; 1: xr; END;
+END;
+
+MODULE Reg (IN d: WORD; IN ld: 1; OUT q: WORD);
+VAR r: WORD;
+BEGIN q <- r; AT ld == 1 DO r <- d; END;
+
+MODULE Ram (IN a: 8; IN d: WORD; IN w: 1; OUT q: WORD);
+VAR m: WORD [256];
+BEGIN q <- m[a]; AT w == 1 DO m[a] <- d; END;
+
+MODULE IRom (IN a: 9; OUT q: 32);
+VAR m: 32 [512];
+BEGIN q <- m[a]; END;
+
+MODULE PcReg (IN d: 9; OUT q: 9);
+VAR r: 9;
+BEGIN q <- r; r <- d; END;
+
+MODULE Inc9 (IN a: 9; OUT y: 9);
+BEGIN y <- a + 1; END;
+
+PARTS
+  alu  : Alu;
+  amux : AMux;
+  bmux : BMux;
+  shft : Shifter;
+  admx : AddrMux;
+  acc0 : Reg;
+  acc1 : Reg;
+  x    : Reg;
+  mem  : Ram;
+  imem : IRom INSTRUCTION;
+  pc   : PcReg PC;
+  pinc : Inc9;
+
+CONNECT
+  amux.r0  <- acc0.q;
+  amux.r1  <- acc1.q;
+  amux.s   <- imem.q[28];
+  bmux.x   <- x.q;
+  bmux.imm <- imem.q[15:0];
+  bmux.m   <- mem.q;
+  bmux.s   <- imem.q[27:26];
+  shft.a   <- bmux.y;
+  shft.s   <- imem.q[25];
+  alu.a    <- amux.y;
+  alu.b    <- shft.y;
+  alu.op   <- imem.q[31:29];
+  acc0.d   <- alu.y;
+  acc0.ld  <- imem.q[24];
+  acc1.d   <- alu.y;
+  acc1.ld  <- imem.q[23];
+  x.d      <- alu.y;
+  x.ld     <- imem.q[22];
+  admx.d   <- imem.q[7:0];
+  admx.xr  <- x.q[7:0];
+  admx.s   <- imem.q[20];
+  mem.a    <- admx.y;
+  mem.d    <- amux.y;
+  mem.w    <- imem.q[21];
+  imem.a   <- pc.q;
+  pinc.a   <- pc.q;
+  pc.d     <- pinc.y;
+END.
+`

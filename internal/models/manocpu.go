@@ -1,0 +1,102 @@
+package models
+
+// ManoCPUMDL models the basic computer of Mano's "Computer System
+// Architecture" (3rd ed., 1993) at the register-transfer level: a common
+// 16-bit bus connecting the accumulator AC, the data register DR, the
+// temporary register TR, the address register AR and the data memory,
+// with AC fed through an ALU implementing the memory-reference operations
+// (AND, ADD, LDA) and the register-reference operations (CLA, CMA, INC,
+// circular shifts approximated by logical shifts).  Memory is addressed
+// register-indirectly through AR, as in the original machine.  The
+// single-cycle RT model uses a horizontal 32-bit microinstruction word in
+// place of Mano's two-phase fetch/execute sequencing.
+//
+// Instruction word (32 bits):
+//
+//	[31:29] bus source (0 AC, 1 DR, 2 TR, 3 memory, 4 immediate)
+//	[28:26] ALU operation
+//	[25] AC.ld  [24] DR.ld  [23] TR.ld  [22] AR.ld  [21] mem write
+//	[15:0] immediate
+const ManoCPUMDL = `
+PROCESSOR manocpu;
+CONST WORD = 16;
+
+MODULE Alu (IN a: WORD; IN d: WORD; IN op: 3; OUT y: WORD);
+BEGIN
+  y <- CASE op OF
+         0: a & d;     -- AND
+         1: a + d;     -- ADD
+         2: d;         -- LDA (pass bus)
+         3: 0;         -- CLA
+         4: ~a;        -- CMA
+         5: a + 1;     -- INC
+         6: a >> 1;    -- CIR (approximated)
+         7: a << 1;    -- CIL (approximated)
+       END;
+END;
+
+MODULE Reg (IN d: WORD; IN ld: 1; OUT q: WORD);
+VAR r: WORD;
+BEGIN q <- r; AT ld == 1 DO r <- d; END;
+
+MODULE Reg8 (IN d: 8; IN ld: 1; OUT q: 8);
+VAR r: 8;
+BEGIN q <- r; AT ld == 1 DO r <- d; END;
+
+MODULE Ram (IN a: 8; IN d: WORD; IN w: 1; OUT q: WORD);
+VAR m: WORD [256];
+BEGIN q <- m[a]; AT w == 1 DO m[a] <- d; END;
+
+MODULE IRom (IN a: 8; OUT q: 32);
+VAR m: 32 [256];
+BEGIN q <- m[a]; END;
+
+MODULE PcReg (IN d: 8; OUT q: 8);
+VAR r: 8;
+BEGIN q <- r; r <- d; END;
+
+MODULE Inc8 (IN a: 8; OUT y: 8);
+BEGIN y <- a + 1; END;
+
+BUS dbus : WORD;
+
+PARTS
+  alu  : Alu;
+  ac   : Reg;
+  dr   : Reg;
+  tr   : Reg;
+  ar   : Reg8;
+  mem  : Ram;
+  imem : IRom INSTRUCTION;
+  pc   : PcReg PC;
+  pinc : Inc8;
+
+CONNECT
+  dbus    <- ac.q           WHEN imem.q[31:29] == 0;
+  dbus    <- dr.q           WHEN imem.q[31:29] == 1;
+  dbus    <- tr.q           WHEN imem.q[31:29] == 2;
+  dbus    <- mem.q          WHEN imem.q[31:29] == 3;
+  dbus    <- imem.q[15:0]   WHEN imem.q[31:29] == 4;
+
+  alu.a   <- ac.q;
+  alu.d   <- dbus;
+  alu.op  <- imem.q[28:26];
+  ac.d    <- alu.y;
+  ac.ld   <- imem.q[25];
+
+  dr.d    <- dbus;
+  dr.ld   <- imem.q[24];
+  tr.d    <- dbus;
+  tr.ld   <- imem.q[23];
+  ar.d    <- dbus[7:0];
+  ar.ld   <- imem.q[22];
+
+  mem.a   <- ar.q;
+  mem.d   <- dbus;
+  mem.w   <- imem.q[21];
+
+  imem.a  <- pc.q;
+  pinc.a  <- pc.q;
+  pc.d    <- pinc.y;
+END.
+`

@@ -1,0 +1,141 @@
+package models
+
+// RefMDL is the paper's large synthetic reference machine: the demo
+// datapath widened to four accumulators, two index registers and two data
+// memories (each with direct and register-indirect addressing), so the
+// multiplicative operand routing pushes the extracted RT template count
+// into the thousands.  It is the stress test for instruction-set
+// extraction and grammar construction times.
+//
+// Instruction word (40 bits):
+//
+//	[39:37] aluop   [36:35] asel (acc0..acc3)
+//	[34:32] bsel    (0 x0, 1 x1, 2 imm, 3 mem0, 4 mem1)
+//	[31] shift
+//	[30] acc0.ld [29] acc1.ld [28] acc2.ld [27] acc3.ld
+//	[26] x0.ld   [25] x1.ld
+//	[24] mem0 write  [23] mem1 write
+//	[22] mem0 amode  [21] mem1 amode   (0 direct, 1 indexed)
+//	[15:0] immediate; [7:0] address
+const RefMDL = `
+PROCESSOR ref;
+CONST WORD = 16;
+
+MODULE Alu (IN a: WORD; IN b: WORD; IN op: 3; OUT y: WORD);
+BEGIN
+  y <- CASE op OF
+         0: a + b;
+         1: a - b;
+         2: a & b;
+         3: a | b;
+         4: a ^ b;
+         5: b;
+         6: a * b;
+         7: -b;
+       END;
+END;
+
+MODULE AMux4 (IN r0: WORD; IN r1: WORD; IN r2: WORD; IN r3: WORD; IN s: 2; OUT y: WORD);
+BEGIN
+  y <- CASE s OF 0: r0; 1: r1; 2: r2; 3: r3; END;
+END;
+
+MODULE BMux5 (IN x0: WORD; IN x1: WORD; IN imm: WORD; IN m0: WORD; IN m1: WORD; IN s: 3; OUT y: WORD);
+BEGIN
+  y <- CASE s OF 0: x0; 1: x1; 2: imm; 3: m0; 4: m1; ELSE: x0; END;
+END;
+
+MODULE Shifter (IN a: WORD; IN s: 1; OUT y: WORD);
+BEGIN
+  y <- CASE s OF 0: a; 1: a << 1; END;
+END;
+
+MODULE AddrMux (IN d: 8; IN xr: 8; IN s: 1; OUT y: 8);
+BEGIN
+  y <- CASE s OF 0: d; 1: xr; END;
+END;
+
+MODULE Reg (IN d: WORD; IN ld: 1; OUT q: WORD);
+VAR r: WORD;
+BEGIN q <- r; AT ld == 1 DO r <- d; END;
+
+MODULE Ram (IN a: 8; IN d: WORD; IN w: 1; OUT q: WORD);
+VAR m: WORD [256];
+BEGIN q <- m[a]; AT w == 1 DO m[a] <- d; END;
+
+MODULE IRom (IN a: 9; OUT q: 40);
+VAR m: 40 [512];
+BEGIN q <- m[a]; END;
+
+MODULE PcReg (IN d: 9; OUT q: 9);
+VAR r: 9;
+BEGIN q <- r; r <- d; END;
+
+MODULE Inc9 (IN a: 9; OUT y: 9);
+BEGIN y <- a + 1; END;
+
+PARTS
+  alu  : Alu;
+  amux : AMux4;
+  bmux : BMux5;
+  shft : Shifter;
+  admx0: AddrMux;
+  admx1: AddrMux;
+  acc0 : Reg;
+  acc1 : Reg;
+  acc2 : Reg;
+  acc3 : Reg;
+  x0   : Reg;
+  x1   : Reg;
+  mem0 : Ram;
+  mem1 : Ram;
+  imem : IRom INSTRUCTION;
+  pc   : PcReg PC;
+  pinc : Inc9;
+
+CONNECT
+  amux.r0  <- acc0.q;
+  amux.r1  <- acc1.q;
+  amux.r2  <- acc2.q;
+  amux.r3  <- acc3.q;
+  amux.s   <- imem.q[36:35];
+  bmux.x0  <- x0.q;
+  bmux.x1  <- x1.q;
+  bmux.imm <- imem.q[15:0];
+  bmux.m0  <- mem0.q;
+  bmux.m1  <- mem1.q;
+  bmux.s   <- imem.q[34:32];
+  shft.a   <- bmux.y;
+  shft.s   <- imem.q[31];
+  alu.a    <- amux.y;
+  alu.b    <- shft.y;
+  alu.op   <- imem.q[39:37];
+  acc0.d   <- alu.y;
+  acc0.ld  <- imem.q[30];
+  acc1.d   <- alu.y;
+  acc1.ld  <- imem.q[29];
+  acc2.d   <- alu.y;
+  acc2.ld  <- imem.q[28];
+  acc3.d   <- alu.y;
+  acc3.ld  <- imem.q[27];
+  x0.d     <- alu.y;
+  x0.ld    <- imem.q[26];
+  x1.d     <- alu.y;
+  x1.ld    <- imem.q[25];
+  admx0.d  <- imem.q[7:0];
+  admx0.xr <- x0.q[7:0];
+  admx0.s  <- imem.q[22];
+  mem0.a   <- admx0.y;
+  mem0.d   <- amux.y;
+  mem0.w   <- imem.q[24];
+  admx1.d  <- imem.q[7:0];
+  admx1.xr <- x1.q[7:0];
+  admx1.s  <- imem.q[21];
+  mem1.a   <- admx1.y;
+  mem1.d   <- amux.y;
+  mem1.w   <- imem.q[23];
+  imem.a   <- pc.q;
+  pinc.a   <- pc.q;
+  pc.d     <- pinc.y;
+END.
+`

@@ -1,0 +1,109 @@
+package models
+
+// TanenbaumMDL models the Mac-1 example machine of Tanenbaum's "Structured
+// Computer Organization" (3rd ed., 1990): an accumulator architecture with
+// a stack pointer and both direct and stack-relative (local) addressing —
+// LODD/STOD/ADDD/SUBD, LODL/STOL/ADDL/SUBL, LOCO, INSP/DESP.  The
+// single-cycle RT model uses a horizontal 32-bit word in place of the
+// original 16-bit encoded format.
+//
+// Instruction word (32 bits):
+//
+//	[31] address mode (0 direct, 1 SP-relative)
+//	[30:29] ALU op (0 AC+B, 1 AC-B, 2 pass B)
+//	[28] B source (0 memory, 1 immediate)
+//	[27] AC.ld   [26] mem write
+//	[25] SP.ld   [24:23] SP op (0 SP+off, 1 SP-off, 2 load offset)
+//	[15:0] immediate; [7:0] address / offset
+const TanenbaumMDL = `
+PROCESSOR tanenbaum;
+CONST WORD = 16;
+
+MODULE Alu (IN a: WORD; IN b: WORD; IN op: 2; OUT y: WORD);
+BEGIN
+  y <- CASE op OF
+         0: a + b;
+         1: a - b;
+         2: b;
+         3: a;
+       END;
+END;
+
+MODULE BMux (IN m: WORD; IN imm: WORD; IN s: 1; OUT y: WORD);
+BEGIN
+  y <- CASE s OF 0: m; 1: imm; END;
+END;
+
+MODULE AddrUnit (IN d: 8; IN sp: 8; IN s: 1; OUT y: 8);
+BEGIN
+  y <- CASE s OF 0: d; 1: sp + d; END;
+END;
+
+MODULE SpAlu (IN sp: 8; IN off: 8; IN s: 2; OUT y: 8);
+BEGIN
+  y <- CASE s OF 0: sp + off; 1: sp - off; 2: off; ELSE: sp; END;
+END;
+
+MODULE Reg (IN d: WORD; IN ld: 1; OUT q: WORD);
+VAR r: WORD;
+BEGIN q <- r; AT ld == 1 DO r <- d; END;
+
+MODULE Reg8 (IN d: 8; IN ld: 1; OUT q: 8);
+VAR r: 8;
+BEGIN q <- r; AT ld == 1 DO r <- d; END;
+
+MODULE Ram (IN a: 8; IN d: WORD; IN w: 1; OUT q: WORD);
+VAR m: WORD [256];
+BEGIN q <- m[a]; AT w == 1 DO m[a] <- d; END;
+
+MODULE IRom (IN a: 8; OUT q: 32);
+VAR m: 32 [256];
+BEGIN q <- m[a]; END;
+
+MODULE PcReg (IN d: 8; OUT q: 8);
+VAR r: 8;
+BEGIN q <- r; r <- d; END;
+
+MODULE Inc8 (IN a: 8; OUT y: 8);
+BEGIN y <- a + 1; END;
+
+PARTS
+  alu  : Alu;
+  bmux : BMux;
+  au   : AddrUnit;
+  spalu: SpAlu;
+  ac   : Reg;
+  sp   : Reg8;
+  mem  : Ram;
+  imem : IRom INSTRUCTION;
+  pc   : PcReg PC;
+  pinc : Inc8;
+
+CONNECT
+  au.d     <- imem.q[7:0];
+  au.sp    <- sp.q;
+  au.s     <- imem.q[31];
+  mem.a    <- au.y;
+  mem.d    <- ac.q;
+  mem.w    <- imem.q[26];
+
+  bmux.m   <- mem.q;
+  bmux.imm <- imem.q[15:0];
+  bmux.s   <- imem.q[28];
+  alu.a    <- ac.q;
+  alu.b    <- bmux.y;
+  alu.op   <- imem.q[30:29];
+  ac.d     <- alu.y;
+  ac.ld    <- imem.q[27];
+
+  spalu.sp <- sp.q;
+  spalu.off<- imem.q[7:0];
+  spalu.s  <- imem.q[24:23];
+  sp.d     <- spalu.y;
+  sp.ld    <- imem.q[25];
+
+  imem.a   <- pc.q;
+  pinc.a   <- pc.q;
+  pc.d     <- pinc.y;
+END.
+`

@@ -1,0 +1,188 @@
+package models
+
+// TMS320C25MDL models a Texas Instruments TMS320C25-style fixed-point DSP
+// (TI TMS320C2x User's Guide, 1990), scaled to the reproduction framework:
+//
+//   - accumulator architecture: ALU result always lands in ACC; ALU operand
+//     A is ACC, operand B comes from data memory, the P register, a 16-bit
+//     immediate or the coefficient ROM (ADD/SUB/AND/OR/XOR/LAC/LACK/APAC/
+//     SPAC/PAC/SFL/SFR, plus TBLR-style ROM reads);
+//   - multiplier with T/P registers: P := T * {dmem, coefficient ROM,
+//     immediate} (MPY/MPYK), T loaded from either memory (LT);
+//   - Harvard-style dual memories: 256x16 data RAM plus a 256x16
+//     coefficient ROM with its own address field, enabling single-word
+//     multiply-accumulate pipelines (the MAC/MACD behavior);
+//   - two auxiliary registers AR0/AR1 with post-increment and immediate
+//     load (LARK), serving register-indirect addressing;
+//   - horizontal-encoded 40-bit instruction word, so compaction can pack
+//     independent RTs (e.g. ACC += P  ||  P := T*dmem[AR0]  ||  AR0++).
+//
+// Instruction word layout:
+//
+//	[39:37] aluop   [36:35] bsel    [34] acc.ld
+//	[33] t.ld       [32] tsel
+//	[31] p.ld       [30:29] psel
+//	[28] dmem write [27:26] amode   (0 direct, 1 AR0, 2 AR1)
+//	[25] ar0.ld     [24] ar0sel     (0 post-increment, 1 immediate)
+//	[23] ar1.ld     [22] ar1sel
+//	[15:0] immediate; [15:8] coefficient-ROM address; [7:0] data address
+const TMS320C25MDL = `
+PROCESSOR tms320c25;
+CONST WORD = 16;
+
+MODULE Alu (IN a: WORD; IN b: WORD; IN op: 3; OUT y: WORD);
+BEGIN
+  y <- CASE op OF
+         0: a + b;
+         1: a - b;
+         2: a & b;
+         3: a | b;
+         4: a ^ b;
+         5: b;          -- LAC / PAC / LACK: pass operand B
+         6: a << 1;     -- SFL
+         7: a >>> 1;    -- SFR (arithmetic)
+       END;
+END;
+
+MODULE BMux (IN m: WORD; IN p: WORD; IN imm: WORD; IN c: WORD; IN s: 2; OUT y: WORD);
+BEGIN
+  y <- CASE s OF 0: m; 1: p; 2: imm; 3: c; END;
+END;
+
+MODULE TMux (IN m: WORD; IN c: WORD; IN s: 1; OUT y: WORD);
+BEGIN
+  y <- CASE s OF 0: m; 1: c; END;
+END;
+
+MODULE PMux (IN m: WORD; IN c: WORD; IN imm: WORD; IN s: 2; OUT y: WORD);
+BEGIN
+  y <- CASE s OF 0: m; 1: c; 2: imm; ELSE: m; END;
+END;
+
+MODULE Mult (IN a: WORD; IN b: WORD; OUT y: WORD);
+BEGIN
+  y <- a * b;
+END;
+
+MODULE AMux (IN d: 8; IN a0: 8; IN a1: 8; IN s: 2; OUT y: 8);
+BEGIN
+  y <- CASE s OF 0: d; 1: a0; 2: a1; ELSE: d; END;
+END;
+
+MODULE ArMux (IN inc: 8; IN imm: 8; IN s: 1; OUT y: 8);
+BEGIN
+  y <- CASE s OF 0: inc; 1: imm; END;
+END;
+
+MODULE Inc8 (IN a: 8; OUT y: 8);
+BEGIN
+  y <- a + 1;
+END;
+
+MODULE Reg (IN d: WORD; IN ld: 1; OUT q: WORD);
+VAR r: WORD;
+BEGIN q <- r; AT ld == 1 DO r <- d; END;
+
+MODULE Reg8 (IN d: 8; IN ld: 1; OUT q: 8);
+VAR r: 8;
+BEGIN q <- r; AT ld == 1 DO r <- d; END;
+
+MODULE Ram (IN a: 8; IN d: WORD; IN w: 1; OUT q: WORD);
+VAR m: WORD [256];
+BEGIN q <- m[a]; AT w == 1 DO m[a] <- d; END;
+
+MODULE CRom (IN a: 8; OUT q: WORD);
+VAR m: WORD [256];
+BEGIN q <- m[a]; END;
+
+MODULE IRom (IN a: 10; OUT q: 40);
+VAR m: 40 [1024];
+BEGIN q <- m[a]; END;
+
+MODULE PcReg (IN d: 10; OUT q: 10);
+VAR r: 10;
+BEGIN q <- r; r <- d; END;
+
+MODULE Inc10 (IN a: 10; OUT y: 10);
+BEGIN y <- a + 1; END;
+
+PARTS
+  alu  : Alu;
+  bmux : BMux;
+  tmux : TMux;
+  pmux : PMux;
+  mult : Mult;
+  amux : AMux;
+  armx0: ArMux;
+  armx1: ArMux;
+  inc0 : Inc8;
+  inc1 : Inc8;
+  acc  : Reg;
+  t    : Reg;
+  p    : Reg;
+  ar0  : Reg8;
+  ar1  : Reg8;
+  dmem : Ram;
+  crom : CRom;
+  imem : IRom INSTRUCTION;
+  pc   : PcReg PC;
+  pinc : Inc10;
+
+CONNECT
+  -- accumulator path
+  alu.a    <- acc.q;
+  alu.b    <- bmux.y;
+  alu.op   <- imem.q[39:37];
+  bmux.m   <- dmem.q;
+  bmux.p   <- p.q;
+  bmux.imm <- imem.q[15:0];
+  bmux.c   <- crom.q;
+  bmux.s   <- imem.q[36:35];
+  acc.d    <- alu.y;
+  acc.ld   <- imem.q[34];
+
+  -- multiplier path
+  t.d      <- tmux.y;
+  t.ld     <- imem.q[33];
+  tmux.m   <- dmem.q;
+  tmux.c   <- crom.q;
+  tmux.s   <- imem.q[32];
+  mult.a   <- t.q;
+  mult.b   <- pmux.y;
+  pmux.m   <- dmem.q;
+  pmux.c   <- crom.q;
+  pmux.imm <- imem.q[15:0];
+  pmux.s   <- imem.q[30:29];
+  p.d      <- mult.y;
+  p.ld     <- imem.q[31];
+
+  -- data memory and addressing
+  dmem.d   <- acc.q;
+  dmem.w   <- imem.q[28];
+  dmem.a   <- amux.y;
+  amux.d   <- imem.q[7:0];
+  amux.a0  <- ar0.q;
+  amux.a1  <- ar1.q;
+  amux.s   <- imem.q[27:26];
+  crom.a   <- imem.q[15:8];
+
+  -- auxiliary registers
+  ar0.d    <- armx0.y;
+  ar0.ld   <- imem.q[25];
+  armx0.inc<- inc0.y;
+  armx0.imm<- imem.q[7:0];
+  armx0.s  <- imem.q[24];
+  inc0.a   <- ar0.q;
+  ar1.d    <- armx1.y;
+  ar1.ld   <- imem.q[23];
+  armx1.inc<- inc1.y;
+  armx1.imm<- imem.q[7:0];
+  armx1.s  <- imem.q[22];
+  inc1.a   <- ar1.q;
+
+  -- program sequencing
+  imem.a   <- pc.q;
+  pinc.a   <- pc.q;
+  pc.d     <- pinc.y;
+END.
+`

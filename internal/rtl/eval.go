@@ -1,0 +1,116 @@
+package rtl
+
+// Fixed-point operator semantics shared by the IR interpreter (the
+// compiler-side oracle) and the netlist simulator (the hardware-side
+// oracle): values are two's-complement words of a given width, held
+// sign-extended in int64.
+
+// Mask returns the w-bit mask (w in 1..64).
+func Mask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(w)) - 1
+}
+
+// Wrap truncates v to w bits and sign-extends the result, producing the
+// canonical representation of the two's-complement word.
+func Wrap(v int64, w int) int64 {
+	if w >= 64 {
+		return v
+	}
+	u := uint64(v) & Mask(w)
+	if u&(1<<uint(w-1)) != 0 {
+		return int64(u | ^Mask(w))
+	}
+	return int64(u)
+}
+
+// EvalBin applies a binary operator at width w.  Comparison results are
+// 0/1 wrapped to w (at width 1 the canonical set value is -1, matching
+// hardware bit semantics).  Division and modulus by zero yield 0 (hardware
+// models are free to do anything; a total function keeps the oracles
+// aligned).  Shift amounts are taken from the low bits of b, clamped to w.
+func EvalBin(op Op, a, b int64, w int) int64 {
+	switch op {
+	case OpAdd:
+		return Wrap(a+b, w)
+	case OpSub:
+		return Wrap(a-b, w)
+	case OpMul:
+		return Wrap(a*b, w)
+	case OpDiv:
+		if b == 0 {
+			return 0
+		}
+		return Wrap(a/b, w)
+	case OpMod:
+		if b == 0 {
+			return 0
+		}
+		return Wrap(a%b, w)
+	case OpAnd:
+		return Wrap(a&b, w)
+	case OpOr:
+		return Wrap(a|b, w)
+	case OpXor:
+		return Wrap(a^b, w)
+	case OpShl:
+		return Wrap(a<<uint(shiftAmount(b, w)), w)
+	case OpShr:
+		u := uint64(a) & Mask(w)
+		return Wrap(int64(u>>uint(shiftAmount(b, w))), w)
+	case OpAshr:
+		return Wrap(a>>uint(shiftAmount(b, w)), w)
+	case OpEq:
+		return Wrap(b2i(a == b), w)
+	case OpNe:
+		return Wrap(b2i(a != b), w)
+	case OpLt:
+		return Wrap(b2i(a < b), w)
+	case OpLe:
+		return Wrap(b2i(a <= b), w)
+	case OpGt:
+		return Wrap(b2i(a > b), w)
+	case OpGe:
+		return Wrap(b2i(a >= b), w)
+	}
+	return 0
+}
+
+// EvalUn applies a unary operator at width w.
+func EvalUn(op Op, a int64, w int) int64 {
+	switch op {
+	case OpNeg:
+		return Wrap(-a, w)
+	case OpNot:
+		return Wrap(^a, w)
+	case OpPass:
+		return Wrap(a, w)
+	}
+	return 0
+}
+
+// EvalSlice extracts bits hi..lo of a (viewed as a bit pattern) and
+// sign-extends the result to its hi-lo+1 width representation.
+func EvalSlice(a int64, hi, lo int) int64 {
+	u := uint64(a) >> uint(lo)
+	return Wrap(int64(u), hi-lo+1)
+}
+
+func shiftAmount(b int64, w int) int {
+	if b < 0 {
+		return 0
+	}
+	if b > int64(w) {
+		return w
+	}
+	return int(b)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

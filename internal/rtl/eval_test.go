@@ -1,0 +1,159 @@
+package rtl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWrap(t *testing.T) {
+	cases := []struct {
+		v    int64
+		w    int
+		want int64
+	}{
+		{0, 8, 0}, {127, 8, 127}, {128, 8, -128}, {255, 8, -1}, {256, 8, 0},
+		{-1, 8, -1}, {-129, 8, 127}, {65535, 16, -1}, {32767, 16, 32767},
+		{1 << 40, 64, 1 << 40}, {5, 1, -1}, {2, 1, 0}, {1, 1, -1},
+	}
+	for _, c := range cases {
+		if got := Wrap(c.v, c.w); got != c.want {
+			t.Errorf("Wrap(%d,%d) = %d, want %d", c.v, c.w, got, c.want)
+		}
+	}
+}
+
+func TestMask(t *testing.T) {
+	if Mask(8) != 0xFF || Mask(1) != 1 || Mask(64) != ^uint64(0) {
+		t.Error("Mask wrong")
+	}
+}
+
+// TestEvalBinMatchesInt16 cross-checks 16-bit semantics against Go int16
+// arithmetic on random operands.
+func TestEvalBinMatchesInt16(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 2000; trial++ {
+		a16 := int16(rng.Intn(1 << 16))
+		b16 := int16(rng.Intn(1 << 16))
+		a, b := int64(a16), int64(b16)
+		checks := []struct {
+			op   Op
+			want int64
+		}{
+			{OpAdd, int64(a16 + b16)},
+			{OpSub, int64(a16 - b16)},
+			{OpMul, int64(a16 * b16)},
+			{OpAnd, int64(a16 & b16)},
+			{OpOr, int64(a16 | b16)},
+			{OpXor, int64(a16 ^ b16)},
+			{OpEq, b2i(a16 == b16)},
+			{OpNe, b2i(a16 != b16)},
+			{OpLt, b2i(a16 < b16)},
+			{OpLe, b2i(a16 <= b16)},
+			{OpGt, b2i(a16 > b16)},
+			{OpGe, b2i(a16 >= b16)},
+		}
+		for _, c := range checks {
+			if got := EvalBin(c.op, a, b, 16); got != c.want {
+				t.Fatalf("EvalBin(%s, %d, %d) = %d, want %d", c.op, a, b, got, c.want)
+			}
+		}
+		if b16 != 0 {
+			if got := EvalBin(OpDiv, a, b, 16); got != int64(a16/b16) {
+				t.Fatalf("div(%d,%d) = %d", a, b, got)
+			}
+			if got := EvalBin(OpMod, a, b, 16); got != int64(a16%b16) {
+				t.Fatalf("mod(%d,%d) = %d", a, b, got)
+			}
+		}
+	}
+}
+
+func TestDivModByZero(t *testing.T) {
+	if EvalBin(OpDiv, 5, 0, 16) != 0 || EvalBin(OpMod, 5, 0, 16) != 0 {
+		t.Error("division by zero must yield 0")
+	}
+}
+
+func TestShifts(t *testing.T) {
+	// 8-bit: -1 >> 1 logical = 127; arithmetic = -1.
+	if got := EvalBin(OpShr, -1, 1, 8); got != 127 {
+		t.Errorf("logical shr = %d", got)
+	}
+	if got := EvalBin(OpAshr, -1, 1, 8); got != -1 {
+		t.Errorf("arith shr = %d", got)
+	}
+	if got := EvalBin(OpShl, 3, 2, 8); got != 12 {
+		t.Errorf("shl = %d", got)
+	}
+	// Overshift clamps.
+	if got := EvalBin(OpShl, 1, 100, 8); got != 0 {
+		t.Errorf("overshift = %d", got)
+	}
+	if got := EvalBin(OpShr, -1, 100, 8); got != 0 {
+		t.Errorf("overshift shr = %d", got)
+	}
+	// Negative shift treated as zero.
+	if got := EvalBin(OpShl, 3, -1, 8); got != 3 {
+		t.Errorf("negative shift = %d", got)
+	}
+}
+
+func TestEvalUn(t *testing.T) {
+	if EvalUn(OpNeg, 1, 8) != -1 || EvalUn(OpNeg, -128, 8) != -128 {
+		t.Error("neg wrong")
+	}
+	if EvalUn(OpNot, 0, 8) != -1 {
+		t.Error("not wrong")
+	}
+	if EvalUn(OpPass, -5, 8) != -5 {
+		t.Error("pass wrong")
+	}
+}
+
+func TestEvalSlice(t *testing.T) {
+	// 0xB7 = 1011_0111
+	if got := EvalSlice(0xB7, 7, 4); got != Wrap(0xB, 4) {
+		t.Errorf("slice hi = %d", got)
+	}
+	if got := EvalSlice(0xB7, 3, 0); got != 7 {
+		t.Errorf("slice lo = %d", got)
+	}
+	if got := EvalSlice(-1, 0, 0); got != -1 { // single bit 1 → -1 in 1-bit two's complement
+		t.Errorf("slice bit = %d", got)
+	}
+}
+
+// TestPropWrapIdempotent: Wrap is idempotent and result always fits.
+func TestPropWrapIdempotent(t *testing.T) {
+	f := func(v int64, wRaw uint8) bool {
+		w := int(wRaw%64) + 1
+		x := Wrap(v, w)
+		if Wrap(x, w) != x {
+			return false
+		}
+		// Result within signed range.
+		if w < 64 {
+			lo, hi := -(int64(1) << uint(w-1)), int64(1)<<uint(w-1)-1
+			if x < lo || x > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropAddHomomorphic: Wrap(a)+Wrap(b) wrapped equals Wrap(a+b).
+func TestPropAddHomomorphic(t *testing.T) {
+	f := func(a, b int64, wRaw uint8) bool {
+		w := int(wRaw%32) + 1
+		return EvalBin(OpAdd, Wrap(a, w), Wrap(b, w), w) == Wrap(a+b, w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,256 @@
+package vhdl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// mdlKeywords are MDL's case-insensitive reserved words; VHDL identifiers
+// colliding with them are suffixed during emission.
+var mdlKeywords = map[string]bool{
+	"processor": true, "module": true, "in": true, "out": true,
+	"begin": true, "end": true, "var": true, "at": true, "do": true,
+	"case": true, "of": true, "else": true, "parts": true, "connect": true,
+	"bus": true, "when": true, "const": true, "port": true,
+	"instruction": true, "mode": true, "pc": true,
+}
+
+func sanitize(name string) string {
+	if mdlKeywords[name] {
+		return name + "_v"
+	}
+	return name
+}
+
+// sanitizeExpr renames identifier leaves in place.
+func (e *expr) sanitizeIDs() {
+	if e == nil {
+		return
+	}
+	if e.id != "" {
+		e.id = sanitize(e.id)
+	}
+	for _, k := range e.kids {
+		k.sanitizeIDs()
+	}
+}
+
+// emitMDL renders the design as MDL text.
+func (d *design) emitMDL() (string, error) {
+	var top *entity
+	for _, e := range d.entities {
+		if e.isStructural() {
+			if top != nil {
+				return "", fmt.Errorf("vhdl: more than one structural architecture (%s and %s)", top.name, e.name)
+			}
+			top = e
+		}
+	}
+	if top == nil {
+		return "", fmt.Errorf("vhdl: no structural architecture found")
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "PROCESSOR %s;\n\n", sanitize(top.name))
+
+	// Modules for every behavioral entity actually instantiated.
+	used := make(map[string]bool)
+	for _, in := range top.insts {
+		used[in.entity] = true
+	}
+	var names []string
+	for n := range used {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		e, ok := d.byName[n]
+		if !ok {
+			return "", fmt.Errorf("vhdl: instantiated entity %q has no declaration", n)
+		}
+		if e.isStructural() {
+			return "", fmt.Errorf("vhdl: nested structural entities are not supported (%s)", n)
+		}
+		if err := emitModule(&b, e); err != nil {
+			return "", err
+		}
+	}
+
+	// Primary ports of the top entity.
+	for _, pt := range top.ports {
+		if pt.isClk {
+			continue
+		}
+		dir := "IN"
+		if pt.dir == "out" {
+			dir = "OUT"
+		}
+		fmt.Fprintf(&b, "PORT %s %s : %d;\n", dir, sanitize(pt.name), pt.width)
+	}
+	if len(top.ports) > 0 {
+		b.WriteString("\n")
+	}
+
+	// Parts.
+	b.WriteString("PARTS\n")
+	for _, in := range top.insts {
+		flag := ""
+		switch top.roles[in.label] {
+		case "instruction":
+			flag = " INSTRUCTION"
+		case "pc":
+			flag = " PC"
+		case "mode":
+			flag = " MODE"
+		}
+		fmt.Fprintf(&b, "  %s : %s%s;\n", sanitize(in.label), sanitize(in.entity), flag)
+	}
+	b.WriteString("\nCONNECT\n")
+
+	// Build the signal driver map from output associations.
+	driver := make(map[string]string) // signal -> "label.port"
+	for _, in := range top.insts {
+		ent := d.byName[in.entity]
+		for _, as := range in.assocs {
+			fp := ent.portByName(as.formal)
+			if fp == nil {
+				return "", fmt.Errorf("vhdl: %s has no port %q", in.entity, as.formal)
+			}
+			if fp.dir != "out" {
+				continue
+			}
+			if as.actual.id == "" {
+				return "", fmt.Errorf("vhdl: output port %s.%s must map to a plain signal", in.label, as.formal)
+			}
+			driver[as.actual.id] = sanitize(in.label) + "." + sanitize(as.formal)
+		}
+	}
+	// Top input ports drive like signals.
+	for _, pt := range top.ports {
+		if pt.dir == "in" && !pt.isClk {
+			driver[pt.name] = sanitize(pt.name)
+		}
+	}
+
+	renderActual := func(a *expr) (string, error) {
+		switch {
+		case a.lit:
+			return fmt.Sprintf("%d", a.val), nil
+		case a.id != "":
+			drv, ok := driver[a.id]
+			if !ok {
+				return "", fmt.Errorf("vhdl: signal %q has no driver", a.id)
+			}
+			return drv, nil
+		case a.op == "slice":
+			drv, ok := driver[a.kids[0].id]
+			if !ok {
+				return "", fmt.Errorf("vhdl: signal %q has no driver", a.kids[0].id)
+			}
+			if a.hi == a.lo {
+				return fmt.Sprintf("%s[%d]", drv, a.hi), nil
+			}
+			return fmt.Sprintf("%s[%d:%d]", drv, a.hi, a.lo), nil
+		case a.op == "index" && a.kids[1].lit:
+			// sig(3): a single-bit select.
+			drv, ok := driver[a.kids[0].id]
+			if !ok {
+				return "", fmt.Errorf("vhdl: signal %q has no driver", a.kids[0].id)
+			}
+			return fmt.Sprintf("%s[%d]", drv, a.kids[1].val), nil
+		}
+		return "", fmt.Errorf("vhdl: unsupported port-map actual (must be a signal, slice or literal)")
+	}
+
+	for _, in := range top.insts {
+		ent := d.byName[in.entity]
+		for _, as := range in.assocs {
+			fp := ent.portByName(as.formal)
+			if fp.dir != "in" || fp.isClk {
+				continue
+			}
+			src, err := renderActual(as.actual)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "  %s.%s <- %s;\n", sanitize(in.label), sanitize(as.formal), src)
+		}
+	}
+	// Top-level output assignments: outport <= signal.
+	for _, as := range top.assigns {
+		if as.sel != nil || as.targetIdx != nil {
+			return "", fmt.Errorf("vhdl: unsupported top-level assignment to %s", as.target)
+		}
+		src, err := renderActual(as.rhs)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %s <- %s;\n", sanitize(as.target), src)
+	}
+	b.WriteString("END.\n")
+	return b.String(), nil
+}
+
+// emitModule renders one behavioral entity as an MDL MODULE.
+func emitModule(b *strings.Builder, e *entity) error {
+	var decls []string
+	for _, pt := range e.ports {
+		if pt.isClk {
+			continue
+		}
+		dir := "IN"
+		if pt.dir == "out" {
+			dir = "OUT"
+		}
+		decls = append(decls, fmt.Sprintf("%s %s: %d", dir, sanitize(pt.name), pt.width))
+	}
+	fmt.Fprintf(b, "MODULE %s (%s);\n", sanitize(e.name), strings.Join(decls, "; "))
+	for _, sg := range e.signals {
+		if sg.size > 1 {
+			fmt.Fprintf(b, "VAR %s: %d [%d];\n", sanitize(sg.name), sg.width, sg.size)
+		} else {
+			fmt.Fprintf(b, "VAR %s: %d;\n", sanitize(sg.name), sg.width)
+		}
+	}
+	b.WriteString("BEGIN\n")
+	for _, as := range e.assigns {
+		as.rhs.sanitizeIDs()
+		if as.sel != nil {
+			as.sel.sanitizeIDs()
+			fmt.Fprintf(b, "  %s <- CASE %s OF", sanitize(as.target), as.sel.render())
+			for _, alt := range as.alts {
+				alt.body.sanitizeIDs()
+				fmt.Fprintf(b, " %d: %s;", alt.val, alt.body.render())
+			}
+			if as.others != nil {
+				as.others.sanitizeIDs()
+				fmt.Fprintf(b, " ELSE: %s;", as.others.render())
+			}
+			b.WriteString(" END;\n")
+			continue
+		}
+		tgt := sanitize(as.target)
+		if as.targetIdx != nil {
+			as.targetIdx.sanitizeIDs()
+			tgt = fmt.Sprintf("%s[%s]", tgt, as.targetIdx.render())
+		}
+		fmt.Fprintf(b, "  %s <- %s;\n", tgt, as.rhs.render())
+	}
+	for _, w := range e.writes {
+		w.rhs.sanitizeIDs()
+		tgt := sanitize(w.target)
+		if w.targetIdx != nil {
+			w.targetIdx.sanitizeIDs()
+			tgt = fmt.Sprintf("%s[%s]", tgt, w.targetIdx.render())
+		}
+		if w.guard != nil {
+			w.guard.sanitizeIDs()
+			fmt.Fprintf(b, "  AT %s DO %s <- %s;\n", w.guard.render(), tgt, w.rhs.render())
+		} else {
+			fmt.Fprintf(b, "  %s <- %s;\n", tgt, w.rhs.render())
+		}
+	}
+	b.WriteString("END;\n\n")
+	return nil
+}

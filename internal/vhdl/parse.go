@@ -1,0 +1,930 @@
+package vhdl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ---- design model --------------------------------------------------------
+
+type port struct {
+	name  string
+	dir   string // "in" / "out"
+	width int
+	isClk bool
+}
+
+type sigDecl struct {
+	name  string
+	width int
+	size  int // 1 for scalars, >1 for array-typed signals
+}
+
+// expr is a tiny VHDL expression tree rendered to MDL text.
+type expr struct {
+	op   string // MDL operator, or "" for leaves
+	id   string // identifier leaf
+	val  int64  // literal leaf
+	lit  bool   // literal?
+	hi   int    // slice bounds (op == "slice")
+	lo   int
+	kids []*expr
+}
+
+// assign is one concurrent assignment in a behavioral architecture.
+type assign struct {
+	target    string
+	targetIdx *expr // array write/read index, nil for scalars
+	// Either a simple RHS ...
+	rhs *expr
+	// ... or a with/select: selector + alternatives (+ optional others).
+	sel    *expr
+	alts   []selAlt
+	others *expr
+}
+
+type selAlt struct {
+	val  int64
+	body *expr
+}
+
+// regWrite is a guarded storage write from a clocked process.
+type regWrite struct {
+	target    string
+	targetIdx *expr
+	guard     *expr // nil for unconditional
+	rhs       *expr
+}
+
+type inst struct {
+	label  string
+	entity string
+	// assocs: formal port -> actual expression (signal, slice or literal).
+	assocs []assoc
+}
+
+type assoc struct {
+	formal string
+	actual *expr
+}
+
+type entity struct {
+	name    string
+	ports   []port
+	signals []sigDecl
+	assigns []assign
+	writes  []regWrite
+	insts   []inst
+	roles   map[string]string // instance label -> record_role
+}
+
+func (e *entity) isStructural() bool { return len(e.insts) > 0 }
+
+func (e *entity) portByName(n string) *port {
+	for i := range e.ports {
+		if e.ports[i].name == n {
+			return &e.ports[i]
+		}
+	}
+	return nil
+}
+
+type design struct {
+	entities []*entity
+	byName   map[string]*entity
+}
+
+// ---- parser ----------------------------------------------------------------
+
+type parser struct {
+	toks []tok
+	pos  int
+}
+
+func (p *parser) cur() tok  { return p.toks[p.pos] }
+func (p *parser) next() tok { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("vhdl: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) is(kind string) bool { return p.cur().kind == kind }
+
+func (p *parser) isKw(kw string) bool {
+	return p.cur().kind == "id" && p.cur().text == kw
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.isKw(kw) {
+		return p.errf("expected %q, found %q", kw, p.cur().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expect(kind string) (tok, error) {
+	if !p.is(kind) {
+		return tok{}, p.errf("expected %q, found %q", kind, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) ident() (string, error) {
+	t, err := p.expect("id")
+	if err != nil {
+		return "", err
+	}
+	return t.text, nil
+}
+
+// skipToSemicolon consumes tokens through the next ';' (library/use).
+func (p *parser) skipToSemicolon() {
+	for !p.is("eof") && !p.is(";") {
+		p.next()
+	}
+	if p.is(";") {
+		p.next()
+	}
+}
+
+func (p *parser) parseDesign() (*design, error) {
+	d := &design{byName: make(map[string]*entity)}
+	for !p.is("eof") {
+		switch {
+		case p.isKw("library"), p.isKw("use"):
+			p.skipToSemicolon()
+		case p.isKw("entity"):
+			e, err := p.parseEntity()
+			if err != nil {
+				return nil, err
+			}
+			d.entities = append(d.entities, e)
+			d.byName[e.name] = e
+		case p.isKw("architecture"):
+			if err := p.parseArchitecture(d); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("expected entity or architecture, found %q", p.cur().text)
+		}
+	}
+	return d, nil
+}
+
+// parseEntity: entity NAME is [port ( ... );] end [entity] [NAME];
+func (p *parser) parseEntity() (*entity, error) {
+	p.next() // entity
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("is"); err != nil {
+		return nil, err
+	}
+	e := &entity{name: name, roles: make(map[string]string)}
+	if p.isKw("port") {
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		for {
+			var names []string
+			for {
+				n, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				names = append(names, n)
+				if p.is(",") {
+					p.next()
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			dir, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if dir != "in" && dir != "out" {
+				return nil, p.errf("unsupported port mode %q", dir)
+			}
+			width, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range names {
+				e.ports = append(e.ports, port{name: n, dir: dir, width: width,
+					isClk: n == "clk"})
+			}
+			if p.is(";") {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	p.acceptKw("entity")
+	p.acceptId(name)
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *parser) acceptKw(kw string) { //nolint:unparam
+	if p.isKw(kw) {
+		p.next()
+	}
+}
+
+func (p *parser) acceptId(name string) {
+	if p.is("id") && p.cur().text == name {
+		p.next()
+	}
+}
+
+// parseType: std_logic | unsigned(H downto 0)
+func (p *parser) parseType() (int, error) {
+	t, err := p.ident()
+	if err != nil {
+		return 0, err
+	}
+	switch t {
+	case "std_logic":
+		return 1, nil
+	case "unsigned", "signed", "std_logic_vector":
+		if _, err := p.expect("("); err != nil {
+			return 0, err
+		}
+		hi, err := p.expect("num")
+		if err != nil {
+			return 0, err
+		}
+		if err := p.expectKw("downto"); err != nil {
+			return 0, err
+		}
+		lo, err := p.expect("num")
+		if err != nil {
+			return 0, err
+		}
+		if lo.val != 0 {
+			return 0, p.errf("only (H downto 0) ranges are supported")
+		}
+		if _, err := p.expect(")"); err != nil {
+			return 0, err
+		}
+		return int(hi.val) + 1, nil
+	}
+	return 0, p.errf("unsupported type %q", t)
+}
+
+// parseArchitecture: architecture A of E is {decls} begin {stmts} end ...;
+func (p *parser) parseArchitecture(d *design) error {
+	p.next() // architecture
+	if _, err := p.ident(); err != nil {
+		return err
+	}
+	if err := p.expectKw("of"); err != nil {
+		return err
+	}
+	entName, err := p.ident()
+	if err != nil {
+		return err
+	}
+	e, ok := d.byName[entName]
+	if !ok {
+		return p.errf("architecture of unknown entity %q", entName)
+	}
+	if err := p.expectKw("is"); err != nil {
+		return err
+	}
+	arrayTypes := make(map[string]struct{ width, size int })
+	// Declarations.
+	for !p.isKw("begin") {
+		switch {
+		case p.isKw("signal"):
+			p.next()
+			var names []string
+			for {
+				name, err := p.ident()
+				if err != nil {
+					return err
+				}
+				names = append(names, name)
+				if p.is(",") {
+					p.next()
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(":"); err != nil {
+				return err
+			}
+			if p.is("id") {
+				if at, isArr := arrayTypes[p.cur().text]; isArr {
+					p.next()
+					for _, name := range names {
+						e.signals = append(e.signals, sigDecl{name: name,
+							width: at.width, size: at.size})
+					}
+					if _, err := p.expect(";"); err != nil {
+						return err
+					}
+					continue
+				}
+			}
+			w, err := p.parseType()
+			if err != nil {
+				return err
+			}
+			for _, name := range names {
+				e.signals = append(e.signals, sigDecl{name: name, width: w, size: 1})
+			}
+			if _, err := p.expect(";"); err != nil {
+				return err
+			}
+		case p.isKw("type"):
+			// type NAME is array (0 to N-1) of unsigned(H downto 0);
+			p.next()
+			tname, err := p.ident()
+			if err != nil {
+				return err
+			}
+			if err := p.expectKw("is"); err != nil {
+				return err
+			}
+			if err := p.expectKw("array"); err != nil {
+				return err
+			}
+			if _, err := p.expect("("); err != nil {
+				return err
+			}
+			if _, err := p.expect("num"); err != nil {
+				return err
+			}
+			if err := p.expectKw("to"); err != nil {
+				return err
+			}
+			hi, err := p.expect("num")
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(")"); err != nil {
+				return err
+			}
+			if err := p.expectKw("of"); err != nil {
+				return err
+			}
+			w, err := p.parseType()
+			if err != nil {
+				return err
+			}
+			arrayTypes[tname] = struct{ width, size int }{w, int(hi.val) + 1}
+			if _, err := p.expect(";"); err != nil {
+				return err
+			}
+		case p.isKw("attribute"):
+			if err := p.parseAttribute(e); err != nil {
+				return err
+			}
+		case p.isKw("component"):
+			// Skip component declarations entirely.
+			for !p.isKw("end") {
+				p.next()
+			}
+			p.next()
+			p.acceptKw("component")
+			if _, err := p.expect(";"); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unsupported declaration %q", p.cur().text)
+		}
+	}
+	p.next() // begin
+	// Statements.
+	for !p.isKw("end") {
+		if err := p.parseConcurrent(e); err != nil {
+			return err
+		}
+	}
+	p.next() // end
+	p.acceptKw("architecture")
+	if p.is("id") {
+		p.next()
+	}
+	_, err = p.expect(";")
+	return err
+}
+
+// parseAttribute: attribute record_role : string;
+//
+//	attribute record_role of LABEL : label is "role";
+func (p *parser) parseAttribute(e *entity) error {
+	p.next() // attribute
+	if _, err := p.ident(); err != nil {
+		return err
+	}
+	if p.is(":") {
+		p.next()
+		if _, err := p.ident(); err != nil { // string
+			return err
+		}
+		_, err := p.expect(";")
+		return err
+	}
+	if err := p.expectKw("of"); err != nil {
+		return err
+	}
+	label, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(":"); err != nil {
+		return err
+	}
+	if err := p.expectKw("label"); err != nil {
+		return err
+	}
+	if err := p.expectKw("is"); err != nil {
+		return err
+	}
+	role, err := p.expect("str")
+	if err != nil {
+		// Roles are words, which the lexer reads as bit strings only when
+		// they happen to be binary; accept a plain string of letters too.
+		return err
+	}
+	e.roles[label] = role.text
+	_, err2 := p.expect(";")
+	return err2
+}
+
+// parseConcurrent parses one concurrent statement.
+func (p *parser) parseConcurrent(e *entity) error {
+	switch {
+	case p.isKw("with"):
+		return p.parseWithSelect(e)
+	case p.isKw("process"):
+		return p.parseProcess(e)
+	}
+	// label : entity work.NAME port map ( ... );  |  target <= expr ;
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if p.is(":") {
+		p.next()
+		return p.parseInstance(e, name)
+	}
+	// Assignment; the target may be indexed: m(to_integer(a)) <= ...
+	var idx *expr
+	if p.is("(") {
+		p.next()
+		idx, err = p.parseExpr()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return err
+		}
+	}
+	if _, err := p.expect("<="); err != nil {
+		return err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	// Conditional assignment: e1 when cond else e2.
+	if p.isKw("when") {
+		p.next()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		if err := p.expectKw("else"); err != nil {
+			return err
+		}
+		alt, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		rhs = &expr{op: "?", kids: []*expr{cond, rhs, alt}}
+	}
+	if _, err := p.expect(";"); err != nil {
+		return err
+	}
+	e.assigns = append(e.assigns, assign{target: name, targetIdx: idx, rhs: rhs})
+	return nil
+}
+
+// parseWithSelect: with SEL select TGT <= E when "..", ..., E when others;
+func (p *parser) parseWithSelect(e *entity) error {
+	p.next() // with
+	sel, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	if err := p.expectKw("select"); err != nil {
+		return err
+	}
+	tgt, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect("<="); err != nil {
+		return err
+	}
+	a := assign{target: tgt, sel: sel}
+	for {
+		body, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		if err := p.expectKw("when"); err != nil {
+			return err
+		}
+		if p.isKw("others") {
+			p.next()
+			a.others = body
+		} else {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return err
+			}
+			a.alts = append(a.alts, selAlt{val: v, body: body})
+		}
+		if p.is(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(";"); err != nil {
+		return err
+	}
+	e.assigns = append(e.assigns, a)
+	return nil
+}
+
+func (p *parser) parseLiteral() (int64, error) {
+	switch p.cur().kind {
+	case "num", "str", "char":
+		return p.next().val, nil
+	}
+	return 0, p.errf("expected literal, found %q", p.cur().text)
+}
+
+// parseInstance: entity work.NAME port map ( f => a, ... );
+func (p *parser) parseInstance(e *entity, label string) error {
+	if err := p.expectKw("entity"); err != nil {
+		return err
+	}
+	lib, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if lib != "work" {
+		return p.errf("only library work is supported")
+	}
+	if _, err := p.expect("."); err != nil {
+		return err
+	}
+	entName, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expectKw("port"); err != nil {
+		return err
+	}
+	if err := p.expectKw("map"); err != nil {
+		return err
+	}
+	if _, err := p.expect("("); err != nil {
+		return err
+	}
+	in := inst{label: label, entity: entName}
+	for {
+		formal, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect("=>"); err != nil {
+			return err
+		}
+		actual, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		in.assocs = append(in.assocs, assoc{formal: formal, actual: actual})
+		if p.is(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(")"); err != nil {
+		return err
+	}
+	if _, err := p.expect(";"); err != nil {
+		return err
+	}
+	e.insts = append(e.insts, in)
+	return nil
+}
+
+// parseProcess: process (..) begin if rising_edge(clk) then BODY end if; end process;
+func (p *parser) parseProcess(e *entity) error {
+	p.next() // process
+	if p.is("(") {
+		for !p.is(")") {
+			p.next()
+		}
+		p.next()
+	}
+	if err := p.expectKw("begin"); err != nil {
+		return err
+	}
+	if err := p.expectKw("if"); err != nil {
+		return err
+	}
+	if err := p.expectKw("rising_edge"); err != nil {
+		return err
+	}
+	if _, err := p.expect("("); err != nil {
+		return err
+	}
+	if _, err := p.ident(); err != nil {
+		return err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return err
+	}
+	if err := p.expectKw("then"); err != nil {
+		return err
+	}
+	// Body: assignments, optionally wrapped in one guard level.
+	for !p.isKw("end") {
+		if p.isKw("if") {
+			p.next()
+			guard, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			if err := p.expectKw("then"); err != nil {
+				return err
+			}
+			for !p.isKw("end") {
+				if err := p.parseProcAssign(e, guard); err != nil {
+					return err
+				}
+			}
+			p.next() // end
+			if err := p.expectKw("if"); err != nil {
+				return err
+			}
+			if _, err := p.expect(";"); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := p.parseProcAssign(e, nil); err != nil {
+			return err
+		}
+	}
+	p.next() // end (of rising_edge if)
+	if err := p.expectKw("if"); err != nil {
+		return err
+	}
+	if _, err := p.expect(";"); err != nil {
+		return err
+	}
+	if err := p.expectKw("end"); err != nil {
+		return err
+	}
+	if err := p.expectKw("process"); err != nil {
+		return err
+	}
+	_, err := p.expect(";")
+	return err
+}
+
+func (p *parser) parseProcAssign(e *entity, guard *expr) error {
+	tgt, err := p.ident()
+	if err != nil {
+		return err
+	}
+	var idx *expr
+	if p.is("(") {
+		p.next()
+		idx, err = p.parseExpr()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return err
+		}
+	}
+	if _, err := p.expect("<="); err != nil {
+		return err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(";"); err != nil {
+		return err
+	}
+	e.writes = append(e.writes, regWrite{target: tgt, targetIdx: idx, guard: guard, rhs: rhs})
+	return nil
+}
+
+// ---- expressions ----------------------------------------------------------
+
+// Precedence (loosest first): or, xor, and, =/=/</<=, srl/sll, +/-, *, unary.
+func (p *parser) parseExpr() (*expr, error) { return p.parseBinary(0) }
+
+var vhdlLevels = [][]struct{ kw, op string }{
+	{{"or", "|"}},
+	{{"xor", "^"}},
+	{{"and", "&"}},
+	{{"=", "=="}, {"/=", "!="}, {"<", "<"}, {"<=", "<="}, {">", ">"}, {">=", ">="}},
+	{{"srl", ">>"}, {"sll", "<<"}},
+	{{"+", "+"}, {"-", "-"}},
+	{{"*", "*"}},
+}
+
+func (p *parser) matchLevel(level int) (string, bool) {
+	for _, cand := range vhdlLevels[level] {
+		switch cand.kw {
+		case "or", "xor", "and", "srl", "sll":
+			if p.isKw(cand.kw) {
+				return cand.op, true
+			}
+		default:
+			if p.is(cand.kw) {
+				return cand.op, true
+			}
+		}
+	}
+	return "", false
+}
+
+func (p *parser) parseBinary(level int) (*expr, error) {
+	if level >= len(vhdlLevels) {
+		return p.parseUnary()
+	}
+	x, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := p.matchLevel(level)
+		if !ok {
+			return x, nil
+		}
+		p.next()
+		y, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		x = &expr{op: op, kids: []*expr{x, y}}
+	}
+}
+
+func (p *parser) parseUnary() (*expr, error) {
+	if p.isKw("not") {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &expr{op: "~", kids: []*expr{x}}, nil
+	}
+	if p.is("-") {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &expr{op: "neg", kids: []*expr{x}}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (*expr, error) {
+	switch p.cur().kind {
+	case "num", "str", "char":
+		t := p.next()
+		return &expr{lit: true, val: t.val}, nil
+	case "(":
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(")")
+		return x, err
+	case "id":
+		name := p.next().text
+		if name == "to_integer" {
+			// to_integer(x) is the identity in MDL.
+			if _, err := p.expect("("); err != nil {
+				return nil, err
+			}
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			_, err = p.expect(")")
+			return x, err
+		}
+		if p.is("(") {
+			p.next()
+			// Either a slice x(H downto L) or an array index x(e).
+			save := p.pos
+			if p.is("num") {
+				hi := p.next()
+				if p.isKw("downto") {
+					p.next()
+					lo, err := p.expect("num")
+					if err != nil {
+						return nil, err
+					}
+					if _, err := p.expect(")"); err != nil {
+						return nil, err
+					}
+					return &expr{op: "slice", hi: int(hi.val), lo: int(lo.val),
+						kids: []*expr{{id: name}}}, nil
+				}
+				p.pos = save
+			}
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &expr{op: "index", kids: []*expr{{id: name}, idx}}, nil
+		}
+		return &expr{id: name}, nil
+	}
+	return nil, p.errf("expected expression, found %q", p.cur().text)
+}
+
+// render converts an expression tree to MDL text.
+func (e *expr) render() string {
+	switch {
+	case e.lit:
+		return fmt.Sprintf("%d", e.val)
+	case e.id != "":
+		return e.id
+	case e.op == "slice":
+		if e.hi == e.lo {
+			return fmt.Sprintf("%s[%d]", e.kids[0].render(), e.hi)
+		}
+		return fmt.Sprintf("%s[%d:%d]", e.kids[0].render(), e.hi, e.lo)
+	case e.op == "index":
+		return fmt.Sprintf("%s[%s]", e.kids[0].render(), e.kids[1].render())
+	case e.op == "neg":
+		return fmt.Sprintf("-(%s)", e.kids[0].render())
+	case e.op == "~":
+		return fmt.Sprintf("~(%s)", e.kids[0].render())
+	case e.op == "?":
+		// cond ? a : b rendered as a CASE over the 1-bit condition.
+		return fmt.Sprintf("CASE %s OF 1: %s; ELSE: %s; END",
+			e.kids[0].render(), e.kids[1].render(), e.kids[2].render())
+	case len(e.kids) == 2:
+		return fmt.Sprintf("(%s %s %s)", e.kids[0].render(), e.op, e.kids[1].render())
+	}
+	return "<bad>"
+}
+
+// usedIDs collects identifier leaves.
+func (e *expr) usedIDs(out map[string]bool) {
+	if e == nil {
+		return
+	}
+	if e.id != "" {
+		out[e.id] = true
+	}
+	for _, k := range e.kids {
+		k.usedIDs(out)
+	}
+}
+
+var _ = strings.ToUpper

@@ -1,0 +1,142 @@
+// Package vhdl implements the VHDL frontend the paper names as planned
+// work ("Currently, the netlist model is constructed from a processor
+// description in the MIMOLA HDL.  The concepts are, however, language
+// independent, and a VHDL frontend is planned." — section 2).
+//
+// It accepts a structural/behavioral VHDL-93 subset and translates it to
+// MDL text, so both frontends share the same internal graph model and
+// everything downstream:
+//
+//   - entity/architecture pairs with in/out ports of types
+//     unsigned(H downto 0) and std_logic become MODULEs;
+//   - selected signal assignments (with ... select) become CASE behaviors,
+//     simple concurrent assignments become plain behaviors;
+//   - clocked processes (if rising_edge(clk) [if en = '1']) writing an
+//     architecture signal become guarded storage writes; array-typed
+//     signals (type ... is array (0 to N-1) of unsigned(...)) become
+//     addressable storages;
+//   - the top-level architecture's direct entity instantiations become
+//     PARTS and its signal wiring becomes CONNECT;
+//   - attribute record_role of <label> : label is "instruction"|"pc"|"mode"
+//     marks the special parts.
+//
+// The subset is deliberately small but real: see the package tests for a
+// complete processor written in it.
+package vhdl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Translate converts VHDL subset source into MDL text.
+func Translate(src string) (string, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return "", err
+	}
+	p := &parser{toks: toks}
+	design, err := p.parseDesign()
+	if err != nil {
+		return "", err
+	}
+	return design.emitMDL()
+}
+
+// ---- lexer ---------------------------------------------------------------
+
+type tok struct {
+	kind string // "id", "num", "str", "char", punctuation itself
+	text string
+	val  int64
+	line int
+}
+
+func lex(src string) ([]tok, error) {
+	var out []tok
+	line := 1
+	i := 0
+	push := func(kind, text string, val int64) {
+		out = append(out, tok{kind, text, val, line})
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case isLetter(c):
+			start := i
+			for i < len(src) && (isLetter(src[i]) || isDigit(src[i]) || src[i] == '_') {
+				i++
+			}
+			push("id", strings.ToLower(src[start:i]), 0)
+		case isDigit(c):
+			start := i
+			for i < len(src) && isDigit(src[i]) {
+				i++
+			}
+			v, _ := strconv.ParseInt(src[start:i], 10, 64)
+			push("num", src[start:i], v)
+		case c == '"':
+			// Bit-string literal "0101", or a plain string (attribute
+			// values): the numeric value is only set when the contents
+			// parse as binary.
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("vhdl: line %d: unterminated string", line)
+			}
+			text := src[i+1 : j]
+			v, err := strconv.ParseInt(text, 2, 64)
+			if err != nil {
+				v = 0
+			}
+			push("str", text, v)
+			i = j + 1
+		case c == 'x' && false:
+			i++
+		case c == '\'':
+			// Character literal '0' / '1'.
+			if i+2 < len(src) && src[i+2] == '\'' {
+				ch := src[i+1]
+				v := int64(0)
+				if ch == '1' {
+					v = 1
+				}
+				push("char", string(ch), v)
+				i += 3
+			} else {
+				return nil, fmt.Errorf("vhdl: line %d: bad character literal", line)
+			}
+		default:
+			// Multi-char operators.
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "=>", "/=", ":=", "**":
+				push(two, two, 0)
+				i += 2
+				continue
+			}
+			push(string(c), string(c), 0)
+			i++
+		}
+	}
+	push("eof", "", 0)
+	return out, nil
+}
+
+func isLetter(c byte) bool { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
