@@ -20,168 +20,340 @@
 //	-seq               print the sequential RT code as well
 //	-stats             print retargeting and compilation statistics
 //	-run               execute on the netlist simulator and dump variables
+//	-strict            treat warnings as errors
+//	-max-errors n      stop after n errors (0 = unlimited)
+//	-timeout d         wall-clock budget for the whole run (0 = unlimited)
+//	-max-bdd-nodes n   cap the BDD universe during extraction
+//	-max-routes n      cap route enumeration per traversal point
+//	-faultpoints s     arm fault-injection points (testing)
+//
+// Exit codes: 0 success, 1 usage error, 2 input or compilation error
+// (including warnings under -strict), 3 internal fault.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/cflow"
 	"repro/internal/cfront"
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/dspstone"
+	"repro/internal/faultpoint"
+	"repro/internal/hdl"
 	"repro/internal/ir"
 	"repro/internal/models"
 	"repro/internal/naive"
 	"repro/internal/vhdl"
 )
 
+// Driver exit codes.
+const (
+	exitOK       = 0
+	exitUsage    = 1 // bad flags or flag combinations
+	exitInput    = 2 // model/program errors, oracle mismatches, -strict warnings
+	exitInternal = 3 // recovered panics and other pipeline faults
+)
+
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "record:", err)
-		os.Exit(1)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// config is the parsed command line.
+type config struct {
+	modelName, mdlFile, vhdlFile string
+	srcFile, kernelName          string
+	list, useNaive               bool
+	noCompaction, noPeephole     bool
+	noExtension                  bool
+	showSeq, showStats, execute  bool
+
+	strict      bool
+	maxErrors   int
+	timeout     time.Duration
+	maxBDDNodes int
+	maxRoutes   int
+	faultpoints string
+}
+
+// run is the testable driver entry point: it parses args, runs the
+// pipeline, writes results to stdout and the diagnostic listing to stderr,
+// and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	var c config
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&c.modelName, "model", "", "bundled processor model name")
+	fs.StringVar(&c.mdlFile, "mdl", "", "MDL processor model file")
+	fs.StringVar(&c.vhdlFile, "vhdl", "", "VHDL processor model file (translated to MDL)")
+	fs.StringVar(&c.srcFile, "src", "", "RecC source file (- for stdin)")
+	fs.StringVar(&c.kernelName, "kernel", "", "compile a bundled DSPStone kernel")
+	fs.BoolVar(&c.list, "list", false, "list bundled models and kernels")
+	fs.BoolVar(&c.useNaive, "naive", false, "use the naive baseline compiler")
+	fs.BoolVar(&c.noCompaction, "no-compaction", false, "disable code compaction")
+	fs.BoolVar(&c.noPeephole, "no-peephole", false, "disable peephole optimization")
+	fs.BoolVar(&c.noExtension, "no-extension", false, "disable template-base extension")
+	fs.BoolVar(&c.showSeq, "seq", false, "print sequential RT code")
+	fs.BoolVar(&c.showStats, "stats", false, "print statistics")
+	fs.BoolVar(&c.execute, "run", false, "simulate and dump final variables")
+	fs.BoolVar(&c.strict, "strict", false, "treat warnings as errors")
+	fs.IntVar(&c.maxErrors, "max-errors", 0, "stop after this many errors (0 = unlimited)")
+	fs.DurationVar(&c.timeout, "timeout", 0, "wall-clock budget for the whole run (0 = unlimited)")
+	fs.IntVar(&c.maxBDDNodes, "max-bdd-nodes", 0, "cap the BDD universe during extraction (0 = unlimited)")
+	fs.IntVar(&c.maxRoutes, "max-routes", 0, "cap route enumeration per traversal point (0 = default)")
+	fs.StringVar(&c.faultpoints, "faultpoints", "",
+		"comma-separated fault injection specs name[@match]=kind[:arg][*times] (testing)")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "record: unexpected argument %q\n", fs.Arg(0))
+		return exitUsage
+	}
+
+	if c.faultpoints != "" {
+		for _, spec := range strings.Split(c.faultpoints, ",") {
+			if err := faultpoint.ArmSpec(strings.TrimSpace(spec)); err != nil {
+				fmt.Fprintf(stderr, "record: -faultpoints: %v\n", err)
+				return exitUsage
+			}
+		}
+		defer faultpoint.Reset()
+	}
+
+	if c.list {
+		fmt.Fprintln(stdout, "bundled processor models:")
+		for _, e := range models.All() {
+			fmt.Fprintf(stdout, "  %-12s %s\n", e.Name, e.Description)
+		}
+		fmt.Fprintln(stdout, "bundled DSPStone kernels:")
+		for _, k := range dspstone.Suite() {
+			fmt.Fprintf(stdout, "  %-20s hand-written reference: %d words\n", k.Name, k.HandWords)
+		}
+		return exitOK
+	}
+
+	rep := diag.NewReporter()
+	rep.SetStrict(c.strict)
+	rep.SetMaxErrors(c.maxErrors)
+
+	ctx := context.Background()
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	budget := &diag.Budget{Ctx: ctx, MaxBDDNodes: c.maxBDDNodes, MaxRoutes: c.maxRoutes}
+
+	err := compile(&c, rep, budget, stdout)
+	listDiagnostics(stderr, rep, c.modelSourceName())
+	switch {
+	case err != nil:
+		var ue *usageError
+		if errors.As(err, &ue) {
+			fmt.Fprintf(stderr, "record: %v\n", err)
+			return exitUsage
+		}
+		var pe *diag.PanicError
+		if errors.As(err, &pe) {
+			fmt.Fprintf(stderr, "record: internal fault: %v\n", pe.Value)
+			return exitInternal
+		}
+		// Positioned frontend errors already appear in the listing; avoid
+		// repeating them as one mashed-together line.
+		if len(hdl.Errors(err)) == 0 {
+			fmt.Fprintf(stderr, "record: %v\n", err)
+		}
+		return exitInput
+	case rep.Errors() > 0:
+		// -strict promoted warnings, or phases reported errors while still
+		// producing output.
+		fmt.Fprintf(stderr, "record: failing due to %s\n", rep.Summary())
+		return exitInput
+	}
+	return exitOK
+}
+
+// usageError marks command-line mistakes (exit code 1) as opposed to input
+// or pipeline failures (exit code 2).
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
+
+func usagef(format string, args ...interface{}) error {
+	return &usageError{msg: fmt.Sprintf(format, args...)}
+}
+
+// modelSourceName returns the name to prefix positioned diagnostics with.
+func (c *config) modelSourceName() string {
+	switch {
+	case c.mdlFile != "":
+		return c.mdlFile
+	case c.vhdlFile != "":
+		return c.vhdlFile
+	case c.modelName != "":
+		return c.modelName
+	}
+	return "model"
+}
+
+// listDiagnostics writes every collected diagnostic to stderr, prefixing
+// positioned ones (frontend syntax errors) with the model source name so
+// they read file:line:col.
+func listDiagnostics(stderr io.Writer, rep *diag.Reporter, source string) {
+	for _, d := range rep.Diags() {
+		if d.Pos.IsValid() {
+			fmt.Fprintf(stderr, "%s:%s\n", source, d)
+		} else {
+			fmt.Fprintln(stderr, d)
+		}
 	}
 }
 
-func run() error {
-	var (
-		modelName    = flag.String("model", "", "bundled processor model name")
-		mdlFile      = flag.String("mdl", "", "MDL processor model file")
-		vhdlFile     = flag.String("vhdl", "", "VHDL processor model file (translated to MDL)")
-		srcFile      = flag.String("src", "", "RecC source file (- for stdin)")
-		kernelName   = flag.String("kernel", "", "compile a bundled DSPStone kernel")
-		list         = flag.Bool("list", false, "list bundled models and kernels")
-		useNaive     = flag.Bool("naive", false, "use the naive baseline compiler")
-		noCompaction = flag.Bool("no-compaction", false, "disable code compaction")
-		noPeephole   = flag.Bool("no-peephole", false, "disable peephole optimization")
-		noExtension  = flag.Bool("no-extension", false, "disable template-base extension")
-		showSeq      = flag.Bool("seq", false, "print sequential RT code")
-		showStats    = flag.Bool("stats", false, "print statistics")
-		execute      = flag.Bool("run", false, "simulate and dump final variables")
-	)
-	flag.Parse()
-
-	if *list {
-		fmt.Println("bundled processor models:")
-		for _, e := range models.All() {
-			fmt.Printf("  %-12s %s\n", e.Name, e.Description)
-		}
-		fmt.Println("bundled DSPStone kernels:")
-		for _, k := range dspstone.Suite() {
-			fmt.Printf("  %-20s hand-written reference: %d words\n", k.Name, k.HandWords)
-		}
-		return nil
-	}
-
-	mdl, err := loadModel(*modelName, *mdlFile, *vhdlFile)
+// compile runs the full pipeline per the parsed configuration.
+func compile(c *config, rep *diag.Reporter, budget *diag.Budget, stdout io.Writer) error {
+	mdl, err := loadModel(c.modelName, c.mdlFile, c.vhdlFile)
 	if err != nil {
 		return err
 	}
-	src, err := loadSource(*srcFile, *kernelName)
+	src, err := loadSource(c.srcFile, c.kernelName)
 	if err != nil {
 		return err
 	}
 
-	target, err := core.Retarget(mdl, core.RetargetOptions{NoExtension: *noExtension})
+	target, err := core.Retarget(mdl, core.RetargetOptions{
+		NoExtension: c.noExtension,
+		Reporter:    rep,
+		Budget:      budget,
+	})
 	if err != nil {
 		return err
 	}
-	if *showStats {
-		printRetargetStats(target)
+	if c.showStats {
+		printRetargetStats(stdout, target)
 	}
 
 	prog, err := cfront.Parse(src)
 	if err != nil {
+		rep.Errorf("recc", diag.Pos{}, "%v", err)
 		return err
 	}
 	if ir.HasControlFlow(prog) {
-		if *useNaive {
-			return fmt.Errorf("the naive baseline does not support control flow")
+		if c.useNaive {
+			return usagef("the naive baseline does not support control flow")
 		}
-		return runControlFlow(target, prog, *execute)
+		return runControlFlow(target, prog, c, rep, budget, stdout)
 	}
 
 	var res *core.CompileResult
-	if *useNaive {
-		res, err = naive.Compile(target, prog)
-	} else {
-		res, err = target.CompileProgram(prog, core.CompileOptions{
-			NoCompaction: *noCompaction,
-			NoPeephole:   *noPeephole,
-		})
-	}
+	err = diag.Guard(rep, "compile", func() error {
+		var err error
+		if c.useNaive {
+			res, err = naive.Compile(target, prog)
+		} else {
+			res, err = target.CompileProgram(prog, core.CompileOptions{
+				NoCompaction: c.noCompaction,
+				NoPeephole:   c.noPeephole,
+			})
+		}
+		return err
+	})
 	if err != nil {
 		return err
 	}
 
-	if *showSeq {
-		fmt.Println("sequential RT code:")
-		fmt.Print(res.Seq)
-		fmt.Println()
+	if c.showSeq {
+		fmt.Fprintln(stdout, "sequential RT code:")
+		fmt.Fprint(stdout, res.Seq)
+		fmt.Fprintln(stdout)
 	}
-	fmt.Printf("code for %s: %d RT instructions in %d words\n\n",
+	fmt.Fprintf(stdout, "code for %s: %d RT instructions in %d words\n\n",
 		target.Name, res.SeqLen(), res.CodeLen())
-	fmt.Print(target.Listing(res))
+	fmt.Fprint(stdout, target.Listing(res))
 
-	if *showStats {
-		fmt.Printf("\nselection: %d trees, cost %d, %d spills; peephole removed %d loads, %d stores\n",
+	if c.showStats {
+		fmt.Fprintf(stdout, "\nselection: %d trees, cost %d, %d spills; peephole removed %d loads, %d stores\n",
 			res.Stats.Trees, res.Stats.SelectCost, res.Stats.Spills,
 			res.Opt.LoadsRemoved, res.Opt.StoresRemoved)
 	}
 
-	if *execute {
-		env, err := target.Execute(res)
+	if c.execute {
+		var env ir.Env
+		err := diag.Guard(rep, "sim", func() error {
+			var err error
+			if env, err = target.Execute(res); err != nil {
+				return err
+			}
+			if err := target.CheckAgainstOracle(res); err != nil {
+				return fmt.Errorf("simulation disagrees with the IR oracle: %w", err)
+			}
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		if err := target.CheckAgainstOracle(res); err != nil {
-			return fmt.Errorf("simulation disagrees with the IR oracle: %w", err)
-		}
-		fmt.Println("\nfinal variable values (simulated, oracle-checked):")
-		names := make([]string, 0, len(env))
-		for n := range env {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			fmt.Printf("  %-12s %v\n", n, env[n])
-		}
+		fmt.Fprintln(stdout, "\nfinal variable values (simulated, oracle-checked):")
+		printEnv(stdout, env)
 	}
 	return nil
 }
 
 // runControlFlow compiles and optionally executes a program with branches
 // through the control-flow extension.
-func runControlFlow(target *core.Target, prog *ir.Program, execute bool) error {
-	res, err := cflow.Compile(target, prog, cflow.Options{})
+func runControlFlow(target *core.Target, prog *ir.Program, c *config, rep *diag.Reporter, budget *diag.Budget, stdout io.Writer) error {
+	opts := cflow.Options{
+		NoCompaction: c.noCompaction,
+		Reporter:     rep,
+		Budget:       budget,
+	}
+	var res *cflow.Result
+	err := diag.Guard(rep, "cflow", func() error {
+		var err error
+		res, err = cflow.Compile(target, prog, opts)
+		return err
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("control-flow code for %s: %d basic blocks, %d words\n\n",
+	fmt.Fprintf(stdout, "control-flow code for %s: %d basic blocks, %d words\n\n",
 		target.Name, len(res.CFG.Blocks), res.Code.Len())
-	fmt.Print(target.Encoder.Listing(res.Code))
-	if execute {
-		if err := cflow.CheckAgainstOracle(target, res, cflow.Options{}); err != nil {
-			return fmt.Errorf("simulation disagrees with the oracle: %w", err)
-		}
-		env, err := cflow.Execute(target, res, cflow.Options{})
+	fmt.Fprint(stdout, target.Encoder.Listing(res.Code))
+	if c.execute {
+		var env ir.Env
+		err := diag.Guard(rep, "sim", func() error {
+			if err := cflow.CheckAgainstOracle(target, res, opts); err != nil {
+				return fmt.Errorf("simulation disagrees with the oracle: %w", err)
+			}
+			var err error
+			env, err = cflow.Execute(target, res, opts)
+			return err
+		})
 		if err != nil {
 			return err
 		}
-		fmt.Println("\nfinal variable values (simulated, oracle-checked):")
-		names := make([]string, 0, len(env))
-		for n := range env {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			fmt.Printf("  %-12s %v\n", n, env[n])
-		}
+		fmt.Fprintln(stdout, "\nfinal variable values (simulated, oracle-checked):")
+		printEnv(stdout, env)
 	}
 	return nil
+}
+
+func printEnv(stdout io.Writer, env ir.Env) {
+	names := make([]string, 0, len(env))
+	for n := range env {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(stdout, "  %-12s %v\n", n, env[n])
+	}
 }
 
 func loadModel(name, file, vhdlFile string) (string, error) {
@@ -192,13 +364,13 @@ func loadModel(name, file, vhdlFile string) (string, error) {
 		}
 	}
 	if count > 1 {
-		return "", fmt.Errorf("use exactly one of -model, -mdl, -vhdl")
+		return "", usagef("use exactly one of -model, -mdl, -vhdl")
 	}
 	switch {
 	case name != "":
 		mdl, ok := models.Get(name)
 		if !ok {
-			return "", fmt.Errorf("unknown model %q (try -list)", name)
+			return "", usagef("unknown model %q (try -list)", name)
 		}
 		return mdl, nil
 	case file != "":
@@ -214,17 +386,17 @@ func loadModel(name, file, vhdlFile string) (string, error) {
 		}
 		return vhdl.Translate(string(b))
 	}
-	return "", fmt.Errorf("no processor model: use -model, -mdl or -vhdl")
+	return "", usagef("no processor model: use -model, -mdl or -vhdl")
 }
 
 func loadSource(file, kernel string) (string, error) {
 	switch {
 	case file != "" && kernel != "":
-		return "", fmt.Errorf("use either -src or -kernel, not both")
+		return "", usagef("use either -src or -kernel, not both")
 	case kernel != "":
 		k, ok := dspstone.Get(kernel)
 		if !ok {
-			return "", fmt.Errorf("unknown kernel %q (try -list)", kernel)
+			return "", usagef("unknown kernel %q (try -list)", kernel)
 		}
 		return k.Source, nil
 	case file == "-":
@@ -234,19 +406,19 @@ func loadSource(file, kernel string) (string, error) {
 		b, err := os.ReadFile(file)
 		return string(b), err
 	}
-	return "", fmt.Errorf("no source program: use -src or -kernel")
+	return "", usagef("no source program: use -src or -kernel")
 }
 
-func printRetargetStats(t *core.Target) {
+func printRetargetStats(stdout io.Writer, t *core.Target) {
 	s := t.Stats
-	fmt.Printf("retargeted %s in %v\n", t.Name, s.Total)
-	fmt.Printf("  HDL frontend + elaboration  %v\n", s.Frontend)
-	fmt.Printf("  instruction-set extraction  %v (%d routes, %d unsat pruned)\n",
-		s.ISE, s.ISEDetails.RoutesEnumerated, s.ISEDetails.Unsatisfiable)
-	fmt.Printf("  template-base extension     %v (%d -> %d templates)\n",
+	fmt.Fprintf(stdout, "retargeted %s in %v\n", t.Name, s.Total)
+	fmt.Fprintf(stdout, "  HDL frontend + elaboration  %v\n", s.Frontend)
+	fmt.Fprintf(stdout, "  instruction-set extraction  %v (%d routes, %d unsat pruned, %d destinations dropped)\n",
+		s.ISE, s.ISEDetails.RoutesEnumerated, s.ISEDetails.Unsatisfiable, s.ISEDetails.Dropped)
+	fmt.Fprintf(stdout, "  template-base extension     %v (%d -> %d templates)\n",
 		s.Extension, s.Extracted, s.Templates)
-	fmt.Printf("  grammar construction        %v (%d rules, %d nonterminals)\n",
+	fmt.Fprintf(stdout, "  grammar construction        %v (%d rules, %d nonterminals)\n",
 		s.Grammar, s.GrammarSz.RTRules+s.GrammarSz.StartRules+s.GrammarSz.StopRules,
 		s.GrammarSz.Nonterminals)
-	fmt.Printf("  parser generation           %v\n\n", s.ParserGen)
+	fmt.Fprintf(stdout, "  parser generation           %v\n\n", s.ParserGen)
 }

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// record invokes the driver like a shell would and captures both streams.
+func record(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestListExitsZero(t *testing.T) {
+	code, out, _ := record(t, "-list")
+	if code != exitOK {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "tms320c25") || !strings.Contains(out, "dot_product") {
+		t.Errorf("listing incomplete:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-kernel", "dot_product"},                      // no model
+		{"-model", "nosuch", "-kernel", "dot_product"},  // unknown model
+		{"-model", "demo"},                              // no program
+		{"-model", "demo", "-mdl", "x.mdl"},             // conflicting model flags
+		{"-model", "demo", "-kernel", "nosuch"},         // unknown kernel
+		{"-badflag"},                                    // unknown flag
+		{"-model", "demo", "-faultpoints", "plain-bad"}, // malformed spec
+	}
+	for _, args := range cases {
+		if code, _, _ := record(t, args...); code != exitUsage {
+			t.Errorf("record %v: exit = %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+// TestDegradedRunStillOracleChecks is the headline robustness scenario: a
+// route explosion injected into one destination (acc1.r of the demo model)
+// produces exactly one warning, and the kernel still compiles, executes and
+// oracle-checks on what is left of the instruction set.
+func TestDegradedRunStillOracleChecks(t *testing.T) {
+	code, out, errs := record(t,
+		"-model", "demo", "-kernel", "dot_product", "-run",
+		"-faultpoints", "ise.route.explosion@acc1.r=error")
+	if code != exitOK {
+		t.Fatalf("exit = %d\nstderr:\n%s", code, errs)
+	}
+	if n := strings.Count(errs, "warning:"); n != 1 {
+		t.Errorf("warnings = %d, want exactly 1:\n%s", n, errs)
+	}
+	if !strings.Contains(errs, "acc1.r") {
+		t.Errorf("warning does not name the dropped destination:\n%s", errs)
+	}
+	if !strings.Contains(out, "oracle-checked") {
+		t.Errorf("missing oracle-checked variable dump:\n%s", out)
+	}
+}
+
+// TestStrictPromotesDegradationToFailure: the same run under -strict must
+// fail with the input/compile exit code.
+func TestStrictPromotesDegradationToFailure(t *testing.T) {
+	code, _, errs := record(t,
+		"-model", "demo", "-kernel", "dot_product", "-run", "-strict",
+		"-faultpoints", "ise.route.explosion@acc1.r=error")
+	if code != exitInput {
+		t.Fatalf("exit = %d, want %d\nstderr:\n%s", code, exitInput, errs)
+	}
+	if !strings.Contains(errs, "error: [ise]") {
+		t.Errorf("promoted warning missing from listing:\n%s", errs)
+	}
+}
+
+// TestMultiErrorListing: every syntax error of a broken model appears on
+// stderr as file:line:col in a single pass.
+func TestMultiErrorListing(t *testing.T) {
+	mdl := filepath.Join(t.TempDir(), "bad.mdl")
+	src := `PROCESSOR bad;
+CONST = 4;
+MODULE Alu (IN a: 8; OUT q: 8);
+BEGIN
+  q <- a + ;
+END;
+PORT OUT res : ;
+`
+	if err := os.WriteFile(mdl, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errs := record(t, "-mdl", mdl, "-kernel", "dot_product")
+	if code != exitInput {
+		t.Fatalf("exit = %d, want %d\nstderr:\n%s", code, exitInput, errs)
+	}
+	for _, want := range []string{mdl + ":2:", mdl + ":5:", mdl + ":7:"} {
+		if !strings.Contains(errs, want) {
+			t.Errorf("listing missing %q:\n%s", want, errs)
+		}
+	}
+	if strings.Contains(errs, "more errors") {
+		t.Errorf("mashed single-line error leaked into stderr:\n%s", errs)
+	}
+}
+
+// TestInternalFaultExitCode: a panic inside a phase is recovered at the
+// phase boundary and classified as an internal fault.
+func TestInternalFaultExitCode(t *testing.T) {
+	code, _, errs := record(t,
+		"-model", "demo", "-kernel", "dot_product",
+		"-faultpoints", "grammar.rule=panic")
+	if code != exitInternal {
+		t.Fatalf("exit = %d, want %d\nstderr:\n%s", code, exitInternal, errs)
+	}
+	if !strings.Contains(errs, "recovered at phase boundary") {
+		t.Errorf("missing recovery diagnostic:\n%s", errs)
+	}
+}
+
+// TestTimeoutBudget: an immediately-expired deadline aborts retargeting
+// with an input/resource failure, not a hang or a crash.
+func TestTimeoutBudget(t *testing.T) {
+	code, _, errs := record(t,
+		"-model", "demo", "-kernel", "dot_product", "-timeout", "1ns")
+	if code != exitInput {
+		t.Fatalf("exit = %d, want %d\nstderr:\n%s", code, exitInput, errs)
+	}
+}
+
+// TestMaxErrors caps the listing.
+func TestMaxErrors(t *testing.T) {
+	mdl := filepath.Join(t.TempDir(), "bad.mdl")
+	var b strings.Builder
+	b.WriteString("PROCESSOR bad;\n")
+	for i := 0; i < 10; i++ {
+		b.WriteString("CONST = 1;\n")
+	}
+	if err := os.WriteFile(mdl, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errs := record(t, "-mdl", mdl, "-kernel", "dot_product", "-max-errors", "3")
+	if code != exitInput {
+		t.Fatalf("exit = %d, want %d", code, exitInput)
+	}
+	if !strings.Contains(errs, "too many errors (limit 3)") {
+		t.Errorf("missing bail diagnostic:\n%s", errs)
+	}
+	if n := strings.Count(errs, "error:"); n > 5 {
+		t.Errorf("listing not capped: %d error lines\n%s", n, errs)
+	}
+}
+
+// TestHealthyRunHasNoDiagnostics guards against diagnostic noise on the
+// happy path.
+func TestHealthyRunHasNoDiagnostics(t *testing.T) {
+	code, out, errs := record(t, "-model", "demo", "-kernel", "real_update", "-run")
+	if code != exitOK {
+		t.Fatalf("exit = %d\nstderr:\n%s", code, errs)
+	}
+	if errs != "" {
+		t.Errorf("unexpected stderr output:\n%s", errs)
+	}
+	if !strings.Contains(out, "oracle-checked") {
+		t.Errorf("missing variable dump:\n%s", out)
+	}
+}

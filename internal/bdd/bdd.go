@@ -17,7 +17,20 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/faultpoint"
 )
+
+// InvariantError is the panic value used for caller-contract violations
+// (negative variable indices).  These panics are invariant-only: they are
+// unreachable from well-formed pipeline input, so they are not converted to
+// returned errors; instead every pipeline phase runs under a diag.Capture
+// recovery boundary that turns them into Error diagnostics rather than
+// driver crashes (see internal/diag and the boundary tests in this
+// package's test file).
+type InvariantError string
+
+func (e InvariantError) Error() string { return string(e) }
 
 // Node is a vertex of a shared ROBDD.  Leaf nodes are the manager's True
 // and False constants.  For internal nodes, Low is the cofactor for
@@ -108,7 +121,7 @@ func (m *Manager) VarByName(name string) int {
 // variables as needed so that v is in range.
 func (m *Manager) Var(v int) *Node {
 	if v < 0 {
-		panic("bdd: negative variable index")
+		panic(InvariantError("bdd: negative variable index"))
 	}
 	for len(m.names) <= v {
 		m.DeclareVar(fmt.Sprintf("x%d", len(m.names)))
@@ -119,7 +132,7 @@ func (m *Manager) Var(v int) *Node {
 // NVar returns the BDD for the negation of variable v.
 func (m *Manager) NVar(v int) *Node {
 	if v < 0 {
-		panic("bdd: negative variable index")
+		panic(InvariantError("bdd: negative variable index"))
 	}
 	for len(m.names) <= v {
 		m.DeclareVar(fmt.Sprintf("x%d", len(m.names)))
@@ -149,6 +162,9 @@ func (m *Manager) Size() int { return len(m.nodes) }
 // Ite computes if-then-else: f·g + ¬f·h.  All binary operations are
 // expressed through Ite, sharing one memo table.
 func (m *Manager) Ite(f, g, h *Node) *Node {
+	if err := faultpoint.Hit("bdd.ite", ""); err != nil {
+		panic(err) // Ite cannot return errors; the phase boundary recovers.
+	}
 	// Terminal cases.
 	switch {
 	case f == m.trueN:

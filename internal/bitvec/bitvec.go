@@ -18,7 +18,25 @@ import (
 	"fmt"
 
 	"repro/internal/bdd"
+	"repro/internal/faultpoint"
 )
+
+// InvariantError is the panic value used for caller-contract violations
+// (out-of-range slices, width mismatches, negative shifts).  These panics
+// are invariant-only: width agreement is established by the HDL semantic
+// checker and netlist elaboration before any symbolic evaluation starts, so
+// they signal a pipeline bug, not bad user input.  They are therefore kept
+// as panics rather than threaded-through errors; every pipeline phase runs
+// under a diag.Capture recovery boundary that converts them into Error
+// diagnostics instead of driver crashes (see internal/diag and the boundary
+// tests in this package's test file).
+type InvariantError string
+
+func (e InvariantError) Error() string { return string(e) }
+
+func invariantf(format string, args ...interface{}) InvariantError {
+	return InvariantError(fmt.Sprintf(format, args...))
+}
 
 // Vec is a fixed-width symbolic word; element i is bit i (LSB first).
 type Vec []*bdd.Node
@@ -93,8 +111,11 @@ func SignExtend(m *bdd.Manager, v Vec, w int) Vec {
 
 // Slice returns bits lo..hi inclusive of v (hi >= lo).
 func Slice(v Vec, hi, lo int) Vec {
+	if err := faultpoint.Hit("bitvec.slice", ""); err != nil {
+		panic(err) // vector ops cannot return errors; the phase boundary recovers.
+	}
 	if lo < 0 || hi >= len(v) || hi < lo {
-		panic(fmt.Sprintf("bitvec: bad slice [%d:%d] of width %d", hi, lo, len(v)))
+		panic(invariantf("bitvec: bad slice [%d:%d] of width %d", hi, lo, len(v)))
 	}
 	out := make(Vec, hi-lo+1)
 	copy(out, v[lo:hi+1])
@@ -111,7 +132,7 @@ func Concat(lo, hi Vec) Vec {
 
 func sameWidth(a, b Vec) {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("bitvec: width mismatch %d vs %d", len(a), len(b)))
+		panic(invariantf("bitvec: width mismatch %d vs %d", len(a), len(b)))
 	}
 }
 
@@ -210,7 +231,7 @@ func Mul(m *bdd.Manager, a, b Vec) Vec {
 // ShlConst shifts left by constant k, filling with zero bits.
 func ShlConst(m *bdd.Manager, a Vec, k int) Vec {
 	if k < 0 {
-		panic("bitvec: negative shift")
+		panic(InvariantError("bitvec: negative shift"))
 	}
 	r := make(Vec, len(a))
 	for i := range r {
@@ -226,7 +247,7 @@ func ShlConst(m *bdd.Manager, a Vec, k int) Vec {
 // ShrConst shifts right (logical) by constant k.
 func ShrConst(m *bdd.Manager, a Vec, k int) Vec {
 	if k < 0 {
-		panic("bitvec: negative shift")
+		panic(InvariantError("bitvec: negative shift"))
 	}
 	r := make(Vec, len(a))
 	for i := range r {
@@ -242,7 +263,7 @@ func ShrConst(m *bdd.Manager, a Vec, k int) Vec {
 // AshrConst shifts right arithmetically by constant k.
 func AshrConst(m *bdd.Manager, a Vec, k int) Vec {
 	if k < 0 {
-		panic("bitvec: negative shift")
+		panic(InvariantError("bitvec: negative shift"))
 	}
 	if len(a) == 0 {
 		return a

@@ -1,0 +1,78 @@
+package bitvec
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/diag"
+	"repro/internal/faultpoint"
+)
+
+// TestInvariantPanicsAreTyped documents the invariant-only panic contract
+// for every guarded site: bad slices, width mismatches and negative shifts
+// panic with InvariantError so recovery boundaries can attribute them.
+func TestInvariantPanicsAreTyped(t *testing.T) {
+	m := bdd.New()
+	a := Const(m, 5, 4)
+	b := Const(m, 1, 8)
+	cases := map[string]func(){
+		"slice-hi":       func() { Slice(a, 4, 0) },
+		"slice-lo":       func() { Slice(a, 2, -1) },
+		"slice-reversed": func() { Slice(a, 1, 2) },
+		"width-add":      func() { Add(m, a, b) },
+		"width-and":      func() { And(m, a, b) },
+		"shl-negative":   func() { ShlConst(m, a, -1) },
+		"shr-negative":   func() { ShrConst(m, a, -1) },
+		"ashr-negative":  func() { AshrConst(m, a, -2) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				v := recover()
+				if _, ok := v.(InvariantError); !ok {
+					t.Errorf("%s: panic value %T %v, want InvariantError", name, v, v)
+				}
+			}()
+			fn()
+			t.Errorf("%s: no panic", name)
+		}()
+	}
+}
+
+// TestRecoveryBoundary shows the diag.Capture boundary converting a width
+// mismatch into an inspectable error instead of a crash — the guarantee the
+// ISE phase relies on when symbolic evaluation goes wrong.
+func TestRecoveryBoundary(t *testing.T) {
+	m := bdd.New()
+	err := diag.Capture(func() error {
+		Add(m, Const(m, 1, 4), Const(m, 1, 8))
+		return nil
+	})
+	var pe *diag.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, ok := pe.Value.(InvariantError); !ok {
+		t.Errorf("recovered %T, want InvariantError", pe.Value)
+	}
+}
+
+// TestSliceFaultpoint verifies the bitvec.slice injection site.
+func TestSliceFaultpoint(t *testing.T) {
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	faultpoint.Arm("bitvec.slice", faultpoint.Action{Kind: faultpoint.KindError})
+	m := bdd.New()
+	err := diag.Capture(func() error {
+		Slice(Const(m, 3, 4), 3, 0)
+		return nil
+	})
+	var pe *diag.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, ok := pe.Value.(*faultpoint.Fault); !ok {
+		t.Errorf("recovered %T, want *faultpoint.Fault", pe.Value)
+	}
+}

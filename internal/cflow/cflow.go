@@ -21,6 +21,8 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/compact"
 	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/faultpoint"
 	"repro/internal/ir"
 	"repro/internal/opt"
 	"repro/internal/rtl"
@@ -33,6 +35,11 @@ type Options struct {
 	MaxCycles int
 	// NoCompaction disables per-block compaction.
 	NoCompaction bool
+	// Reporter receives per-block diagnostics.  nil is safe.
+	Reporter *diag.Reporter
+	// Budget bounds compilation (checked at block boundaries) and
+	// execution (checked per simulated cycle).  nil means unlimited.
+	Budget *diag.Budget
 }
 
 // Result is a compiled control-flow program.
@@ -149,6 +156,13 @@ func Compile(t *core.Target, prog *ir.Program, opts Options) (*Result, error) {
 	}
 
 	for i, blk := range cfg.Blocks {
+		if err := faultpoint.Hit("cflow.block", fmt.Sprintf("%s#%d", t.Name, i)); err != nil {
+			return nil, fmt.Errorf("cflow: block %d: %w", i, err)
+		}
+		if err := opts.Budget.Exceeded(); err != nil {
+			opts.Reporter.Errorf("cflow", diag.Pos{}, "compilation budget exhausted at block %d of %d", i, len(cfg.Blocks))
+			return nil, fmt.Errorf("cflow: block %d: %w", i, err)
+		}
 		res.BlockStart[i] = len(res.Code.Words)
 		// Straight-line part.
 		var ets []*bind.ET
@@ -269,6 +283,11 @@ func Execute(t *core.Target, r *Result, opts Options) (ir.Env, error) {
 		}
 		if cycle >= maxCycles {
 			return nil, fmt.Errorf("cflow: execution exceeded %d cycles (PC=%d)", maxCycles, s.PC())
+		}
+		if cycle&1023 == 0 {
+			if err := opts.Budget.Exceeded(); err != nil {
+				return nil, fmt.Errorf("cflow: execution stopped at cycle %d: %w", cycle, err)
+			}
 		}
 		if err := s.Step(); err != nil {
 			return nil, err

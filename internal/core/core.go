@@ -21,6 +21,7 @@ import (
 	"repro/internal/code"
 	"repro/internal/codegen"
 	"repro/internal/compact"
+	"repro/internal/diag"
 	"repro/internal/grammar"
 	"repro/internal/hdl"
 	"repro/internal/ir"
@@ -45,6 +46,14 @@ type RetargetOptions struct {
 	// Target.ParserSource and its generation counted as parser-generation
 	// time.
 	EmitParserSource bool
+	// Reporter collects diagnostics (frontend errors with positions,
+	// degraded-mode warnings) from every phase.  nil is safe.
+	Reporter *diag.Reporter
+	// Budget bounds the whole retargeting run: its deadline is checked at
+	// phase boundaries and inside route enumeration, its BDD node cap
+	// during control-signal analysis, and Budget.MaxRoutes overrides
+	// ISE.MaxAlts when set.  nil means unlimited.
+	Budget *diag.Budget
 }
 
 // RetargetStats reports per-phase retargeting effort — the quantities of
@@ -78,69 +87,133 @@ type Target struct {
 }
 
 // Retarget builds a compiler for the processor described by MDL source.
+//
+// Every phase runs under a recovery boundary: panics (pipeline invariant
+// violations, injected faults) surface as Error diagnostics on
+// opts.Reporter and a *diag.PanicError return instead of crashing the
+// caller.  Frontend syntax errors are reported individually with their
+// source positions.
 func Retarget(mdlSource string, opts RetargetOptions) (*Target, error) {
+	rep := opts.Reporter
 	t := &Target{}
 	start := time.Now()
 
-	model, err := hdl.ParseAndCheck(mdlSource)
+	// Thread the budget and reporter into ISE unless the caller set them
+	// on the ISE options explicitly.
+	if opts.ISE.Reporter == nil {
+		opts.ISE.Reporter = rep
+	}
+	if opts.ISE.Budget == nil {
+		opts.ISE.Budget = opts.Budget
+	}
+	if opts.ISE.MaxAlts <= 0 && opts.Budget != nil && opts.Budget.MaxRoutes > 0 {
+		opts.ISE.MaxAlts = opts.Budget.MaxRoutes
+	}
+
+	err := diag.Guard(rep, "hdl", func() error {
+		model, err := hdl.ParseAndCheck(mdlSource)
+		if err != nil {
+			for _, e := range hdl.Errors(err) {
+				rep.Errorf("hdl", diag.Pos{Line: e.Pos.Line, Col: e.Pos.Col}, "%s", e.Msg)
+			}
+			return err
+		}
+		net, err := netlist.Elaborate(model)
+		if err != nil {
+			rep.Errorf("hdl", diag.Pos{}, "elaboration: %v", err)
+			return err
+		}
+		t.Name = net.Name
+		t.Model = model
+		t.Net = net
+		return nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: HDL frontend: %w", err)
 	}
-	net, err := netlist.Elaborate(model)
-	if err != nil {
-		return nil, fmt.Errorf("core: elaboration: %w", err)
-	}
-	t.Name = net.Name
-	t.Model = model
-	t.Net = net
 	t.Stats.Frontend = time.Since(start)
 
+	if err := opts.Budget.Exceeded(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	phase := time.Now()
-	res, err := ise.Extract(net, opts.ISE)
+	err = diag.Guard(rep, "ise", func() error {
+		res, err := ise.Extract(t.Net, opts.ISE)
+		if err != nil {
+			return err
+		}
+		t.ISE = res
+		t.Base = res.Base
+		return nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: instruction-set extraction: %w", err)
 	}
-	t.ISE = res
-	t.Base = res.Base
 	t.Stats.ISE = time.Since(phase)
-	t.Stats.Extracted = res.Base.Len()
-	t.Stats.ISEDetails = res.Stats
+	t.Stats.Extracted = t.Base.Len()
+	t.Stats.ISEDetails = t.ISE.Stats
 
 	phase = time.Now()
-	if !opts.NoExtension {
-		ext := rewrite.DefaultOptions()
-		if opts.Extension != nil {
-			ext = *opts.Extension
+	err = diag.Guard(rep, "extend", func() error {
+		if !opts.NoExtension {
+			ext := rewrite.DefaultOptions()
+			if opts.Extension != nil {
+				ext = *opts.Extension
+			}
+			rewrite.Extend(t.Base, ext)
 		}
-		rewrite.Extend(t.Base, ext)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: template-base extension: %w", err)
 	}
 	t.Stats.Extension = time.Since(phase)
 	t.Stats.Templates = t.Base.Len()
 
+	if err := opts.Budget.Exceeded(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	phase = time.Now()
-	g, err := grammar.Build(t.Base, grammar.SpecFromNetlist(net))
+	err = diag.Guard(rep, "grammar", func() error {
+		g, err := grammar.BuildReported(t.Base, grammar.SpecFromNetlist(t.Net), rep)
+		if err != nil {
+			return err
+		}
+		t.Grammar = g
+		return nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: grammar construction: %w", err)
 	}
-	t.Grammar = g
 	t.Stats.Grammar = time.Since(phase)
-	t.Stats.GrammarSz = g.Stats()
+	t.Stats.GrammarSz = t.Grammar.Stats()
 
 	phase = time.Now()
-	t.Parser = burs.NewParser(g)
-	if opts.EmitParserSource {
-		t.ParserSource = burs.EmitGo(g, sanitizeIdent(t.Name)+"parser")
-	}
-	var background []string
-	for _, st := range net.Seq {
-		if st.PC {
-			background = append(background, st.QName())
+	err = diag.Guard(rep, "burs", func() error {
+		t.Parser = burs.NewParser(t.Grammar)
+		if opts.EmitParserSource {
+			t.ParserSource = burs.EmitGo(t.Grammar, sanitizeIdent(t.Name)+"parser")
 		}
+		var background []string
+		for _, st := range t.Net.Seq {
+			if st.PC {
+				background = append(background, st.QName())
+			}
+		}
+		t.Encoder = asm.NewEncoder(t.ISE.Vars, t.Base, background...)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: parser generation: %w", err)
 	}
-	t.Encoder = asm.NewEncoder(res.Vars, t.Base, background...)
 	t.Stats.ParserGen = time.Since(phase)
 
 	t.Stats.Total = time.Since(start)
+	if t.ISE.Stats.Dropped > 0 {
+		rep.Infof("core", diag.Pos{},
+			"retargeted %s in degraded mode: %d destination(s) dropped, %d templates kept",
+			t.Name, t.ISE.Stats.Dropped, t.Stats.Templates)
+	}
 	return t, nil
 }
 

@@ -1,0 +1,182 @@
+package faultpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUnarmedIsNil(t *testing.T) {
+	Reset()
+	if err := Hit("ise.route.explosion", "ram.m"); err != nil {
+		t.Fatalf("unarmed hit: %v", err)
+	}
+}
+
+func TestErrorFiresOnceByDefault(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("p", Action{Kind: KindError})
+	err := Hit("p", "d1")
+	var f *Fault
+	if !errors.As(err, &f) || f.Name != "p" || f.Detail != "d1" {
+		t.Fatalf("first hit: %v", err)
+	}
+	if err := Hit("p", "d2"); err != nil {
+		t.Fatalf("second hit should be disarmed: %v", err)
+	}
+	if len(Armed()) != 0 {
+		t.Errorf("armed = %v", Armed())
+	}
+}
+
+func TestMatchFilter(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("p", Action{Kind: KindError, Match: "ram.m"})
+	if err := Hit("p", "alu.acc"); err != nil {
+		t.Fatalf("non-matching detail fired: %v", err)
+	}
+	if err := Hit("p", "cpu.ram.m"); err == nil {
+		t.Fatal("matching detail did not fire")
+	}
+}
+
+func TestTimes(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("p", Action{Kind: KindError, Times: 2})
+	fired := 0
+	for i := 0; i < 5; i++ {
+		if Hit("p", "") != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Errorf("fired %d times, want 2", fired)
+	}
+	Reset()
+	Arm("q", Action{Kind: KindError, Times: -1})
+	for i := 0; i < 3; i++ {
+		if Hit("q", "") == nil {
+			t.Fatal("unlimited action stopped firing")
+		}
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("p", Action{Kind: KindPanic})
+	defer func() {
+		v := recover()
+		f, ok := v.(*Fault)
+		if !ok || f.Name != "p" {
+			t.Errorf("recovered %v", v)
+		}
+	}()
+	Hit("p", "")
+	t.Fatal("unreachable: Hit should have panicked")
+}
+
+func TestDelayKind(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("p", Action{Kind: KindDelay, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Hit("p", ""); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("delay too short: %v", d)
+	}
+}
+
+func TestArmSpec(t *testing.T) {
+	Reset()
+	defer Reset()
+	err := ArmSpec("a=error, b@ram.m=error*3, c=panic, d=delay:1ms*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Armed(); len(got) != 4 {
+		t.Fatalf("armed = %v", got)
+	}
+	if Hit("a", "") == nil {
+		t.Error("a did not fire")
+	}
+	if Hit("b", "other") != nil {
+		t.Error("b fired without match")
+	}
+	for i := 0; i < 3; i++ {
+		if Hit("b", "x.ram.m") == nil {
+			t.Error("b stopped early")
+		}
+	}
+	if Hit("b", "x.ram.m") != nil {
+		t.Error("b exceeded times")
+	}
+	for i := 0; i < 2; i++ {
+		if Hit("d", "") != nil {
+			t.Error("delay returned error")
+		}
+	}
+}
+
+func TestArmSpecErrors(t *testing.T) {
+	Reset()
+	defer Reset()
+	for _, bad := range []string{"noequals", "=error", "a=", "a=warble", "a=delay:xyz", "a=error*0", "a=error*x", "a=error:arg"} {
+		if err := ArmSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+		Reset()
+	}
+	if err := ArmSpec(""); err != nil {
+		t.Errorf("empty spec rejected: %v", err)
+	}
+	if err := ArmSpec(" , "); err != nil {
+		t.Errorf("blank items rejected: %v", err)
+	}
+}
+
+func TestRecordHits(t *testing.T) {
+	Reset()
+	defer Reset()
+	RecordHits(true)
+	// Hit counting requires at least one armed action for the fast path to
+	// enter the slow path, so arm an unrelated name.
+	Arm("other", Action{Kind: KindError})
+	Hit("p", "")
+	Hit("p", "")
+	if Hits("p") != 2 {
+		t.Errorf("hits = %d", Hits("p"))
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("p", Action{Kind: KindError, Times: 100})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if Hit("p", "") != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 100 {
+		t.Errorf("fired %d, want exactly 100", fired)
+	}
+}

@@ -29,6 +29,9 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/diag"
+	"repro/internal/faultpoint"
+
 	"repro/internal/netlist"
 	"repro/internal/rtl"
 )
@@ -275,6 +278,14 @@ func SpecFromNetlist(n *netlist.Netlist) Spec {
 
 // Build constructs the tree grammar from a template base and machine spec.
 func Build(base *rtl.Base, spec Spec) (*Grammar, error) {
+	return BuildReported(base, spec, nil)
+}
+
+// BuildReported is Build with degraded-mode diagnostics: a template that
+// cannot be lowered into a pattern is skipped with a warning on rep (its RT
+// simply stays unselectable) instead of failing the whole build.  The build
+// fails only when no selectable rule survives.  rep may be nil.
+func BuildReported(base *rtl.Base, spec Spec, rep *diag.Reporter) (*Grammar, error) {
 	g := &Grammar{
 		ntIdx:      make(map[string]int),
 		RulesByKey: make(map[string][]*Rule),
@@ -327,6 +338,8 @@ func Build(base *rtl.Base, spec Spec) (*Grammar, error) {
 	}
 
 	// 2. RT rules, cost 1.
+	var skipErr error
+	skipped, rtRules := 0, 0
 	for _, t := range base.Templates {
 		if len(t.Cond.Dynamic) > 0 {
 			// Templates with residual dynamic guards (conditional jumps,
@@ -342,11 +355,25 @@ func Build(base *rtl.Base, spec Spec) (*Grammar, error) {
 			// is not selectable.
 			continue
 		}
-		pat, err := g.lower(t.Src)
+		var pat *Pat
+		err := faultpoint.Hit("grammar.rule", t.Dest)
+		if err == nil {
+			pat, err = g.lower(t.Src)
+		}
 		if err != nil {
-			return nil, fmt.Errorf("template %d (%s): %w", t.ID, t, err)
+			err = fmt.Errorf("template %d (%s): %w", t.ID, t, err)
+			if skipErr == nil {
+				skipErr = err
+			}
+			skipped++
+			rep.Warnf("grammar", diag.Pos{}, "skipping %v; its RT stays unselectable", err)
+			continue
 		}
 		addRule(&Rule{Kind: KindRT, LHS: lhs, Pat: pat, Cost: 1, Template: t})
+		rtRules++
+	}
+	if skipped > 0 && rtRules == 0 {
+		return nil, fmt.Errorf("grammar: no selectable rules survive lowering: %w", skipErr)
 	}
 
 	// 3. Stop rules, cost 0, for plain registers.

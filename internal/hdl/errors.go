@@ -1,0 +1,44 @@
+package hdl
+
+import "fmt"
+
+// ErrorList is every positioned diagnostic collected in one front-end pass;
+// it implements error.  The parser's error recovery (sync to ';' and
+// section keywords) means a single Parse reports all syntax errors at once
+// instead of stopping at the first.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
+}
+
+// Errors flattens err into its positioned front-end diagnostics: an
+// ErrorList yields its elements, the checker's joined error its *Error
+// parts, a bare *Error itself, and wrapped variants of all three are
+// unwrapped.  Non-front-end errors yield nil, letting drivers decide
+// between a positioned listing and a plain message.
+func Errors(err error) []*Error {
+	switch e := err.(type) {
+	case nil:
+		return nil
+	case ErrorList:
+		return e
+	case *Error:
+		return []*Error{e}
+	case interface{ Unwrap() []error }:
+		var out []*Error
+		for _, sub := range e.Unwrap() {
+			out = append(out, Errors(sub)...)
+		}
+		return out
+	case interface{ Unwrap() error }:
+		return Errors(e.Unwrap())
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package hdl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+)
+
+// FuzzParse drives the recovering parser with arbitrary byte soup.  The
+// contract under fuzzing: never panic, never loop forever, and either
+// return a model or an ErrorList whose every element carries a valid
+// position.
+func FuzzParse(f *testing.F) {
+	for _, e := range models.All() {
+		f.Add(e.MDL)
+	}
+	f.Add("PROCESSOR p;")
+	f.Add("PROCESSOR p; CONST W = 8; MODULE M (IN a: W; OUT q: W); BEGIN q <- a; END;")
+	f.Add("PROCESSOR p; MODULE M (IN a: 1; OUT q: 1); BEGIN q <- CASE a OF 0: 1; ELSE: 0; END; END;")
+	f.Add("PROCESSOR p; BUS b: 8; CONNECT b <- 1 WHEN 0;")
+	f.Add("PROCESSOR \x00;")
+	f.Add("PROCESSOR p; CONST = ; CONST = ; MODULE (")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err == nil {
+			if m == nil {
+				t.Fatal("nil model without error")
+			}
+			// A clean parse must also survive the checker without panics.
+			_ = Check(m)
+			return
+		}
+		errs := Errors(err)
+		if len(errs) == 0 {
+			t.Fatalf("parse error carries no positioned diagnostics: %v", err)
+		}
+		for _, e := range errs {
+			if e.Pos.Line <= 0 || e.Pos.Col <= 0 {
+				t.Errorf("diagnostic without position: %v", e)
+			}
+			if strings.TrimSpace(e.Msg) == "" {
+				t.Errorf("empty diagnostic message at %s", e.Pos)
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/faultpoint"
 	"repro/internal/rtl"
 )
 
@@ -530,5 +531,73 @@ func TestStringRendering(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("rendered case %q missing %q", s, want)
 		}
+	}
+}
+
+// TestParseRecoversMultipleErrors exercises the parser's error recovery: one
+// Parse pass reports every syntax error with its position instead of bailing
+// at the first, and still returns the declarations that did parse.
+func TestParseRecoversMultipleErrors(t *testing.T) {
+	src := `PROCESSOR p;
+CONST = 4;
+MODULE Alu (IN a: 8; IN b: 8; OUT q: 8);
+BEGIN
+  q <- a + ;
+  q <- * b;
+  q <- a - b;
+END;
+PORT OUT res : ;
+BUS db : 8;
+`
+	m, err := Parse(src)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	errs := Errors(err)
+	if len(errs) < 4 {
+		t.Fatalf("got %d errors, want >= 4: %v", len(errs), err)
+	}
+	wantLines := []int{2, 5, 6, 9}
+	for i, line := range wantLines {
+		if errs[i].Pos.Line != line {
+			t.Errorf("error %d at line %d, want %d: %v", i, errs[i].Pos.Line, line, errs[i])
+		}
+	}
+	// The partial model keeps everything that parsed.
+	if m == nil {
+		t.Fatal("no partial model")
+	}
+	if len(m.Modules) != 1 || len(m.Modules[0].Stmts) != 1 {
+		t.Errorf("partial model modules=%d stmts=%v, want 1 module with 1 good stmt", len(m.Modules), m.Modules)
+	}
+	if len(m.Buses) != 1 {
+		t.Errorf("partial model buses=%d, want the BUS after the bad PORT", len(m.Buses))
+	}
+}
+
+// TestParseErrorListMessage checks the ErrorList summary format used by
+// non-listing consumers.
+func TestParseErrorListMessage(t *testing.T) {
+	_, err := Parse("PROCESSOR p;\nCONST = 1;\nCONST = 2;\n")
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "more error") {
+		t.Errorf("ErrorList message %q should mention remaining errors", msg)
+	}
+}
+
+// TestParseFaultpoint verifies the hdl.parse injection site surfaces as a
+// positioned error rather than a crash.
+func TestParseFaultpoint(t *testing.T) {
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	faultpoint.Arm("hdl.parse", faultpoint.Action{Kind: faultpoint.KindError})
+	if _, err := Parse("PROCESSOR p;"); err == nil {
+		t.Fatal("expected injected error")
+	}
+	if _, err := Parse("PROCESSOR p;"); err != nil {
+		t.Fatalf("fires once: second parse should succeed, got %v", err)
 	}
 }

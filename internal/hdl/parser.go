@@ -3,19 +3,30 @@ package hdl
 import (
 	"strings"
 
+	"repro/internal/faultpoint"
 	"repro/internal/rtl"
 )
 
+// maxParseErrors caps collection per parse; pathological inputs (fuzzers,
+// generated models) stop producing diagnostics after this many.
+const maxParseErrors = 100
+
 // Parse parses MDL source text into an unchecked Model.  Call Check on the
 // result before elaboration.
+//
+// The parser recovers from syntax errors by synchronizing to the next ';'
+// or section keyword, so one pass reports every syntax error in the model;
+// the returned error is an ErrorList and the Model is the (possibly
+// partial) tree of everything that did parse.
 func Parse(src string) (*Model, error) {
-	p := &parser{lx: newLexer(src)}
-	if err := p.advance(); err != nil {
-		return nil, err
+	if err := faultpoint.Hit("hdl.parse", ""); err != nil {
+		return nil, ErrorList{errf(Pos{1, 1}, "%v", err)}
 	}
-	m, err := p.parseModel()
-	if err != nil {
-		return nil, err
+	p := &parser{lx: newLexer(src)}
+	p.advance()
+	m := p.parseModel()
+	if len(p.errs) > 0 {
+		return m, p.errs
 	}
 	return m, nil
 }
@@ -33,17 +44,40 @@ func ParseAndCheck(src string) (*Model, error) {
 }
 
 type parser struct {
-	lx  *lexer
-	tok Token
+	lx   *lexer
+	tok  Token
+	errs ErrorList
 }
 
-func (p *parser) advance() error {
-	t, err := p.lx.next()
-	if err != nil {
-		return err
+func (p *parser) record(err error) {
+	if p.bailed() {
+		return
 	}
-	p.tok = t
-	return nil
+	if e, ok := err.(*Error); ok {
+		p.errs = append(p.errs, e)
+	} else {
+		p.errs = append(p.errs, errf(p.tok.Pos, "%v", err))
+	}
+}
+
+func (p *parser) bailed() bool { return len(p.errs) >= maxParseErrors }
+
+// advance moves to the next token, recording (and skipping past) lexical
+// errors; the lexer consumes the offending byte, so this always progresses.
+func (p *parser) advance() {
+	for {
+		t, err := p.lx.next()
+		if err != nil {
+			p.record(err)
+			if p.bailed() {
+				p.tok = Token{Kind: TokEOF, Pos: p.lx.pos()}
+				return
+			}
+			continue
+		}
+		p.tok = t
+		return
+	}
 }
 
 func (p *parser) expect(k TokKind) (Token, error) {
@@ -51,91 +85,128 @@ func (p *parser) expect(k TokKind) (Token, error) {
 		return Token{}, errf(p.tok.Pos, "expected %s, found %s", k, p.tok)
 	}
 	t := p.tok
-	if err := p.advance(); err != nil {
-		return Token{}, err
-	}
+	p.advance()
 	return t, nil
 }
 
-func (p *parser) accept(k TokKind) (bool, error) {
+func (p *parser) accept(k TokKind) bool {
 	if p.tok.Kind != k {
-		return false, nil
+		return false
 	}
-	return true, p.advance()
+	p.advance()
+	return true
 }
 
-func (p *parser) parseModel() (*Model, error) {
+// syncDecl skips to a declaration boundary: just past the next ';', or at a
+// section keyword, END or EOF.  Callers guarantee progress by consuming at
+// least the declaration's leading keyword before failing.
+func (p *parser) syncDecl() {
+	for {
+		switch p.tok.Kind {
+		case TokSemi:
+			p.advance()
+			return
+		case TokEOF, TokConst, TokModule, TokPort, TokBus, TokParts, TokConnect, TokEnd:
+			return
+		}
+		p.advance()
+	}
+}
+
+// syncStmt skips to a statement boundary inside a behavior section: just
+// past the next ';', or at END or EOF.
+func (p *parser) syncStmt() {
+	for {
+		switch p.tok.Kind {
+		case TokSemi:
+			p.advance()
+			return
+		case TokEnd, TokEOF:
+			return
+		}
+		p.advance()
+	}
+}
+
+func (p *parser) parseModel() *Model {
+	m := &Model{}
 	if _, err := p.expect(TokProcessor); err != nil {
-		return nil, err
+		p.record(err)
+	} else if name, err := p.expect(TokIdent); err != nil {
+		p.record(err)
+		p.syncDecl()
+	} else {
+		m.Name = name.Text
+		if _, err := p.expect(TokSemi); err != nil {
+			p.record(err)
+			p.syncDecl()
+		}
 	}
-	name, err := p.expect(TokIdent)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := p.expect(TokSemi); err != nil {
-		return nil, err
-	}
-	m := &Model{Name: name.Text}
-	for p.tok.Kind != TokEOF {
+	for p.tok.Kind != TokEOF && !p.bailed() {
 		switch p.tok.Kind {
 		case TokConst:
 			d, err := p.parseConst()
 			if err != nil {
-				return nil, err
+				p.record(err)
+				p.syncDecl()
+				continue
 			}
 			m.Consts = append(m.Consts, d)
 		case TokModule:
 			mod, err := p.parseModule()
 			if err != nil {
-				return nil, err
+				p.record(err)
+				p.syncDecl()
+				continue
 			}
 			m.Modules = append(m.Modules, mod)
 		case TokPort:
 			pp, err := p.parsePrimaryPort()
 			if err != nil {
-				return nil, err
+				p.record(err)
+				p.syncDecl()
+				continue
 			}
 			m.Ports = append(m.Ports, pp)
 		case TokBus:
 			b, err := p.parseBus()
 			if err != nil {
-				return nil, err
+				p.record(err)
+				p.syncDecl()
+				continue
 			}
 			m.Buses = append(m.Buses, b)
 		case TokParts:
 			if err := p.parseParts(m); err != nil {
-				return nil, err
+				p.record(err)
+				p.syncDecl()
 			}
 		case TokConnect:
 			if err := p.parseConnects(m); err != nil {
-				return nil, err
+				p.record(err)
+				p.syncDecl()
 			}
 		case TokEnd:
 			// Optional trailing "END." or "END;".
-			if err := p.advance(); err != nil {
-				return nil, err
-			}
+			p.advance()
 			if p.tok.Kind == TokDot || p.tok.Kind == TokSemi {
-				if err := p.advance(); err != nil {
-					return nil, err
-				}
+				p.advance()
 			}
 			if p.tok.Kind != TokEOF {
-				return nil, errf(p.tok.Pos, "text after final END")
+				p.record(errf(p.tok.Pos, "text after final END"))
 			}
-			return m, nil
+			return m
 		default:
-			return nil, errf(p.tok.Pos, "expected declaration, found %s", p.tok)
+			p.record(errf(p.tok.Pos, "expected declaration, found %s", p.tok))
+			p.syncDecl()
 		}
 	}
-	return m, nil
+	return m
 }
 
 func (p *parser) parseConst() (*ConstDecl, error) {
 	pos := p.tok.Pos
-	if err := p.advance(); err != nil { // CONST
-		return nil, err
-	}
+	p.advance() // CONST
 	name, err := p.expect(TokIdent)
 	if err != nil {
 		return nil, err
@@ -158,19 +229,19 @@ func (p *parser) widthExpr() (Expr, error) {
 	switch p.tok.Kind {
 	case TokNumber:
 		e := &NumExpr{Val: p.tok.Val, Pos: p.tok.Pos}
-		return e, p.advance()
+		p.advance()
+		return e, nil
 	case TokIdent:
 		e := &IdentExpr{Name: p.tok.Text, Pos: p.tok.Pos}
-		return e, p.advance()
+		p.advance()
+		return e, nil
 	}
 	return nil, errf(p.tok.Pos, "expected width (number or constant), found %s", p.tok)
 }
 
 func (p *parser) parseModule() (*Module, error) {
 	pos := p.tok.Pos
-	if err := p.advance(); err != nil { // MODULE
-		return nil, err
-	}
+	p.advance() // MODULE
 	name, err := p.expect(TokIdent)
 	if err != nil {
 		return nil, err
@@ -189,9 +260,7 @@ func (p *parser) parseModule() (*Module, error) {
 		default:
 			return nil, errf(p.tok.Pos, "expected IN or OUT, found %s", p.tok)
 		}
-		if err := p.advance(); err != nil {
-			return nil, err
-		}
+		p.advance()
 		pn, err := p.expect(TokIdent)
 		if err != nil {
 			return nil, err
@@ -204,9 +273,7 @@ func (p *parser) parseModule() (*Module, error) {
 			return nil, err
 		}
 		mod.Ports = append(mod.Ports, &ModPort{Name: pn.Text, Dir: dir, WidthRaw: w, Pos: pn.Pos})
-		if ok, err := p.accept(TokSemi); err != nil {
-			return nil, err
-		} else if !ok {
+		if !p.accept(TokSemi) {
 			break
 		}
 	}
@@ -218,14 +285,10 @@ func (p *parser) parseModule() (*Module, error) {
 	}
 	// Optional VAR section.
 	for p.tok.Kind == TokVar {
-		if err := p.advance(); err != nil {
-			return nil, err
-		}
+		p.advance()
 		for p.tok.Kind == TokIdent {
 			vn := p.tok
-			if err := p.advance(); err != nil {
-				return nil, err
-			}
+			p.advance()
 			if _, err := p.expect(TokColon); err != nil {
 				return nil, err
 			}
@@ -234,9 +297,7 @@ func (p *parser) parseModule() (*Module, error) {
 				return nil, err
 			}
 			v := &VarDecl{Name: vn.Text, WidthRaw: w, Pos: vn.Pos}
-			if ok, err := p.accept(TokLBrack); err != nil {
-				return nil, err
-			} else if ok {
+			if p.accept(TokLBrack) {
 				sz, err := p.widthExpr()
 				if err != nil {
 					return nil, err
@@ -252,18 +313,19 @@ func (p *parser) parseModule() (*Module, error) {
 			mod.Vars = append(mod.Vars, v)
 		}
 	}
-	// Optional behavior.
-	if ok, err := p.accept(TokBegin); err != nil {
-		return nil, err
-	} else if ok {
-		for p.tok.Kind != TokEnd {
+	// Optional behavior.  Statement errors recover to the next ';' so one
+	// pass reports every bad statement in the module body.
+	if p.accept(TokBegin) {
+		for p.tok.Kind != TokEnd && p.tok.Kind != TokEOF && !p.bailed() {
 			st, err := p.parseStmt()
 			if err != nil {
-				return nil, err
+				p.record(err)
+				p.syncStmt()
+				continue
 			}
 			mod.Stmts = append(mod.Stmts, st)
 		}
-		if err := p.advance(); err != nil { // END
+		if _, err := p.expect(TokEnd); err != nil {
 			return nil, err
 		}
 	}
@@ -276,9 +338,7 @@ func (p *parser) parseModule() (*Module, error) {
 func (p *parser) parseStmt() (*Stmt, error) {
 	pos := p.tok.Pos
 	st := &Stmt{Pos: pos}
-	if ok, err := p.accept(TokAt); err != nil {
-		return nil, err
-	} else if ok {
+	if p.accept(TokAt) {
 		g, err := p.parseExpr()
 		if err != nil {
 			return nil, err
@@ -313,9 +373,7 @@ func (p *parser) parseLValue() (*LValue, error) {
 		return nil, err
 	}
 	lv := &LValue{Name: name.Text, Pos: name.Pos}
-	if ok, err := p.accept(TokLBrack); err != nil {
-		return nil, err
-	} else if ok {
+	if p.accept(TokLBrack) {
 		ix, err := p.parseExpr()
 		if err != nil {
 			return nil, err
@@ -330,9 +388,7 @@ func (p *parser) parseLValue() (*LValue, error) {
 
 func (p *parser) parsePrimaryPort() (*PrimaryPort, error) {
 	pos := p.tok.Pos
-	if err := p.advance(); err != nil { // PORT
-		return nil, err
-	}
+	p.advance() // PORT
 	var dir Dir
 	switch p.tok.Kind {
 	case TokIn:
@@ -342,9 +398,7 @@ func (p *parser) parsePrimaryPort() (*PrimaryPort, error) {
 	default:
 		return nil, errf(p.tok.Pos, "expected IN or OUT after PORT, found %s", p.tok)
 	}
-	if err := p.advance(); err != nil {
-		return nil, err
-	}
+	p.advance()
 	name, err := p.expect(TokIdent)
 	if err != nil {
 		return nil, err
@@ -364,9 +418,7 @@ func (p *parser) parsePrimaryPort() (*PrimaryPort, error) {
 
 func (p *parser) parseBus() (*BusDecl, error) {
 	pos := p.tok.Pos
-	if err := p.advance(); err != nil { // BUS
-		return nil, err
-	}
+	p.advance() // BUS
 	name, err := p.expect(TokIdent)
 	if err != nil {
 		return nil, err
@@ -385,14 +437,10 @@ func (p *parser) parseBus() (*BusDecl, error) {
 }
 
 func (p *parser) parseParts(m *Model) error {
-	if err := p.advance(); err != nil { // PARTS
-		return err
-	}
+	p.advance() // PARTS
 	for p.tok.Kind == TokIdent {
 		name := p.tok
-		if err := p.advance(); err != nil {
-			return err
-		}
+		p.advance()
 		if _, err := p.expect(TokColon); err != nil {
 			return err
 		}
@@ -412,9 +460,7 @@ func (p *parser) parseParts(m *Model) error {
 			default:
 				return errf(p.tok.Pos, "unknown part flag %q (want INSTRUCTION, MODE or PC)", p.tok.Text)
 			}
-			if err := p.advance(); err != nil {
-				return err
-			}
+			p.advance()
 		}
 		if _, err := p.expect(TokSemi); err != nil {
 			return err
@@ -425,19 +471,13 @@ func (p *parser) parseParts(m *Model) error {
 }
 
 func (p *parser) parseConnects(m *Model) error {
-	if err := p.advance(); err != nil { // CONNECT
-		return err
-	}
+	p.advance() // CONNECT
 	for p.tok.Kind == TokIdent {
 		pos := p.tok.Pos
 		first := p.tok
-		if err := p.advance(); err != nil {
-			return err
-		}
+		p.advance()
 		c := &Connect{Pos: pos}
-		if ok, err := p.accept(TokDot); err != nil {
-			return err
-		} else if ok {
+		if p.accept(TokDot) {
 			port, err := p.expect(TokIdent)
 			if err != nil {
 				return err
@@ -455,9 +495,7 @@ func (p *parser) parseConnects(m *Model) error {
 			return err
 		}
 		c.Src = src
-		if ok, err := p.accept(TokWhen); err != nil {
-			return err
-		} else if ok {
+		if p.accept(TokWhen) {
 			w, err := p.parseExpr()
 			if err != nil {
 				return err
@@ -493,9 +531,7 @@ func (p *parser) binary(lv binLevel) (Expr, error) {
 			return x, nil
 		}
 		pos := p.tok.Pos
-		if err := p.advance(); err != nil {
-			return nil, err
-		}
+		p.advance()
 		y, err := lv.next()
 		if err != nil {
 			return nil, err
@@ -543,18 +579,14 @@ func (p *parser) parseUnary() (Expr, error) {
 	pos := p.tok.Pos
 	switch p.tok.Kind {
 	case TokMinus:
-		if err := p.advance(); err != nil {
-			return nil, err
-		}
+		p.advance()
 		x, err := p.parseUnary()
 		if err != nil {
 			return nil, err
 		}
 		return &UnExpr{Op: rtl.OpNeg, X: x, Pos: pos}, nil
 	case TokTilde:
-		if err := p.advance(); err != nil {
-			return nil, err
-		}
+		p.advance()
 		x, err := p.parseUnary()
 		if err != nil {
 			return nil, err
@@ -562,9 +594,7 @@ func (p *parser) parseUnary() (Expr, error) {
 		return &UnExpr{Op: rtl.OpNot, X: x, Pos: pos}, nil
 	case TokBang:
 		// !x is sugar for x == 0.
-		if err := p.advance(); err != nil {
-			return nil, err
-		}
+		p.advance()
 		x, err := p.parseUnary()
 		if err != nil {
 			return nil, err
@@ -581,17 +611,13 @@ func (p *parser) parsePostfix() (Expr, error) {
 	}
 	for p.tok.Kind == TokLBrack {
 		pos := p.tok.Pos
-		if err := p.advance(); err != nil {
-			return nil, err
-		}
+		p.advance()
 		hi, err := p.parseExpr()
 		if err != nil {
 			return nil, err
 		}
 		ix := &IndexExpr{X: x, Hi: hi, Pos: pos}
-		if ok, err := p.accept(TokColon); err != nil {
-			return nil, err
-		} else if ok {
+		if p.accept(TokColon) {
 			lo, err := p.parseExpr()
 			if err != nil {
 				return nil, err
@@ -611,15 +637,12 @@ func (p *parser) parsePrimary() (Expr, error) {
 	switch p.tok.Kind {
 	case TokNumber:
 		v := p.tok.Val
-		return &NumExpr{Val: v, Pos: pos}, p.advance()
+		p.advance()
+		return &NumExpr{Val: v, Pos: pos}, nil
 	case TokIdent:
 		name := p.tok.Text
-		if err := p.advance(); err != nil {
-			return nil, err
-		}
-		if ok, err := p.accept(TokDot); err != nil {
-			return nil, err
-		} else if ok {
+		p.advance()
+		if p.accept(TokDot) {
 			port, err := p.expect(TokIdent)
 			if err != nil {
 				return nil, err
@@ -628,9 +651,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 		}
 		return &IdentExpr{Name: name, Pos: pos}, nil
 	case TokLParen:
-		if err := p.advance(); err != nil {
-			return nil, err
-		}
+		p.advance()
 		x, err := p.parseExpr()
 		if err != nil {
 			return nil, err
@@ -647,9 +668,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 
 func (p *parser) parseCase() (Expr, error) {
 	pos := p.tok.Pos
-	if err := p.advance(); err != nil { // CASE
-		return nil, err
-	}
+	p.advance() // CASE
 	sel, err := p.parseExpr()
 	if err != nil {
 		return nil, err
@@ -659,9 +678,7 @@ func (p *parser) parseCase() (Expr, error) {
 	}
 	ce := &CaseExpr{Sel: sel, Pos: pos}
 	for p.tok.Kind != TokEnd {
-		if ok, err := p.accept(TokElse); err != nil {
-			return nil, err
-		} else if ok {
+		if p.accept(TokElse) {
 			if _, err := p.expect(TokColon); err != nil {
 				return nil, err
 			}
@@ -675,12 +692,7 @@ func (p *parser) parseCase() (Expr, error) {
 			}
 			continue
 		}
-		neg := false
-		if ok, err := p.accept(TokMinus); err != nil {
-			return nil, err
-		} else if ok {
-			neg = true
-		}
+		neg := p.accept(TokMinus)
 		num, err := p.expect(TokNumber)
 		if err != nil {
 			return nil, err
@@ -701,8 +713,6 @@ func (p *parser) parseCase() (Expr, error) {
 			return nil, err
 		}
 	}
-	if err := p.advance(); err != nil { // END
-		return nil, err
-	}
+	p.advance() // END
 	return ce, nil
 }

@@ -25,10 +25,14 @@
 package ise
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/bdd"
 	"repro/internal/bitvec"
+	"repro/internal/diag"
+	"repro/internal/faultpoint"
 	"repro/internal/hdl"
 	"repro/internal/netlist"
 	"repro/internal/rtl"
@@ -45,6 +49,13 @@ type Options struct {
 	// instead of LSB-first (variable-order ablation; conditions are
 	// typically decoded from high opcode bits, so order affects BDD size).
 	MSBFirstVars bool
+	// Reporter receives a warning for every destination dropped during
+	// degraded extraction.  nil is safe: warnings are discarded.
+	Reporter *diag.Reporter
+	// Budget bounds extraction effort (deadline, BDD node cap).  When it
+	// is exhausted mid-extraction, enumeration stops and the partial
+	// template base built so far is returned.  nil means unlimited.
+	Budget *diag.Budget
 }
 
 // DefaultOptions returns the limits used by the paper-scale models.
@@ -95,6 +106,13 @@ type Stats struct {
 	Unsatisfiable    int // discarded: conflicting execution conditions
 	Templates        int // final template count
 	BDDNodes         int // size of the BDD universe after extraction
+	// Dropped counts RT destinations abandoned after route explosion,
+	// unsupported constructs or recovered panics; the rest of the
+	// instruction set is still extracted (degraded mode).
+	Dropped int
+	// Partial is set when the Budget ran out mid-extraction and later
+	// destinations were never visited.
+	Partial bool
 }
 
 // Result is the output of extraction.
@@ -107,6 +125,13 @@ type Result struct {
 }
 
 // Extract runs instruction-set extraction on an elaborated netlist.
+//
+// Extraction degrades gracefully: when route enumeration for one RT
+// destination explodes past Options.MaxAlts, hits an unsupported construct
+// or panics on a pipeline invariant, only that destination is dropped (with
+// a warning on Options.Reporter) and the remaining instruction set is still
+// extracted.  Extract returns an error only when nothing usable survives or
+// the failure precedes enumeration.
 func Extract(n *netlist.Netlist, opts Options) (*Result, error) {
 	if opts.MaxAlts <= 0 {
 		opts.MaxAlts = DefaultOptions().MaxAlts
@@ -127,6 +152,9 @@ func Extract(n *netlist.Netlist, opts Options) (*Result, error) {
 	}
 	x.res.Stats.Templates = x.res.Base.Len()
 	x.res.Stats.BDDNodes = x.m.Size()
+	if x.res.Base.Len() == 0 && x.res.Stats.Dropped > 0 {
+		return nil, fmt.Errorf("ise: no usable templates: all %d destinations dropped", x.res.Stats.Dropped)
+	}
 	return x.res, nil
 }
 
@@ -152,6 +180,11 @@ type extractor struct {
 
 	outMemo map[string][]alt     // "inst.port" -> route alternatives
 	symMemo map[string]symResult // "inst.port" -> symbolic control value
+
+	// pending buffers the current destination's templates; they reach the
+	// base only if the whole destination enumerates successfully, so a
+	// dropped destination leaves no half-enumerated alternatives behind.
+	pending []*rtl.Template
 }
 
 // declareVars declares instruction bits first (they dominate conditions),
@@ -180,6 +213,9 @@ func (x *extractor) declareVars() {
 }
 
 func (x *extractor) run() error {
+	if err := faultpoint.Hit("ise.extract", ""); err != nil {
+		return fmt.Errorf("ise: %w", err)
+	}
 	// RT destinations: every write statement of every data storage ...
 	for _, s := range x.n.DataStorages() {
 		inst := s.Inst
@@ -187,28 +223,83 @@ func (x *extractor) run() error {
 			if st.LHS.Var == nil || st.LHS.Name != s.Var.Name {
 				continue
 			}
-			if err := x.extractWrite(s, inst, st); err != nil {
-				return err
+			if stop := x.extractDest(s.QName(), func() error {
+				return x.extractWrite(s, inst, st)
+			}); stop {
+				return nil
 			}
 		}
 	}
-	// ... plus primary output ports.
-	for name, drv := range x.n.PrimaryOut {
-		alts, err := x.resolveDriver(drv)
-		if err != nil {
-			return err
-		}
-		for _, a := range alts {
-			x.emit(&rtl.Template{
-				Dest:     name,
-				DestPort: true,
-				Src:      a.expr,
-				Width:    drv.Width,
-				Cond:     rtl.ExecCond{Static: a.cond, Dynamic: a.dyn},
-			})
+	// ... plus primary output ports, in deterministic order.
+	outs := make([]string, 0, len(x.n.PrimaryOut))
+	for name := range x.n.PrimaryOut {
+		outs = append(outs, name)
+	}
+	sort.Strings(outs)
+	for _, name := range outs {
+		drv := x.n.PrimaryOut[name]
+		if stop := x.extractDest(name, func() error {
+			alts, err := x.resolveDriver(drv)
+			if err != nil {
+				return err
+			}
+			for _, a := range alts {
+				x.emit(&rtl.Template{
+					Dest:     name,
+					DestPort: true,
+					Src:      a.expr,
+					Width:    drv.Width,
+					Cond:     rtl.ExecCond{Static: a.cond, Dynamic: a.dyn},
+				})
+			}
+			return nil
+		}); stop {
+			return nil
 		}
 	}
 	return nil
+}
+
+// extractDest enumerates one RT destination under a recovery boundary.
+// A route error or recovered panic drops only this destination with a
+// warning; budget exhaustion stops extraction entirely, keeping the
+// partial base (stop=true).  Buffered templates reach the base only on
+// success.
+func (x *extractor) extractDest(dest string, fn func() error) (stop bool) {
+	x.pending = x.pending[:0]
+	err := faultpoint.Hit("ise.route.explosion", dest)
+	if err != nil {
+		err = fmt.Errorf("ise: route explosion in %s (limit %d): %w", dest, x.opts.MaxAlts, err)
+	} else {
+		err = diag.Capture(func() error {
+			if err := x.opts.Budget.Exceeded(); err != nil {
+				return err
+			}
+			if err := x.opts.Budget.NodesExceeded(x.m.Size()); err != nil {
+				return err
+			}
+			return fn()
+		})
+	}
+	if err == nil {
+		for _, t := range x.pending {
+			x.res.Base.Add(t)
+		}
+		x.pending = x.pending[:0]
+		return false
+	}
+	x.pending = x.pending[:0]
+	var be *diag.BudgetError
+	if errors.As(err, &be) {
+		x.res.Stats.Partial = true
+		x.opts.Reporter.Warnf("ise", diag.Pos{},
+			"extraction budget exhausted at destination %s (%v); template base is partial", dest, err)
+		return true
+	}
+	x.res.Stats.Dropped++
+	x.opts.Reporter.Warnf("ise", diag.Pos{},
+		"dropping destination %s: %v; retargeting continues without it", dest, err)
+	return false
 }
 
 // extractWrite enumerates templates for one guarded storage write.
@@ -265,10 +356,10 @@ func (x *extractor) extractWrite(s *netlist.Storage, inst *netlist.Inst, st *hdl
 }
 
 func (x *extractor) emit(t *rtl.Template) {
-	if x.res.Base.Len() >= x.opts.MaxTemplates {
+	if x.res.Base.Len()+len(x.pending) >= x.opts.MaxTemplates {
 		return
 	}
-	x.res.Base.Add(t)
+	x.pending = append(x.pending, t)
 }
 
 func concatDyn(ds ...[]*rtl.Expr) []*rtl.Expr {
@@ -573,6 +664,9 @@ func (x *extractor) resolveModExpr(inst *netlist.Inst, e hdl.Expr) ([]alt, error
 		}
 		var out []alt
 		for _, a := range as {
+			if err := x.opts.Budget.Exceeded(); err != nil {
+				return nil, err
+			}
 			for _, b := range bs {
 				cond := x.m.And(a.cond, b.cond)
 				if cond == x.m.False() {
@@ -634,6 +728,9 @@ func (x *extractor) resolveCase(inst *netlist.Inst, ce *hdl.CaseExpr) ([]alt, er
 
 	var out []alt
 	addBranch := func(cond *bdd.Node, dyn []*rtl.Expr, body hdl.Expr) error {
+		if err := x.opts.Budget.Exceeded(); err != nil {
+			return err
+		}
 		if cond == x.m.False() {
 			x.res.Stats.Unsatisfiable++
 			return nil
@@ -767,6 +864,9 @@ func (x *extractor) resolveBus(b *netlist.Bus) ([]alt, error) {
 
 	var out []alt
 	for i, bd := range b.Drivers {
+		if err := x.opts.Budget.Exceeded(); err != nil {
+			return nil, err
+		}
 		cond := enables[i].cond
 		var dyn []*rtl.Expr
 		if enables[i].dyn != nil {

@@ -1,9 +1,12 @@
 package ise
 
 import (
+	"context"
 	"strings"
 	"testing"
 
+	"repro/internal/diag"
+	"repro/internal/faultpoint"
 	"repro/internal/hdl"
 	"repro/internal/netlist"
 	"repro/internal/rtl"
@@ -402,9 +405,12 @@ func TestModeRegisterConditions(t *testing.T) {
 	}
 }
 
-func TestExtractErrors(t *testing.T) {
+func TestExtractDegradesOnRouteExplosion(t *testing.T) {
 	// Undriven-port models are rejected by the checker, so exercise the
-	// route-explosion limit instead.
+	// route-explosion limit instead.  With MaxAlts=1 exploding destinations
+	// are dropped with warnings; extraction either degrades (some routes
+	// survive) or fails outright when nothing survives — it must not crash
+	// and must account for every destination it abandoned.
 	m, err := hdl.ParseAndCheck(tinySrc)
 	if err != nil {
 		t.Fatal(err)
@@ -413,8 +419,132 @@ func TestExtractErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Extract(n, Options{MaxAlts: 1, MaxTemplates: 10}); err == nil {
-		t.Error("expected route-explosion error with MaxAlts=1")
+	rep := &diag.Reporter{}
+	res, err := Extract(n, Options{MaxAlts: 1, MaxTemplates: 10, Reporter: rep})
+	if err != nil {
+		if rep.Warns() == 0 {
+			t.Errorf("total failure must still explain itself: %v, no warnings", err)
+		}
+		return
+	}
+	if res.Stats.Dropped == 0 {
+		t.Error("MaxAlts=1 should drop at least one destination on tinySrc")
+	}
+	if got := rep.Warns(); got != res.Stats.Dropped {
+		t.Errorf("warnings = %d, dropped = %d; want one warning per dropped destination", got, res.Stats.Dropped)
+	}
+	if res.Base.Len() == 0 {
+		t.Error("degraded result should keep surviving templates")
+	}
+}
+
+// TestExtractFaultpointDropsOneDestination injects a route explosion into a
+// single destination and checks that exactly that destination is dropped
+// while the rest of the instruction set survives intact.
+func TestExtractFaultpointDropsOneDestination(t *testing.T) {
+	m, err := hdl.ParseAndCheck(tinySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := netlist.Elaborate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Extract(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dests := full.Base.Destinations()
+	if len(dests) < 2 {
+		t.Fatalf("need >= 2 destinations, got %v", dests)
+	}
+	victim := dests[0]
+
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	faultpoint.Arm("ise.route.explosion", faultpoint.Action{Kind: faultpoint.KindError, Match: victim})
+	rep := &diag.Reporter{}
+	res, err := Extract(n, Options{Reporter: rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", res.Stats.Dropped)
+	}
+	if rep.Warns() != 1 {
+		t.Errorf("warnings = %d, want 1: %v", rep.Warns(), rep.Diags())
+	}
+	for _, d := range res.Base.Destinations() {
+		if d == victim {
+			t.Errorf("victim destination %s still present", victim)
+		}
+	}
+	// Every other destination is unaffected.
+	want := make(map[string]bool)
+	for _, d := range dests {
+		if d != victim {
+			want[d] = true
+		}
+	}
+	for _, d := range res.Base.Destinations() {
+		delete(want, d)
+	}
+	for d := range want {
+		t.Errorf("destination %s lost collaterally", d)
+	}
+}
+
+// TestExtractBudgetPartial stops extraction with an already-expired deadline:
+// the result is empty/partial but Extract reports it rather than hanging.
+func TestExtractBudgetPartial(t *testing.T) {
+	m, err := hdl.ParseAndCheck(tinySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := netlist.Elaborate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep := &diag.Reporter{}
+	res, err := Extract(n, Options{Reporter: rep, Budget: &diag.Budget{Ctx: ctx}})
+	if err != nil {
+		// All destinations unvisited: acceptable only if warned.
+		if rep.Warns() == 0 {
+			t.Errorf("budget failure unexplained: %v", err)
+		}
+		return
+	}
+	if !res.Stats.Partial {
+		t.Error("Stats.Partial not set under expired budget")
+	}
+	if rep.Warns() == 0 {
+		t.Error("no warning for partial extraction")
+	}
+}
+
+// TestExtractBudgetNodeCap bounds the BDD universe; extraction stops with a
+// partial base once the cap is crossed.
+func TestExtractBudgetNodeCap(t *testing.T) {
+	m, err := hdl.ParseAndCheck(tinySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := netlist.Elaborate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &diag.Reporter{}
+	res, err := Extract(n, Options{Reporter: rep, Budget: &diag.Budget{MaxBDDNodes: 1}})
+	if err != nil {
+		if rep.Warns() == 0 {
+			t.Errorf("node-cap failure unexplained: %v", err)
+		}
+		return
+	}
+	if !res.Stats.Partial {
+		t.Error("Stats.Partial not set under 1-node cap")
 	}
 }
 

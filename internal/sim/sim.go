@@ -16,6 +16,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/faultpoint"
 	"repro/internal/hdl"
 	"repro/internal/netlist"
 	"repro/internal/rtl"
@@ -116,6 +117,9 @@ type write struct {
 
 // Step executes one machine cycle.
 func (s *Simulator) Step() error {
+	if err := faultpoint.Hit("sim.step", s.N.Name); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
 	s.outCache = make(map[string]int64)
 	s.busCache = make(map[string]int64)
 	var writes []write

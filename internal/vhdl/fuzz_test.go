@@ -1,0 +1,29 @@
+package vhdl_test
+
+import (
+	"testing"
+
+	"repro/internal/hdl"
+	"repro/internal/vhdl"
+)
+
+// FuzzParse feeds arbitrary text through the VHDL-subset translator.  The
+// contract: Translate never panics, and when it succeeds the emitted MDL
+// must itself parse (the translator may not fabricate syntax errors).
+func FuzzParse(f *testing.F) {
+	f.Add(cpuVHDL)
+	f.Add("entity cpu is end;")
+	f.Add("-- comment only\n")
+	f.Add("entity e is port (clk : in std_logic); end entity;")
+	f.Add("architecture rtl of cpu is begin end;")
+	f.Add("entity \x00 is")
+	f.Fuzz(func(t *testing.T, src string) {
+		mdl, err := vhdl.Translate(src)
+		if err != nil {
+			return
+		}
+		if _, err := hdl.Parse(mdl); err != nil {
+			t.Fatalf("translator emitted unparseable MDL: %v\ninput:\n%s\noutput:\n%s", err, src, mdl)
+		}
+	})
+}
