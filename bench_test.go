@@ -22,6 +22,7 @@ import (
 	"repro/internal/ise"
 	"repro/internal/models"
 	"repro/internal/naive"
+	"repro/internal/rcache"
 )
 
 // ---- Table 3: retargeting time per processor model ---------------------
@@ -49,6 +50,63 @@ func BenchmarkTable3_ManoCPU(b *testing.B)   { benchRetarget(b, "manocpu") }
 func BenchmarkTable3_Tanenbaum(b *testing.B) { benchRetarget(b, "tanenbaum") }
 func BenchmarkTable3_BassBoost(b *testing.B) { benchRetarget(b, "bass_boost") }
 func BenchmarkTable3_TMS320C25(b *testing.B) { benchRetarget(b, "tms320c25") }
+
+// BenchmarkRetargetCached measures the artifact cache against the full
+// pipeline: Cold is one complete retarget per iteration, WarmDisk decodes
+// the persisted artifact (a fresh cache instance each iteration, so the
+// memory tier never helps), WarmMem hits the in-memory LRU.  The paper's
+// economics demand WarmDisk ≫ Cold.
+func BenchmarkRetargetCached(b *testing.B) {
+	mdl, ok := models.Get("tms320c25")
+	if !ok {
+		b.Fatal("model tms320c25 missing")
+	}
+	dir := b.TempDir()
+	warm, err := rcache.New(rcache.Options{Dir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := warm.Get(mdl, core.RetargetOptions{}); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("Cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Retarget(mdl, core.RetargetOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("WarmDisk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c, err := rcache.New(rcache.Options{Dir: dir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, out, err := c.Get(mdl, core.RetargetOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out != rcache.Disk {
+				b.Fatalf("outcome %s, want disk hit", out)
+			}
+		}
+	})
+	b.Run("WarmMem", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, out, err := warm.Get(mdl, core.RetargetOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !out.Hit() {
+				b.Fatalf("outcome %s, want hit", out)
+			}
+		}
+	})
+}
 
 // ---- Figure 2: DSPStone kernel compilation on the TMS320C25 ------------
 

@@ -19,6 +19,8 @@
 //	-no-extension      disable template-base extension
 //	-seq               print the sequential RT code as well
 //	-stats             print retargeting and compilation statistics
+//	-cache-dir dir     reuse retarget artifacts across runs (prints
+//	                   "cache: hit|miss" under -stats)
 //	-run               execute on the netlist simulator and dump variables
 //	-strict            treat warnings as errors
 //	-max-errors n      stop after n errors (0 = unlimited)
@@ -52,6 +54,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/models"
 	"repro/internal/naive"
+	"repro/internal/rcache"
 	"repro/internal/vhdl"
 )
 
@@ -76,6 +79,7 @@ type config struct {
 	noExtension                  bool
 	showSeq, showStats, execute  bool
 
+	cacheDir    string
 	strict      bool
 	maxErrors   int
 	timeout     time.Duration
@@ -104,6 +108,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&c.showSeq, "seq", false, "print sequential RT code")
 	fs.BoolVar(&c.showStats, "stats", false, "print statistics")
 	fs.BoolVar(&c.execute, "run", false, "simulate and dump final variables")
+	fs.StringVar(&c.cacheDir, "cache-dir", "", "retarget artifact cache directory (skips ISE on repeat runs)")
 	fs.BoolVar(&c.strict, "strict", false, "treat warnings as errors")
 	fs.IntVar(&c.maxErrors, "max-errors", 0, "stop after this many errors (0 = unlimited)")
 	fs.DurationVar(&c.timeout, "timeout", 0, "wall-clock budget for the whole run (0 = unlimited)")
@@ -229,13 +234,35 @@ func compile(c *config, rep *diag.Reporter, budget *diag.Budget, stdout io.Write
 		return err
 	}
 
-	target, err := core.Retarget(mdl, core.RetargetOptions{
+	ropts := core.RetargetOptions{
 		NoExtension: c.noExtension,
 		Reporter:    rep,
 		Budget:      budget,
-	})
-	if err != nil {
-		return err
+	}
+	var target *core.Target
+	if c.cacheDir != "" {
+		cache, err := rcache.New(rcache.Options{Dir: c.cacheDir, MaxEntries: 1, Reporter: rep})
+		if err != nil {
+			return err
+		}
+		entry, outcome, err := cache.Get(mdl, ropts)
+		if err != nil {
+			return err
+		}
+		target = entry.Target()
+		if c.showStats {
+			state := "miss"
+			if outcome.Hit() {
+				state = "hit"
+			}
+			fmt.Fprintf(stdout, "cache: %s\n", state)
+		}
+	} else {
+		var err error
+		target, err = core.Retarget(mdl, ropts)
+		if err != nil {
+			return err
+		}
 	}
 	if c.showStats {
 		printRetargetStats(stdout, target)

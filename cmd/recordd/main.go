@@ -1,0 +1,61 @@
+// Command recordd is the long-running compile service over the retargetable
+// compiler: the expensive retarget step (ISE → template extension → tree
+// grammar → BURS tables) runs at most once per processor model and is kept
+// as a content-addressed artifact in a two-tier cache (internal/rcache);
+// compile requests against a cached model pay only code selection,
+// compaction and encoding.
+//
+// Endpoints:
+//
+//	POST /v1/retarget  {"model": "<MDL source>"} or {"model_name": "tms320c25"}
+//	                   → {"key", "name", "templates", "rules", "cache"}
+//	POST /v1/compile   {"key": "<artifact key>"} or a model selector, plus
+//	                   {"source": "<RecC program>", "options": {...}}
+//	                   → {"key", "cache", "words", "listing", "seq_len", "code_len"}
+//	GET  /healthz      liveness
+//	GET  /metrics      cache counters, in-flight compiles, per-phase latency
+//
+// Flags:
+//
+//	-addr host:port    listen address (default :8347)
+//	-cache-dir dir     artifact store directory (default: memory-only)
+//	-cache-size n      in-memory target LRU capacity
+//	-workers n         bounded worker pool for retarget/compile work
+//	-timeout d         per-request wall-clock budget (0 = unlimited)
+//	-max-bdd-nodes n   per-request BDD universe cap (0 = unlimited)
+//	-max-routes n      per-request route enumeration cap (0 = default)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8347", "listen address")
+		cfg  serverConfig
+	)
+	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "artifact store directory (empty = memory-only)")
+	flag.IntVar(&cfg.cacheSize, "cache-size", 16, "in-memory target LRU capacity")
+	flag.IntVar(&cfg.workers, "workers", 4, "bounded worker pool size")
+	flag.DurationVar(&cfg.timeout, "timeout", 2*time.Minute, "per-request wall-clock budget (0 = unlimited)")
+	flag.IntVar(&cfg.maxBDDNodes, "max-bdd-nodes", 0, "per-request BDD universe cap (0 = unlimited)")
+	flag.IntVar(&cfg.maxRoutes, "max-routes", 0, "per-request route enumeration cap (0 = default)")
+	flag.Parse()
+
+	s, err := newServer(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "recordd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("recordd listening on %s (workers=%d, cache-dir=%q)\n",
+		*addr, s.cfg.workers, s.cfg.cacheDir)
+	if err := http.ListenAndServe(*addr, s.handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "recordd: %v\n", err)
+		os.Exit(1)
+	}
+}

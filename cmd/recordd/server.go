@@ -1,0 +1,391 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/models"
+	"repro/internal/rcache"
+)
+
+// serverConfig tunes one daemon instance.
+type serverConfig struct {
+	cacheDir    string
+	cacheSize   int
+	workers     int           // bounded worker pool for retarget/compile work
+	timeout     time.Duration // per-request wall-clock budget (0 = unlimited)
+	maxBDDNodes int           // per-request BDD node cap (0 = unlimited)
+	maxRoutes   int           // per-request route cap (0 = phase default)
+	maxBody     int64         // request body cap in bytes
+}
+
+func (c serverConfig) withDefaults() serverConfig {
+	if c.workers <= 0 {
+		c.workers = 4
+	}
+	if c.cacheSize <= 0 {
+		c.cacheSize = rcache.DefaultMaxEntries
+	}
+	if c.maxBody <= 0 {
+		c.maxBody = 4 << 20
+	}
+	return c
+}
+
+// phaseClock accumulates latency for one phase of request handling.
+type phaseClock struct {
+	count int64 // atomic
+	nanos int64 // atomic
+}
+
+func (p *phaseClock) observe(d time.Duration) {
+	atomic.AddInt64(&p.count, 1)
+	atomic.AddInt64(&p.nanos, int64(d))
+}
+
+func (p *phaseClock) snapshot() (count int64, seconds float64) {
+	return atomic.LoadInt64(&p.count), float64(atomic.LoadInt64(&p.nanos)) / 1e9
+}
+
+// server is the recordd HTTP service: a retarget-artifact cache behind
+// /v1/retarget and /v1/compile, with health and metrics endpoints.
+type server struct {
+	cfg   serverConfig
+	cache *rcache.Cache
+	sem   chan struct{} // worker pool slots
+
+	inflight int64 // atomic: compiles currently executing
+
+	retargetClock phaseClock // time inside cache.Get (includes hits)
+	compileClock  phaseClock // time inside Entry.Compile
+	encodeClock   phaseClock // time rendering responses
+}
+
+func newServer(cfg serverConfig) (*server, error) {
+	cfg = cfg.withDefaults()
+	cache, err := rcache.New(rcache.Options{Dir: cfg.cacheDir, MaxEntries: cfg.cacheSize})
+	if err != nil {
+		return nil, err
+	}
+	return &server{
+		cfg:   cfg,
+		cache: cache,
+		sem:   make(chan struct{}, cfg.workers),
+	}, nil
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/retarget", s.handleRetarget)
+	mux.HandleFunc("/v1/compile", s.handleCompile)
+	return mux
+}
+
+// acquire takes a worker-pool slot, failing with 503 when the client goes
+// away before one frees up.
+func (s *server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("worker pool saturated: %w", ctx.Err())
+	}
+}
+
+func (s *server) release() { <-s.sem }
+
+// budget builds the per-request resource budget, mirroring the record CLI:
+// wall-clock timeout, BDD-node cap, route cap.
+func (s *server) budget(ctx context.Context) (*diag.Budget, context.CancelFunc) {
+	cancel := context.CancelFunc(func() {})
+	if s.cfg.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.timeout)
+	}
+	return &diag.Budget{Ctx: ctx, MaxBDDNodes: s.cfg.maxBDDNodes, MaxRoutes: s.cfg.maxRoutes}, cancel
+}
+
+// ---- request/response types --------------------------------------------
+
+// modelRequest selects a processor model: inline MDL source or the name of
+// a bundled model.
+type modelRequest struct {
+	Model     string `json:"model,omitempty"`      // inline MDL source
+	ModelName string `json:"model_name,omitempty"` // bundled model (see record -list)
+}
+
+func (m *modelRequest) source() (string, error) {
+	switch {
+	case m.Model != "" && m.ModelName != "":
+		return "", fmt.Errorf("use either model or model_name, not both")
+	case m.Model != "":
+		return m.Model, nil
+	case m.ModelName != "":
+		src, ok := models.Get(m.ModelName)
+		if !ok {
+			return "", fmt.Errorf("unknown bundled model %q", m.ModelName)
+		}
+		return src, nil
+	}
+	return "", fmt.Errorf("no model: set model (inline MDL) or model_name")
+}
+
+type retargetRequest struct {
+	modelRequest
+}
+
+type retargetResponse struct {
+	Key       string `json:"key"`
+	Name      string `json:"name"`
+	Templates int    `json:"templates"`
+	Rules     int    `json:"rules"`
+	Cache     string `json:"cache"` // hit | hit-disk | miss | coalesced
+	Warnings  int    `json:"warnings,omitempty"`
+}
+
+type compileRequest struct {
+	modelRequest
+	Key     string `json:"key,omitempty"` // artifact key from /v1/retarget
+	Source  string `json:"source"`        // RecC program
+	Options struct {
+		NoCompaction bool `json:"no_compaction,omitempty"`
+		NoPeephole   bool `json:"no_peephole,omitempty"`
+	} `json:"options"`
+}
+
+type compileResponse struct {
+	Key     string   `json:"key"`
+	Name    string   `json:"name"`
+	Cache   string   `json:"cache"`
+	SeqLen  int      `json:"seq_len"`  // RT instructions before compaction
+	CodeLen int      `json:"code_len"` // instruction words
+	Words   []uint64 `json:"words"`
+	Listing string   `json:"listing"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- handlers -----------------------------------------------------------
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	st := s.cache.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var lines []string
+	add := func(name string, v interface{}) {
+		lines = append(lines, fmt.Sprintf("recordd_%s %v", name, v))
+	}
+	add("cache_mem_hits_total", st.MemHits)
+	add("cache_disk_hits_total", st.DiskHits)
+	add("cache_misses_total", st.Misses)
+	add("cache_coalesced_total", st.Coalesced)
+	add("cache_evictions_total", st.Evictions)
+	add("cache_corrupt_total", st.Corrupt)
+	add("retargets_total", st.Retargets)
+	add("inflight_compiles", atomic.LoadInt64(&s.inflight))
+	add("worker_pool_size", s.cfg.workers)
+	for _, pc := range []struct {
+		name  string
+		clock *phaseClock
+	}{
+		{"retarget", &s.retargetClock},
+		{"compile", &s.compileClock},
+		{"encode", &s.encodeClock},
+	} {
+		n, secs := pc.clock.snapshot()
+		add("phase_"+pc.name+"_count", n)
+		add("phase_"+pc.name+"_seconds_total", fmt.Sprintf("%.6f", secs))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}
+
+func (s *server) handleRetarget(w http.ResponseWriter, r *http.Request) {
+	var req retargetRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	mdl, err := req.source()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		s.fail(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer s.release()
+
+	rep := diag.NewReporter()
+	budget, cancel := s.budget(r.Context())
+	defer cancel()
+
+	start := time.Now()
+	entry, outcome, err := s.cache.Get(mdl, core.RetargetOptions{Reporter: rep, Budget: budget})
+	s.retargetClock.observe(time.Since(start))
+	if err != nil {
+		s.fail(w, statusFor(err), fmt.Errorf("retarget: %w", err))
+		return
+	}
+	t := entry.Target()
+	writeJSON(w, http.StatusOK, retargetResponse{
+		Key:       entry.Key,
+		Name:      t.Name,
+		Templates: t.Base.Len(),
+		Rules:     len(t.Grammar.Rules),
+		Cache:     string(outcome),
+		Warnings:  rep.Warns(),
+	})
+}
+
+func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req compileRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.Source == "" {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("no source program"))
+		return
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		s.fail(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer s.release()
+	atomic.AddInt64(&s.inflight, 1)
+	defer atomic.AddInt64(&s.inflight, -1)
+
+	var (
+		entry   *rcache.Entry
+		outcome rcache.Outcome
+	)
+	switch {
+	case req.Key != "":
+		if req.Model != "" || req.ModelName != "" {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("use either key or a model, not both"))
+			return
+		}
+		var ok bool
+		entry, ok = s.cache.Lookup(req.Key)
+		if !ok {
+			s.fail(w, http.StatusNotFound,
+				fmt.Errorf("no artifact for key %s: retarget first or send the model inline", req.Key))
+			return
+		}
+		outcome = rcache.Mem
+	default:
+		mdl, err := req.source()
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		budget, cancel := s.budget(r.Context())
+		defer cancel()
+		start := time.Now()
+		entry, outcome, err = s.cache.Get(mdl, core.RetargetOptions{Budget: budget})
+		s.retargetClock.observe(time.Since(start))
+		if err != nil {
+			s.fail(w, statusFor(err), fmt.Errorf("retarget: %w", err))
+			return
+		}
+	}
+
+	start := time.Now()
+	res, err := entry.Compile(req.Source, core.CompileOptions{
+		NoCompaction: req.Options.NoCompaction,
+		NoPeephole:   req.Options.NoPeephole,
+	})
+	s.compileClock.observe(time.Since(start))
+	if err != nil {
+		s.fail(w, statusFor(err), fmt.Errorf("compile: %w", err))
+		return
+	}
+
+	start = time.Now()
+	resp := compileResponse{
+		Key:     entry.Key,
+		Name:    entry.Target().Name,
+		Cache:   string(outcome),
+		SeqLen:  res.SeqLen(),
+		CodeLen: res.CodeLen(),
+		Words:   res.Words(),
+		Listing: entry.Listing(res),
+	}
+	s.encodeClock.observe(time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- plumbing -----------------------------------------------------------
+
+func (s *server) readJSON(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.maxBody+1))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return false
+	}
+	if int64(len(body)) > s.cfg.maxBody {
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("body exceeds %d bytes", s.cfg.maxBody))
+		return false
+	}
+	if err := json.Unmarshal(body, dst); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *server) fail(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// statusFor maps pipeline failures onto HTTP statuses: resource-budget
+// exhaustion is the server's fault class (504-ish), internal faults 500,
+// everything else is a caller problem (unprocessable model/program).
+func statusFor(err error) int {
+	var be *diag.BudgetError
+	if errors.As(err, &be) {
+		return http.StatusGatewayTimeout
+	}
+	var pe *diag.PanicError
+	if errors.As(err, &pe) {
+		return http.StatusInternalServerError
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

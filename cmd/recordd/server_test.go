@@ -1,0 +1,249 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dspstone"
+)
+
+func newTestServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
+	t.Helper()
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, url string, body interface{}, out interface{}) (int, string) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("bad response JSON %q: %v", buf.String(), err)
+		}
+	}
+	return resp.StatusCode, buf.String()
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+}
+
+func TestRetargetThenCompileByKey(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{cacheDir: t.TempDir()})
+
+	var rt retargetResponse
+	code, raw := post(t, ts.URL+"/v1/retarget", map[string]string{"model_name": "demo"}, &rt)
+	if code != http.StatusOK {
+		t.Fatalf("retarget: %d %s", code, raw)
+	}
+	if rt.Key == "" || rt.Templates == 0 || rt.Rules == 0 {
+		t.Fatalf("thin retarget response: %+v", rt)
+	}
+	if rt.Cache != "miss" {
+		t.Fatalf("first retarget outcome %q, want miss", rt.Cache)
+	}
+
+	var cp compileResponse
+	code, raw = post(t, ts.URL+"/v1/compile", map[string]interface{}{
+		"key":    rt.Key,
+		"source": "int a = 2; int b = 3; int y; y = a + b;",
+	}, &cp)
+	if code != http.StatusOK {
+		t.Fatalf("compile by key: %d %s", code, raw)
+	}
+	if cp.Key != rt.Key || cp.CodeLen == 0 || len(cp.Words) != cp.CodeLen || cp.Listing == "" {
+		t.Fatalf("thin compile response: %+v", cp)
+	}
+
+	// Second retarget of the same model is a cache hit.
+	code, raw = post(t, ts.URL+"/v1/retarget", map[string]string{"model_name": "demo"}, &rt)
+	if code != http.StatusOK || !strings.Contains(rt.Cache, "hit") {
+		t.Fatalf("second retarget: %d %s outcome %q", code, raw, rt.Cache)
+	}
+}
+
+func TestCompileUnknownKey404(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{})
+	code, _ := post(t, ts.URL+"/v1/compile", map[string]string{
+		"key": "deadbeef", "source": "int y; y = 1;",
+	}, nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown key: %d, want 404", code)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{})
+	cases := []struct {
+		path string
+		body interface{}
+		want int
+	}{
+		{"/v1/retarget", map[string]string{}, http.StatusBadRequest},
+		{"/v1/retarget", map[string]string{"model_name": "nope"}, http.StatusBadRequest},
+		{"/v1/retarget", map[string]string{"model": "bogus model text"}, http.StatusUnprocessableEntity},
+		{"/v1/compile", map[string]string{"model_name": "demo"}, http.StatusBadRequest}, // no source
+		{"/v1/compile", map[string]string{"key": "k", "model_name": "demo", "source": "int y;"}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if code, raw := post(t, ts.URL+c.path, c.body, nil); code != c.want {
+			t.Errorf("%s %v: %d (want %d): %s", c.path, c.body, code, c.want, raw)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/retarget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET retarget: %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentCompileSingleflight is the acceptance-criterion test: many
+// concurrent /v1/compile requests for the same (uncached) model must
+// trigger exactly one underlying retarget and all return identical code.
+func TestConcurrentCompileSingleflight(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{workers: 16})
+	k, ok := dspstone.Get("real_update")
+	if !ok {
+		t.Fatal("kernel real_update missing")
+	}
+
+	const n = 8
+	responses := make([]compileResponse, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(map[string]string{
+				"model_name": "tms320c25",
+				"source":     k.Source,
+			})
+			resp, err := http.Post(ts.URL+"/v1/compile", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			errs[i] = json.NewDecoder(resp.Body).Decode(&responses[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if !reflect.DeepEqual(responses[i].Words, responses[0].Words) {
+			t.Fatalf("request %d emitted different code:\n%v\n%v", i, responses[i].Words, responses[0].Words)
+		}
+		if responses[i].Key != responses[0].Key {
+			t.Fatalf("request %d got key %s, want %s", i, responses[i].Key, responses[0].Key)
+		}
+	}
+	if responses[0].CodeLen == 0 {
+		t.Fatal("empty code")
+	}
+	if got := s.cache.Stats().Retargets; got != 1 {
+		t.Fatalf("%d concurrent compiles ran %d retargets, want exactly 1 (singleflight)", n, got)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{})
+	if code, _ := post(t, ts.URL+"/v1/retarget", map[string]string{"model_name": "demo"}, nil); code != http.StatusOK {
+		t.Fatalf("retarget: %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"recordd_retargets_total 1",
+		"recordd_cache_misses_total 1",
+		"recordd_inflight_compiles 0",
+		"recordd_phase_retarget_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestWorkerPoolBounds(t *testing.T) {
+	// With one worker, many parallel compiles still succeed (they queue).
+	_, ts := newTestServer(t, serverConfig{workers: 1})
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(map[string]string{
+				"model_name": "demo",
+				"source":     "int a = 2; int y; y = a + 1;",
+			})
+			resp, err := http.Post(ts.URL+"/v1/compile", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}

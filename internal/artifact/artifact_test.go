@@ -1,0 +1,162 @@
+package artifact
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dspstone"
+	"repro/internal/models"
+)
+
+func retarget(t testing.TB, model string) (*core.Target, string) {
+	t.Helper()
+	mdl, ok := models.Get(model)
+	if !ok {
+		t.Fatalf("model %s missing", model)
+	}
+	tg, err := core.Retarget(mdl, core.RetargetOptions{})
+	if err != nil {
+		t.Fatalf("retarget %s: %v", model, err)
+	}
+	return tg, mdl
+}
+
+// TestRoundTripGolden retargets the TMS320C25, encodes and decodes the
+// artifact, compiles a DSPStone kernel through the decoded Target and
+// requires the emitted words to be identical to the fresh-Target compile.
+func TestRoundTripGolden(t *testing.T) {
+	tg, mdl := retarget(t, "tms320c25")
+	k, ok := dspstone.Get("dot_product")
+	if !ok {
+		t.Fatal("kernel dot_product missing")
+	}
+
+	fresh, err := tg.CompileSource(k.Source, core.CompileOptions{})
+	if err != nil {
+		t.Fatalf("fresh compile: %v", err)
+	}
+
+	a, err := New(tg, mdl, core.RetargetOptions{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	data, err := a.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	a2, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if a2.Key != a.Key || a2.Name != tg.Name {
+		t.Fatalf("metadata lost: key %q name %q", a2.Key, a2.Name)
+	}
+	tg2, err := a2.Target()
+	if err != nil {
+		t.Fatalf("Target: %v", err)
+	}
+	if tg2.Base.Len() != tg.Base.Len() {
+		t.Fatalf("template count %d -> %d", tg.Base.Len(), tg2.Base.Len())
+	}
+	if len(tg2.Grammar.Rules) != len(tg.Grammar.Rules) {
+		t.Fatalf("rule count %d -> %d", len(tg.Grammar.Rules), len(tg2.Grammar.Rules))
+	}
+
+	decoded, err := tg2.CompileSource(k.Source, core.CompileOptions{})
+	if err != nil {
+		t.Fatalf("decoded compile: %v", err)
+	}
+	fw, dw := fresh.Words(), decoded.Words()
+	if len(fw) != len(dw) {
+		t.Fatalf("word count %d -> %d", len(fw), len(dw))
+	}
+	for i := range fw {
+		if fw[i] != dw[i] {
+			t.Fatalf("word %d: fresh %#x, decoded %#x", i, fw[i], dw[i])
+		}
+	}
+	if tg.Listing(fresh) != tg2.Listing(decoded) {
+		t.Fatal("listings differ between fresh and decoded targets")
+	}
+	// The decoded target must also pass the hardware-vs-oracle check.
+	if err := tg2.CheckAgainstOracle(decoded); err != nil {
+		t.Fatalf("decoded target fails oracle: %v", err)
+	}
+}
+
+// TestEncodeDeterministic asserts that two independent Retarget runs of
+// the same model encode to byte-identical artifacts (satellite: map-order
+// nondeterminism in grammar/BURS table construction would surface here).
+func TestEncodeDeterministic(t *testing.T) {
+	for _, model := range []string{"demo", "tms320c25"} {
+		tg1, mdl := retarget(t, model)
+		tg2, _ := retarget(t, model)
+		a1, err := New(tg1, mdl, core.RetargetOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := New(tg2, mdl, core.RetargetOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b1, err := a1.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := a2.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("%s: independent retargets encode differently (%d vs %d bytes)", model, len(b1), len(b2))
+		}
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	mdl, _ := models.Get("demo")
+	base := Key(mdl, core.RetargetOptions{})
+	if got := Key(mdl, core.RetargetOptions{}); got != base {
+		t.Fatal("key not stable")
+	}
+	if Key(mdl+" ", core.RetargetOptions{}) == base {
+		t.Fatal("key ignores model source")
+	}
+	if Key(mdl, core.RetargetOptions{NoExtension: true}) == base {
+		t.Fatal("key ignores options")
+	}
+	// Normalized defaults share a key with the explicit default values.
+	explicit := core.RetargetOptions{}
+	explicit.ISE.MaxAlts = 4096
+	explicit.ISE.MaxTemplates = 65536
+	if Key(mdl, explicit) != base {
+		t.Fatal("key does not normalize default ISE limits")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	tg, mdl := retarget(t, "demo")
+	a, err := New(tg, mdl, core.RetargetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(data[:len(data)/2]); err == nil {
+		t.Fatal("truncated artifact accepted")
+	}
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)-10] ^= 0x40
+	if _, err := Decode(flipped); err == nil {
+		t.Fatal("bit-flipped artifact accepted")
+	}
+	if _, err := Decode([]byte("not an artifact")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

@@ -1,0 +1,100 @@
+// BDD serialization: export a set of ROBDD roots as a flat, deterministic
+// node table and rebuild them in a fresh manager.
+//
+// The retarget-artifact cache persists template execution conditions across
+// processes.  Manager-internal node ids depend on construction order, so
+// Exporter renumbers nodes densely in a deterministic DFS order over the
+// roots it is given: the same logical BDDs exported in the same root order
+// always produce the same table, regardless of how the manager built them.
+package bdd
+
+import "fmt"
+
+// Serial ids 0 and 1 are reserved for the False and True terminals;
+// internal nodes are numbered from 2 in table order.
+const (
+	SerialFalse = 0
+	SerialTrue  = 1
+)
+
+// SerialNode is one exported internal ROBDD vertex.  Lo and Hi refer to
+// earlier table entries (offset by the two terminals), so the table is in
+// bottom-up topological order by construction.
+type SerialNode struct {
+	Var int `json:"v"`
+	Lo  int `json:"l"`
+	Hi  int `json:"h"`
+}
+
+// Exporter assigns deterministic serial ids to the nodes reachable from
+// the roots passed to Export, accumulating the shared node table.
+type Exporter struct {
+	ids   map[*Node]int
+	nodes []SerialNode
+}
+
+// NewExporter returns an empty exporter.
+func NewExporter() *Exporter {
+	return &Exporter{ids: make(map[*Node]int)}
+}
+
+// Export returns the serial id of root, appending any nodes not yet in the
+// table in post-order (children first).
+func (e *Exporter) Export(root *Node) int {
+	if root.IsLeaf() {
+		// Terminals: False is always created first (id 0), True second.
+		if root.id == 0 {
+			return SerialFalse
+		}
+		return SerialTrue
+	}
+	if id, ok := e.ids[root]; ok {
+		return id
+	}
+	lo := e.Export(root.Low)
+	hi := e.Export(root.High)
+	id := len(e.nodes) + 2
+	e.ids[root] = id
+	e.nodes = append(e.nodes, SerialNode{Var: root.Var, Lo: lo, Hi: hi})
+	return id
+}
+
+// Table returns the accumulated node table.
+func (e *Exporter) Table() []SerialNode {
+	return e.nodes
+}
+
+// Importer rebuilds an exported node table inside a manager.  The manager
+// must declare the same variable universe (same names in the same order) as
+// the exporting manager for the rebuilt functions to be meaningful.
+type Importer struct {
+	m     *Manager
+	built []*Node
+}
+
+// NewImporter validates and materializes the node table in m.  Each entry
+// is rebuilt with Ite(var, hi, lo), which reduces to the canonical node
+// because children always sit at deeper variable levels.
+func NewImporter(m *Manager, table []SerialNode) (*Importer, error) {
+	im := &Importer{m: m, built: make([]*Node, len(table)+2)}
+	im.built[SerialFalse] = m.False()
+	im.built[SerialTrue] = m.True()
+	for i, sn := range table {
+		if sn.Var < 0 {
+			return nil, fmt.Errorf("bdd: import: node %d has negative variable %d", i+2, sn.Var)
+		}
+		if sn.Lo < 0 || sn.Lo >= i+2 || sn.Hi < 0 || sn.Hi >= i+2 {
+			return nil, fmt.Errorf("bdd: import: node %d has forward or invalid child reference", i+2)
+		}
+		im.built[i+2] = m.Ite(m.Var(sn.Var), im.built[sn.Hi], im.built[sn.Lo])
+	}
+	return im, nil
+}
+
+// Node returns the rebuilt node for a serial id.
+func (im *Importer) Node(id int) (*Node, error) {
+	if id < 0 || id >= len(im.built) {
+		return nil, fmt.Errorf("bdd: import: serial id %d out of range [0,%d)", id, len(im.built))
+	}
+	return im.built[id], nil
+}

@@ -47,10 +47,31 @@ func (n *Node) Rule(nt int) *grammar.Rule { return n.rule[nt] }
 // Parser is a processor-specific tree parser generated from a grammar.
 type Parser struct {
 	G *grammar.Grammar
+	// chain is the chain-rule table in ascending source-nonterminal order.
+	// Closure must not iterate the grammar's ChainRules map directly: on a
+	// cost tie the first rule processed wins, so map order would make code
+	// selection (and artifact-cached compiles) nondeterministic.
+	chain []chainGroup
+}
+
+type chainGroup struct {
+	src   int
+	rules []*grammar.Rule
 }
 
 // NewParser constructs the parser for grammar g.
-func NewParser(g *grammar.Grammar) *Parser { return &Parser{G: g} }
+func NewParser(g *grammar.Grammar) *Parser {
+	p := &Parser{G: g}
+	srcs := make([]int, 0, len(g.ChainRules))
+	for src := range g.ChainRules {
+		srcs = append(srcs, src)
+	}
+	sort.Ints(srcs)
+	for _, src := range srcs {
+		p.chain = append(p.chain, chainGroup{src: src, rules: g.ChainRules[src]})
+	}
+	return p
+}
 
 // Label computes the dynamic-programming labels for the subject tree.
 func (p *Parser) Label(e *rtl.Expr) *Node {
@@ -74,14 +95,15 @@ func (p *Parser) Label(e *rtl.Expr) *Node {
 			node.rule[r.LHS] = r
 		}
 	}
-	// Chain-rule closure to fixpoint.
+	// Chain-rule closure to fixpoint, in deterministic table order.
 	for changed := true; changed; {
 		changed = false
-		for src, rules := range p.G.ChainRules {
-			if node.cost[src] >= Inf {
+		for _, cg := range p.chain {
+			if node.cost[cg.src] >= Inf {
 				continue
 			}
-			for _, r := range rules {
+			src := cg.src
+			for _, r := range cg.rules {
 				total := int32(r.Cost) + node.cost[src]
 				if total < node.cost[r.LHS] {
 					node.cost[r.LHS] = total

@@ -1,0 +1,145 @@
+// BURS match tables in serializable form.
+//
+// A freshly built grammar carries its rule indexes as in-memory maps
+// (RulesByKey, ChainRules, StartRules).  The retarget-artifact cache needs
+// those tables on disk, so Tables flattens them into sorted slices of rule
+// ids — deterministic to encode, cheap to reinstall — and RestoreParser
+// rebuilds a working parser from a grammar whose maps are still empty
+// (grammar.Restore output).
+package burs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/grammar"
+)
+
+// KeyRules lists the non-chain rules bucketed under one root terminal key,
+// in rule-id order (the order Build appended them, which fixes cost-tie
+// winners during labelling).
+type KeyRules struct {
+	Key   string `json:"key"`
+	Rules []int  `json:"rules"`
+}
+
+// ChainRules lists the chain rules deriving from one source nonterminal.
+type ChainRules struct {
+	Src   int   `json:"src"`
+	Rules []int `json:"rules"`
+}
+
+// StartRule names the start rule for one destination.
+type StartRule struct {
+	Dest string `json:"dest"`
+	Rule int    `json:"rule"`
+}
+
+// Tables is the serializable form of a generated tree parser's match
+// tables.  All three sections are emitted in sorted order so that encoding
+// a grammar twice yields byte-identical tables.
+type Tables struct {
+	ByKey []KeyRules   `json:"by_key"`
+	Chain []ChainRules `json:"chain"`
+	Start []StartRule  `json:"start"`
+}
+
+// BuildTables extracts the match tables from a constructed grammar.
+func BuildTables(g *grammar.Grammar) Tables {
+	var t Tables
+	keys := make([]string, 0, len(g.RulesByKey))
+	for k := range g.RulesByKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		kr := KeyRules{Key: k}
+		for _, r := range g.RulesByKey[k] {
+			kr.Rules = append(kr.Rules, r.ID)
+		}
+		t.ByKey = append(t.ByKey, kr)
+	}
+	srcs := make([]int, 0, len(g.ChainRules))
+	for src := range g.ChainRules {
+		srcs = append(srcs, src)
+	}
+	sort.Ints(srcs)
+	for _, src := range srcs {
+		cr := ChainRules{Src: src}
+		for _, r := range g.ChainRules[src] {
+			cr.Rules = append(cr.Rules, r.ID)
+		}
+		t.Chain = append(t.Chain, cr)
+	}
+	dests := make([]string, 0, len(g.StartRules))
+	for d := range g.StartRules {
+		dests = append(dests, d)
+	}
+	sort.Strings(dests)
+	for _, d := range dests {
+		t.Start = append(t.Start, StartRule{Dest: d, Rule: g.StartRules[d].ID})
+	}
+	return t
+}
+
+// RestoreParser installs decoded match tables into g (whose index maps must
+// be empty or stale) and returns the parser over them.  Rule references are
+// validated against g.Rules.
+func RestoreParser(g *grammar.Grammar, t Tables) (*Parser, error) {
+	rule := func(id int) (*grammar.Rule, error) {
+		if id < 0 || id >= len(g.Rules) {
+			return nil, fmt.Errorf("burs: tables: rule id %d out of range [0,%d)", id, len(g.Rules))
+		}
+		return g.Rules[id], nil
+	}
+	byKey := make(map[string][]*grammar.Rule, len(t.ByKey))
+	for _, kr := range t.ByKey {
+		if _, dup := byKey[kr.Key]; dup {
+			return nil, fmt.Errorf("burs: tables: duplicate key bucket %q", kr.Key)
+		}
+		for _, id := range kr.Rules {
+			r, err := rule(id)
+			if err != nil {
+				return nil, err
+			}
+			if r.Kind == grammar.KindStart || r.IsChain() {
+				return nil, fmt.Errorf("burs: tables: rule %d cannot sit in a terminal bucket", id)
+			}
+			byKey[kr.Key] = append(byKey[kr.Key], r)
+		}
+	}
+	chain := make(map[int][]*grammar.Rule, len(t.Chain))
+	for _, cr := range t.Chain {
+		if _, dup := chain[cr.Src]; dup {
+			return nil, fmt.Errorf("burs: tables: duplicate chain source %d", cr.Src)
+		}
+		for _, id := range cr.Rules {
+			r, err := rule(id)
+			if err != nil {
+				return nil, err
+			}
+			if !r.IsChain() {
+				return nil, fmt.Errorf("burs: tables: rule %d is not a chain rule", id)
+			}
+			chain[cr.Src] = append(chain[cr.Src], r)
+		}
+	}
+	start := make(map[string]*grammar.Rule, len(t.Start))
+	for _, sr := range t.Start {
+		r, err := rule(sr.Rule)
+		if err != nil {
+			return nil, err
+		}
+		if r.Kind != grammar.KindStart {
+			return nil, fmt.Errorf("burs: tables: rule %d is not a start rule", sr.Rule)
+		}
+		if _, dup := start[sr.Dest]; dup {
+			return nil, fmt.Errorf("burs: tables: duplicate start destination %q", sr.Dest)
+		}
+		start[sr.Dest] = r
+	}
+	g.RulesByKey = byKey
+	g.ChainRules = chain
+	g.StartRules = start
+	return NewParser(g), nil
+}

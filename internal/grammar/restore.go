@@ -1,0 +1,76 @@
+package grammar
+
+import "fmt"
+
+// Restore rebuilds a Grammar from its serialized parts — the nonterminal
+// table, the ordered rule list and the machine spec — without re-deriving
+// anything from a template base.  The rule-index maps (RulesByKey,
+// ChainRules, StartRules) are left empty: install decoded match tables with
+// burs.RestoreParser, or recompute them with Reindex.
+func Restore(ntNames []string, rules []*Rule, spec Spec) (*Grammar, error) {
+	if len(ntNames) == 0 || ntNames[START] != "START" {
+		return nil, fmt.Errorf("grammar: restore: nonterminal table must start with START")
+	}
+	g := &Grammar{
+		NTNames:    ntNames,
+		ntIdx:      make(map[string]int, len(ntNames)),
+		Rules:      rules,
+		RulesByKey: make(map[string][]*Rule),
+		ChainRules: make(map[int][]*Rule),
+		StartRules: make(map[string]*Rule),
+		Spec:       spec,
+	}
+	for i, name := range ntNames[1:] {
+		if _, dup := g.ntIdx[name]; dup {
+			return nil, fmt.Errorf("grammar: restore: duplicate nonterminal %q", name)
+		}
+		g.ntIdx[name] = i + 1
+	}
+	for i, r := range rules {
+		if r == nil || r.Pat == nil {
+			return nil, fmt.Errorf("grammar: restore: rule %d is incomplete", i)
+		}
+		if r.ID != i {
+			return nil, fmt.Errorf("grammar: restore: rule at position %d has id %d", i, r.ID)
+		}
+		if r.LHS < 0 || r.LHS >= len(ntNames) {
+			return nil, fmt.Errorf("grammar: restore: rule %d has LHS %d out of range", i, r.LHS)
+		}
+		if err := checkPat(r.Pat, len(ntNames)); err != nil {
+			return nil, fmt.Errorf("grammar: restore: rule %d: %w", i, err)
+		}
+	}
+	return g, nil
+}
+
+func checkPat(p *Pat, numNT int) error {
+	if p.Kind == PatNT && (p.NT < 0 || p.NT >= numNT) {
+		return fmt.Errorf("pattern nonterminal %d out of range", p.NT)
+	}
+	for _, k := range p.Kids {
+		if err := checkPat(k, numNT); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reindex rebuilds the rule-index maps from the rule list, using the same
+// bucketing as Build.  Bucket order is rule-id order (the order Build
+// appended them), so a reindexed grammar selects code identically.
+func (g *Grammar) Reindex() {
+	g.RulesByKey = make(map[string][]*Rule)
+	g.ChainRules = make(map[int][]*Rule)
+	g.StartRules = make(map[string]*Rule)
+	for _, r := range g.Rules {
+		switch {
+		case r.Kind == KindStart:
+			g.StartRules[r.Dest] = r
+		case r.IsChain():
+			g.ChainRules[r.Pat.NT] = append(g.ChainRules[r.Pat.NT], r)
+		default:
+			key := r.Pat.TermKey()
+			g.RulesByKey[key] = append(g.RulesByKey[key], r)
+		}
+	}
+}

@@ -1,0 +1,336 @@
+// Package rcache is the two-tier retarget cache: an in-memory LRU of live
+// core.Target instances over an on-disk store of encoded artifacts
+// (internal/artifact).
+//
+// Retargeting a processor model costs CPU minutes at paper scale while its
+// product is a pure function of (MDL source, options); serving compiles at
+// production traffic therefore demands that the product be computed once
+// and shared.  Get collapses concurrent requests for the same content
+// address into a single underlying Retarget (singleflight), promotes disk
+// artifacts into the memory tier on first use, and tolerates cache-file
+// corruption: a file that fails to decode is a miss plus a diagnostic
+// warning, never an error.
+//
+// Entries wrap their Target with a mutex because compilation is not
+// reentrant per target — encoding walks the shared BDD manager, which
+// memoizes destructively.  Callers compile through Entry.Compile.
+package rcache
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/diag"
+)
+
+// Outcome says which tier satisfied a Get.
+type Outcome string
+
+// Get outcomes.
+const (
+	Mem       Outcome = "hit"       // memory tier
+	Disk      Outcome = "hit-disk"  // decoded from the artifact store
+	Miss      Outcome = "miss"      // full retarget ran
+	Coalesced Outcome = "coalesced" // waited on another request's retarget
+)
+
+// Hit reports whether the outcome avoided a full retarget.
+func (o Outcome) Hit() bool { return o != Miss }
+
+// Stats are the cache counters; all increments happen under the cache
+// mutex, reads return a snapshot.
+type Stats struct {
+	MemHits   uint64 // satisfied from the memory LRU
+	DiskHits  uint64 // decoded from the disk store
+	Misses    uint64 // required a full retarget
+	Coalesced uint64 // waited on an in-flight retarget for the same key
+	Evictions uint64 // memory-tier LRU evictions
+	Corrupt   uint64 // disk artifacts dropped as corrupt
+	Retargets uint64 // underlying core.Retarget invocations
+}
+
+// Options configures a cache.
+type Options struct {
+	// Dir is the artifact store directory; empty disables the disk tier.
+	Dir string
+	// MaxEntries caps the memory tier (default 16 targets).
+	MaxEntries int
+	// Reporter receives corruption and store-failure warnings; nil is safe.
+	Reporter *diag.Reporter
+}
+
+// DefaultMaxEntries is the memory-tier capacity when Options.MaxEntries
+// is unset.
+const DefaultMaxEntries = 16
+
+// Entry is one cached retarget product.  Compile serializes access to the
+// underlying target, whose BDD manager is not safe for concurrent use.
+type Entry struct {
+	Key string
+
+	mu     sync.Mutex
+	target *core.Target
+}
+
+// Compile compiles RecC source through the cached target.  It is safe for
+// concurrent use; compiles for the same entry run one at a time.
+func (e *Entry) Compile(src string, opts core.CompileOptions) (*core.CompileResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.target.CompileSource(src, opts)
+}
+
+// Listing renders a compile result against the cached target.
+func (e *Entry) Listing(r *core.CompileResult) string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.target.Listing(r)
+}
+
+// Target exposes the underlying target for single-threaded callers (the
+// CLI).  Concurrent servers must go through Compile.
+func (e *Entry) Target() *core.Target { return e.target }
+
+type flight struct {
+	done  chan struct{}
+	entry *Entry
+	err   error
+}
+
+// Cache is the two-tier retarget cache.  All methods are safe for
+// concurrent use.
+type Cache struct {
+	opts Options
+
+	mu     sync.Mutex
+	lru    *list.List               // of *Entry, front = most recent
+	byKey  map[string]*list.Element // key -> LRU element
+	flight map[string]*flight       // key -> in-flight retarget
+	stats  Stats
+}
+
+// New creates a cache; when opts.Dir is set the directory is created.
+func New(opts Options) (*Cache, error) {
+	if opts.MaxEntries <= 0 {
+		opts.MaxEntries = DefaultMaxEntries
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("rcache: %w", err)
+		}
+	}
+	return &Cache{
+		opts:   opts,
+		lru:    list.New(),
+		byKey:  make(map[string]*list.Element),
+		flight: make(map[string]*flight),
+	}, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of memory-tier entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Key returns the content address Get will use for (mdlSource, ropts).
+func (c *Cache) Key(mdlSource string, ropts core.RetargetOptions) string {
+	return artifact.Key(mdlSource, ropts)
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.opts.Dir, key+".rart")
+}
+
+// Get returns the cached retarget product for (mdlSource, ropts), running
+// core.Retarget at most once per content address across concurrent
+// callers.  The returned outcome says which tier satisfied the request.
+func (c *Cache) Get(mdlSource string, ropts core.RetargetOptions) (*Entry, Outcome, error) {
+	key := artifact.Key(mdlSource, ropts)
+
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.MemHits++
+		e := el.Value.(*Entry)
+		c.mu.Unlock()
+		return e, Mem, nil
+	}
+	if f, ok := c.flight[key]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, Miss, f.err
+		}
+		return f.entry, Coalesced, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flight[key] = f
+	c.mu.Unlock()
+
+	entry, outcome, err := c.fill(key, mdlSource, ropts)
+
+	c.mu.Lock()
+	delete(c.flight, key)
+	if err == nil {
+		// Budget-degraded (partial) products stay out of both tiers: the
+		// content address does not encode the budget, so a retry with a
+		// larger one must not hit the degraded result.
+		if artifact.Cacheable(entry.target) {
+			c.insert(key, entry)
+		}
+		switch outcome {
+		case Disk:
+			c.stats.DiskHits++
+		case Miss:
+			c.stats.Misses++
+		}
+	}
+	c.mu.Unlock()
+
+	f.entry, f.err = entry, err
+	close(f.done)
+	return entry, outcome, err
+}
+
+// Lookup returns the entry for a content address without being able to
+// retarget: memory tier, then disk tier.  ok is false when the key is in
+// neither (or its disk artifact is corrupt).
+func (c *Cache) Lookup(key string) (*Entry, bool) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.MemHits++
+		e := el.Value.(*Entry)
+		c.mu.Unlock()
+		return e, true
+	}
+	c.mu.Unlock()
+
+	entry := c.loadDisk(key)
+	if entry == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	// Another goroutine may have inserted meanwhile; prefer its entry.
+	if el, ok := c.byKey[key]; ok {
+		entry = el.Value.(*Entry)
+	} else {
+		c.insert(key, entry)
+	}
+	c.stats.DiskHits++
+	c.mu.Unlock()
+	return entry, true
+}
+
+// fill resolves a key the memory tier does not have: disk first, then a
+// full retarget (persisting the fresh artifact for the next process).
+func (c *Cache) fill(key, mdlSource string, ropts core.RetargetOptions) (*Entry, Outcome, error) {
+	if entry := c.loadDisk(key); entry != nil {
+		return entry, Disk, nil
+	}
+
+	c.mu.Lock()
+	c.stats.Retargets++
+	c.mu.Unlock()
+	t, err := core.Retarget(mdlSource, ropts)
+	if err != nil {
+		return nil, Miss, err
+	}
+	entry := &Entry{Key: key, target: t}
+	if c.opts.Dir != "" && artifact.Cacheable(t) {
+		if err := c.store(key, t, mdlSource, ropts); err != nil {
+			c.opts.Reporter.Warnf("rcache", diag.Pos{}, "cannot persist artifact %s: %v", key, err)
+		}
+	}
+	return entry, Miss, nil
+}
+
+// loadDisk decodes the artifact for key, dropping corrupt files as misses.
+func (c *Cache) loadDisk(key string) *Entry {
+	if c.opts.Dir == "" {
+		return nil
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil // absent: plain miss
+	}
+	bad := func(err error) *Entry {
+		c.mu.Lock()
+		c.stats.Corrupt++
+		c.mu.Unlock()
+		c.opts.Reporter.Warnf("rcache", diag.Pos{},
+			"dropping corrupt cache artifact %s: %v", key, err)
+		_ = os.Remove(c.path(key))
+		return nil
+	}
+	a, err := artifact.Decode(data)
+	if err != nil {
+		return bad(err)
+	}
+	if a.Key != key {
+		return bad(fmt.Errorf("artifact self-identifies as %s", a.Key))
+	}
+	t, err := a.Target()
+	if err != nil {
+		return bad(err)
+	}
+	return &Entry{Key: key, target: t}
+}
+
+// store writes the artifact atomically (temp file + rename) so readers
+// never observe a torn write.
+func (c *Cache) store(key string, t *core.Target, mdlSource string, ropts core.RetargetOptions) error {
+	a, err := artifact.New(t, mdlSource, ropts)
+	if err != nil {
+		return err
+	}
+	data, err := a.Encode()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.opts.Dir, "."+key+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}
+
+// insert adds an entry to the memory tier, evicting from the LRU tail.
+// Caller holds c.mu.
+func (c *Cache) insert(key string, e *Entry) {
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(e)
+	for c.lru.Len() > c.opts.MaxEntries {
+		tail := c.lru.Back()
+		victim := c.lru.Remove(tail).(*Entry)
+		delete(c.byKey, victim.Key)
+		c.stats.Evictions++
+	}
+}

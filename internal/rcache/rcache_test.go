@@ -1,0 +1,279 @@
+package rcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/models"
+)
+
+func demoModel(t testing.TB) string {
+	t.Helper()
+	mdl, ok := models.Get("demo")
+	if !ok {
+		t.Fatal("demo model missing")
+	}
+	return mdl
+}
+
+func newCache(t testing.TB, dir string, max int) *Cache {
+	t.Helper()
+	c, err := New(Options{Dir: dir, MaxEntries: max})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMemoryTier(t *testing.T) {
+	c := newCache(t, "", 0) // memory-only
+	mdl := demoModel(t)
+
+	e1, out, err := c.Get(mdl, core.RetargetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != Miss {
+		t.Fatalf("first get: %s, want miss", out)
+	}
+	e2, out, err := c.Get(mdl, core.RetargetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != Mem || e2 != e1 {
+		t.Fatalf("second get: %s (same entry: %t), want memory hit of same entry", out, e2 == e1)
+	}
+	st := c.Stats()
+	if st.Retargets != 1 || st.MemHits != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDiskTierAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	mdl := demoModel(t)
+
+	c1 := newCache(t, dir, 0)
+	if _, out, err := c1.Get(mdl, core.RetargetOptions{}); err != nil || out != Miss {
+		t.Fatalf("warm: %v %s", err, out)
+	}
+
+	// A fresh cache (new process) finds the artifact on disk.
+	c2 := newCache(t, dir, 0)
+	e, out, err := c2.Get(mdl, core.RetargetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != Disk {
+		t.Fatalf("fresh instance: %s, want disk hit", out)
+	}
+	if c2.Stats().Retargets != 0 {
+		t.Fatal("disk hit still retargeted")
+	}
+	// The decoded target compiles.
+	res, err := e.Compile("int a = 2; int b = 3; int y; y = a + b;", core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CodeLen() == 0 {
+		t.Fatal("empty program from disk-tier target")
+	}
+}
+
+func TestCorruptAndTruncatedArtifacts(t *testing.T) {
+	mdl := demoModel(t)
+	for name, mangle := range map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)/3] },
+		"garbage":   func([]byte) []byte { return []byte("recordart 1 feedface\nnot json") },
+		"empty":     func([]byte) []byte { return nil },
+		"bitflip": func(b []byte) []byte {
+			b = append([]byte(nil), b...)
+			b[len(b)-5] ^= 1
+			return b
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			c1 := newCache(t, dir, 0)
+			if _, _, err := c1.Get(mdl, core.RetargetOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			key := c1.Key(mdl, core.RetargetOptions{})
+			path := filepath.Join(dir, key+".rart")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, mangle(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			rep := diag.NewReporter()
+			c2, err := New(Options{Dir: dir, Reporter: rep})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, out, err := c2.Get(mdl, core.RetargetOptions{})
+			if err != nil {
+				t.Fatalf("corrupt artifact became an error: %v", err)
+			}
+			if out != Miss {
+				t.Fatalf("corrupt artifact: %s, want miss", out)
+			}
+			st := c2.Stats()
+			if st.Corrupt != 1 || st.Retargets != 1 {
+				t.Fatalf("stats %+v", st)
+			}
+			if rep.Warns() == 0 {
+				t.Fatal("no corruption warning reported")
+			}
+			found := false
+			for _, d := range rep.Diags() {
+				if strings.Contains(d.Msg, "corrupt") {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("warning does not mention corruption: %v", rep.Diags())
+			}
+			// The bad file was replaced by a good one.
+			c3 := newCache(t, dir, 0)
+			if _, out, err := c3.Get(mdl, core.RetargetOptions{}); err != nil || out != Disk {
+				t.Fatalf("store not repaired: %v %s", err, out)
+			}
+		})
+	}
+}
+
+func TestSingleflight(t *testing.T) {
+	c := newCache(t, t.TempDir(), 0)
+	mdl := demoModel(t)
+
+	const n = 16
+	var wg sync.WaitGroup
+	entries := make([]*Entry, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			entries[i], _, errs[i] = c.Get(mdl, core.RetargetOptions{})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if entries[i] == nil {
+			t.Fatalf("request %d got nil entry", i)
+		}
+	}
+	if got := c.Stats().Retargets; got != 1 {
+		t.Fatalf("%d concurrent gets ran %d retargets, want 1", n, got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newCache(t, "", 2)
+	// Distinct keys via distinct option fingerprints on one model.
+	mdl := demoModel(t)
+	get := func(maxAlts int) {
+		opts := core.RetargetOptions{}
+		opts.ISE.MaxAlts = maxAlts
+		if _, _, err := c.Get(mdl, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get(100)
+	get(101)
+	get(102) // evicts the first
+	if c.Len() != 2 {
+		t.Fatalf("memory tier holds %d entries, cap 2", c.Len())
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions %d, want 1", c.Stats().Evictions)
+	}
+	get(100) // must retarget again (memory-only cache)
+	if got := c.Stats().Retargets; got != 4 {
+		t.Fatalf("retargets %d, want 4", got)
+	}
+}
+
+func TestLookupByKey(t *testing.T) {
+	dir := t.TempDir()
+	mdl := demoModel(t)
+	c1 := newCache(t, dir, 0)
+	e, _, err := c1.Get(mdl, core.RetargetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := c1.Lookup("no-such-key"); ok {
+		t.Fatal("unknown key resolved")
+	}
+	if got, ok := c1.Lookup(e.Key); !ok || got != e {
+		t.Fatal("memory lookup failed")
+	}
+	c2 := newCache(t, dir, 0)
+	if _, ok := c2.Lookup(e.Key); !ok {
+		t.Fatal("disk lookup failed")
+	}
+}
+
+func TestDistinctModelsDistinctEntries(t *testing.T) {
+	c := newCache(t, "", 0)
+	var keys []string
+	for _, name := range []string{"demo", "ref"} {
+		mdl, ok := models.Get(name)
+		if !ok {
+			t.Fatalf("model %s missing", name)
+		}
+		e, _, err := c.Get(mdl, core.RetargetOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, e.Key)
+	}
+	if keys[0] == keys[1] {
+		t.Fatal("different models share a content address")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("expected 2 entries, got %d", c.Len())
+	}
+}
+
+func TestConcurrentCompilesOneEntry(t *testing.T) {
+	c := newCache(t, "", 0)
+	mdl := demoModel(t)
+	e, _, err := c.Get(mdl, core.RetargetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := "int a = 2; int b = 3; int y; y = a + b;"
+	ref, err := e.Compile(src, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := e.Compile(src, core.CompileOptions{})
+			if err != nil {
+				panic(err)
+			}
+			if fmt.Sprint(res.Words()) != fmt.Sprint(ref.Words()) {
+				panic("concurrent compile produced different words")
+			}
+		}()
+	}
+	wg.Wait()
+}
