@@ -14,6 +14,8 @@
 package repro
 
 import (
+	"context"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -156,6 +158,46 @@ func BenchmarkFigure2_Fir(b *testing.B)             { benchKernel(b, "fir") }
 func BenchmarkFigure2_BiquadOne(b *testing.B)       { benchKernel(b, "biquad_one") }
 func BenchmarkFigure2_BiquadN(b *testing.B)         { benchKernel(b, "biquad_N") }
 func BenchmarkFigure2_Convolution(b *testing.B)     { benchKernel(b, "convolution") }
+
+// ---- Parallel compilation throughput on the frozen target --------------
+
+// benchParallelCompile measures DSPStone kernel compilation throughput at
+// a fixed worker count against one shared frozen TMS320C25 target: the
+// lock-free scaling claim of the frozen-target design.  ns/op is per
+// compiled kernel, so near-linear scaling shows as ns/op dropping with
+// the worker count.
+func benchParallelCompile(b *testing.B, workers int) {
+	tg := c25(b)
+	kernels := []string{"real_update", "dot_product", "fir", "biquad_one"}
+	srcs := make([]string, len(kernels))
+	for i, name := range kernels {
+		k, ok := dspstone.Get(name)
+		if !ok {
+			b.Fatalf("kernel %s missing", name)
+		}
+		srcs[i] = k.Source
+	}
+	b.ReportAllocs()
+	b.SetParallelism(1) // worker count == GOMAXPROCS slice below
+	prev := runtime.GOMAXPROCS(workers)
+	defer runtime.GOMAXPROCS(prev)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			src := srcs[i%len(srcs)]
+			i++
+			if _, err := tg.CompileSourceContext(context.Background(), src, core.CompileOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkParallelCompile1(b *testing.B) { benchParallelCompile(b, 1) }
+func BenchmarkParallelCompile2(b *testing.B) { benchParallelCompile(b, 2) }
+func BenchmarkParallelCompile4(b *testing.B) { benchParallelCompile(b, 4) }
+func BenchmarkParallelCompile8(b *testing.B) { benchParallelCompile(b, 8) }
 
 // BenchmarkFigure2_NaiveBaseline measures the baseline compiler on the
 // dot-product kernel (its worst case, 527% of hand-written).

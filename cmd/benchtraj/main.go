@@ -1,0 +1,124 @@
+// Command benchtraj appends BenchmarkParallelCompile results to the bench
+// trajectory file — a JSON array tracking parallel-compile throughput
+// across commits, so scaling regressions show up as data rather than
+// anecdotes.
+//
+// Usage:
+//
+//	go test -bench BenchmarkParallelCompile -benchtime 1s . | benchtraj -out bench/trajectory.json -label "$SHA"
+//
+// The tool parses the standard `go test -bench` text format, keeps only
+// BenchmarkParallelCompile<N> lines, and appends one entry per invocation:
+//
+//	{"label": "...", "ns_per_op": {"1": 527672, "4": 1268698},
+//	 "speedup_at_4": 0.41}
+//
+// speedup_at_4 is ns/op(1 worker) / ns/op(4 workers): >1 means parallel
+// compilation pays off (expect near-linear on multicore; ~1 or below on a
+// single-CPU runner where workers only add scheduling overhead).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+)
+
+// Entry is one benchmark run in the trajectory.
+type Entry struct {
+	Label      string             `json:"label"`
+	NsPerOp    map[string]float64 `json:"ns_per_op"`
+	SpeedupAt4 float64            `json:"speedup_at_4,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(`^BenchmarkParallelCompile(\d+)\S*\s+\d+\s+([\d.]+) ns/op`)
+
+// parse extracts worker-count → ns/op from `go test -bench` output.
+func parse(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchtraj: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		out[m[1]] = ns
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchtraj: no BenchmarkParallelCompile lines in input")
+	}
+	return out, nil
+}
+
+// appendEntry loads the trajectory array (missing file = empty), appends,
+// and writes it back pretty-printed.
+func appendEntry(path string, e Entry) error {
+	var entries []Entry
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return fmt.Errorf("benchtraj: %s is not a trajectory array: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	entries = append(entries, e)
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func run(in io.Reader, outPath, label string) error {
+	ns, err := parse(in)
+	if err != nil {
+		return err
+	}
+	e := Entry{Label: label, NsPerOp: ns}
+	if n1, ok1 := ns["1"]; ok1 {
+		if n4, ok4 := ns["4"]; ok4 && n4 > 0 {
+			e.SpeedupAt4 = n1 / n4
+		}
+	}
+	return appendEntry(outPath, e)
+}
+
+func main() {
+	inFile := flag.String("in", "-", "bench output file (- for stdin)")
+	outFile := flag.String("out", "bench/trajectory.json", "trajectory JSON to append to")
+	label := flag.String("label", "local", "label for this run (e.g. the commit SHA)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *inFile != "-" {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtraj: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := run(in, *outFile, *label); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkParallelCompile1 	    2138	    527672 ns/op	  291766 B/op	    3951 allocs/op
+BenchmarkParallelCompile2 	    2103	    603139 ns/op	  291934 B/op	    3953 allocs/op
+BenchmarkParallelCompile4 	     870	   1268698 ns/op	  291604 B/op	    3947 allocs/op
+BenchmarkParallelCompile8-4 	     894	   1493683 ns/op	  291576 B/op	    3944 allocs/op
+PASS
+ok  	repro	5.234s
+`
+
+func TestParse(t *testing.T) {
+	ns, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 4 || ns["1"] != 527672 || ns["8"] != 1493683 {
+		t.Fatalf("parsed %v", ns)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("no error for input without benchmark lines")
+	}
+}
+
+func TestRunAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench", "trajectory.json")
+	for _, label := range []string{"first", "second"} {
+		if err := run(strings.NewReader(sample), path, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatalf("trajectory not valid JSON: %v\n%s", err, data)
+	}
+	if len(entries) != 2 || entries[0].Label != "first" || entries[1].Label != "second" {
+		t.Fatalf("entries %+v", entries)
+	}
+	want := 527672.0 / 1268698.0
+	if got := entries[0].SpeedupAt4; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("speedup_at_4 = %v, want %v", got, want)
+	}
+}
+
+func TestRunRejectsCorruptTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trajectory.json")
+	if err := os.WriteFile(path, []byte("{not an array"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(strings.NewReader(sample), path, "x"); err == nil {
+		t.Fatal("corrupt trajectory accepted")
+	}
+}

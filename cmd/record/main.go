@@ -6,12 +6,20 @@
 //
 //	record -model tms320c25 -src program.c [flags]
 //	record -mdl processor.mdl -src program.c [flags]
+//	record -model tms320c25 -jobs 4 a.c b.c c.c   (parallel batch)
 //
-// Flags:
+// Positional arguments are RecC source files; the model is retargeted
+// once and the files compile concurrently across -jobs workers (safe
+// because retargeted targets are frozen).  Output appears in argument
+// order.
+//
+// Flags (each maps onto the identically-spirited core.Config field, see
+// README "Configuration"):
 //
 //	-model name        use a bundled processor model (see -list)
 //	-mdl file          read an MDL processor model from file
 //	-src file          RecC source program ("-" for stdin)
+//	-jobs n            parallel workers for positional source files
 //	-list              list bundled models
 //	-naive             use the naive macro-expansion baseline
 //	-no-compaction     disable code compaction
@@ -34,6 +42,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -42,7 +51,7 @@ import (
 	"os"
 	"sort"
 	"strings"
-	"time"
+	"sync"
 
 	"repro/internal/cflow"
 	"repro/internal/cfront"
@@ -70,22 +79,20 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// config is the parsed command line.
+// config is the parsed command line: driver-only concerns (what to load,
+// what to print) plus the pipeline knobs, which live in core.Config so the
+// CLI and recordd share one validated surface.
 type config struct {
 	modelName, mdlFile, vhdlFile string
 	srcFile, kernelName          string
 	list, useNaive               bool
-	noCompaction, noPeephole     bool
-	noExtension                  bool
 	showSeq, showStats, execute  bool
 
 	cacheDir    string
-	strict      bool
-	maxErrors   int
-	timeout     time.Duration
-	maxBDDNodes int
-	maxRoutes   int
 	faultpoints string
+	srcFiles    []string // positional: parallel multi-source mode
+
+	core core.Config
 }
 
 // run is the testable driver entry point: it parses args, runs the
@@ -102,25 +109,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&c.kernelName, "kernel", "", "compile a bundled DSPStone kernel")
 	fs.BoolVar(&c.list, "list", false, "list bundled models and kernels")
 	fs.BoolVar(&c.useNaive, "naive", false, "use the naive baseline compiler")
-	fs.BoolVar(&c.noCompaction, "no-compaction", false, "disable code compaction")
-	fs.BoolVar(&c.noPeephole, "no-peephole", false, "disable peephole optimization")
-	fs.BoolVar(&c.noExtension, "no-extension", false, "disable template-base extension")
+	fs.BoolVar(&c.core.NoCompaction, "no-compaction", false, "disable code compaction")
+	fs.BoolVar(&c.core.NoPeephole, "no-peephole", false, "disable peephole optimization")
+	fs.BoolVar(&c.core.NoExtension, "no-extension", false, "disable template-base extension")
 	fs.BoolVar(&c.showSeq, "seq", false, "print sequential RT code")
 	fs.BoolVar(&c.showStats, "stats", false, "print statistics")
 	fs.BoolVar(&c.execute, "run", false, "simulate and dump final variables")
 	fs.StringVar(&c.cacheDir, "cache-dir", "", "retarget artifact cache directory (skips ISE on repeat runs)")
-	fs.BoolVar(&c.strict, "strict", false, "treat warnings as errors")
-	fs.IntVar(&c.maxErrors, "max-errors", 0, "stop after this many errors (0 = unlimited)")
-	fs.DurationVar(&c.timeout, "timeout", 0, "wall-clock budget for the whole run (0 = unlimited)")
-	fs.IntVar(&c.maxBDDNodes, "max-bdd-nodes", 0, "cap the BDD universe during extraction (0 = unlimited)")
-	fs.IntVar(&c.maxRoutes, "max-routes", 0, "cap route enumeration per traversal point (0 = default)")
+	fs.BoolVar(&c.core.Strict, "strict", false, "treat warnings as errors")
+	fs.IntVar(&c.core.MaxErrors, "max-errors", 0, "stop after this many errors (0 = unlimited)")
+	fs.DurationVar(&c.core.Timeout, "timeout", 0, "wall-clock budget for the whole run (0 = unlimited)")
+	fs.IntVar(&c.core.MaxBDDNodes, "max-bdd-nodes", 0, "cap the BDD universe during extraction (0 = unlimited)")
+	fs.IntVar(&c.core.MaxRoutes, "max-routes", 0, "cap route enumeration per traversal point (0 = default)")
+	fs.IntVar(&c.core.Jobs, "jobs", 1, "parallel workers for positional source files")
 	fs.StringVar(&c.faultpoints, "faultpoints", "",
 		"comma-separated fault injection specs name[@match]=kind[:arg][*times] (testing)")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
-	if fs.NArg() > 0 {
-		fmt.Fprintf(stderr, "record: unexpected argument %q\n", fs.Arg(0))
+	c.srcFiles = fs.Args()
+	if err := c.core.Validate(); err != nil {
+		fmt.Fprintf(stderr, "record: %v\n", err)
 		return exitUsage
 	}
 
@@ -146,19 +155,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitOK
 	}
 
-	rep := diag.NewReporter()
-	rep.SetStrict(c.strict)
-	rep.SetMaxErrors(c.maxErrors)
+	rep := c.core.Reporter()
+	budget, cancel := c.core.Budget(context.Background())
+	defer cancel()
 
-	ctx := context.Background()
-	if c.timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, c.timeout)
-		defer cancel()
-	}
-	budget := &diag.Budget{Ctx: ctx, MaxBDDNodes: c.maxBDDNodes, MaxRoutes: c.maxRoutes}
-
-	err := compile(&c, rep, budget, stdout)
+	err := compile(&c, rep, budget, stdout, stderr)
 	listDiagnostics(stderr, rep, c.modelSourceName())
 	switch {
 	case err != nil:
@@ -224,28 +225,32 @@ func listDiagnostics(stderr io.Writer, rep *diag.Reporter, source string) {
 }
 
 // compile runs the full pipeline per the parsed configuration.
-func compile(c *config, rep *diag.Reporter, budget *diag.Budget, stdout io.Writer) error {
+func compile(c *config, rep *diag.Reporter, budget *diag.Budget, stdout, stderr io.Writer) error {
 	mdl, err := loadModel(c.modelName, c.mdlFile, c.vhdlFile)
 	if err != nil {
 		return err
 	}
-	src, err := loadSource(c.srcFile, c.kernelName)
-	if err != nil {
-		return err
+	var src string
+	if len(c.srcFiles) == 0 {
+		if src, err = loadSource(c.srcFile, c.kernelName); err != nil {
+			return err
+		}
+	} else if c.srcFile != "" || c.kernelName != "" {
+		return usagef("use either -src/-kernel or positional source files, not both")
 	}
 
-	ropts := core.RetargetOptions{
-		NoExtension: c.noExtension,
-		Reporter:    rep,
-		Budget:      budget,
-	}
+	ropts := c.core.Retarget(rep, budget)
 	var target *core.Target
 	if c.cacheDir != "" {
 		cache, err := rcache.New(rcache.Options{Dir: c.cacheDir, MaxEntries: 1, Reporter: rep})
 		if err != nil {
 			return err
 		}
-		entry, outcome, err := cache.Get(mdl, ropts)
+		ctx := context.Background()
+		if budget != nil && budget.Ctx != nil {
+			ctx = budget.Ctx
+		}
+		entry, outcome, err := cache.GetContext(ctx, mdl, ropts)
 		if err != nil {
 			return err
 		}
@@ -268,6 +273,72 @@ func compile(c *config, rep *diag.Reporter, budget *diag.Budget, stdout io.Write
 		printRetargetStats(stdout, target)
 	}
 
+	if len(c.srcFiles) > 0 {
+		return compileMany(c, target, budget, stdout, stderr)
+	}
+	return compileOne(c, target, src, rep, budget, stdout)
+}
+
+// compileMany compiles every positional source file against one frozen
+// target, fanning files across -jobs workers.  Per-file output and
+// diagnostics are buffered and replayed in argument order, so parallel
+// runs are byte-identical to serial ones.
+func compileMany(c *config, target *core.Target, budget *diag.Budget, stdout, stderr io.Writer) error {
+	type job struct {
+		out, diags bytes.Buffer
+		err        error
+	}
+	jobs := make([]job, len(c.srcFiles))
+	sem := make(chan struct{}, c.core.JobCount())
+	var wg sync.WaitGroup
+	for i, file := range c.srcFiles {
+		wg.Add(1)
+		go func(i int, file string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			j := &jobs[i]
+			rep := c.core.Reporter()
+			src, err := os.ReadFile(file)
+			if err != nil {
+				j.err = err
+				return
+			}
+			j.err = compileOne(c, target, string(src), rep, budget, &j.out)
+			listDiagnostics(&j.diags, rep, file)
+			if j.err == nil && rep.Errors() > 0 {
+				j.err = fmt.Errorf("failing due to %s", rep.Summary())
+			}
+		}(i, file)
+	}
+	wg.Wait()
+
+	var firstErr error
+	failed := 0
+	for i := range jobs {
+		j := &jobs[i]
+		fmt.Fprintf(stdout, "==> %s\n", c.srcFiles[i])
+		_, _ = io.Copy(stdout, &j.out)
+		_, _ = io.Copy(stderr, &j.diags)
+		if j.err != nil {
+			fmt.Fprintf(stderr, "record: %s: %v\n", c.srcFiles[i], j.err)
+			failed++
+			if firstErr == nil {
+				firstErr = j.err
+			}
+		}
+	}
+	if firstErr != nil {
+		// Wrap rather than replace so the worst failure still drives the
+		// exit code (internal faults unwrap to diag.PanicError).
+		return fmt.Errorf("%d of %d source files failed: %w", failed, len(jobs), firstErr)
+	}
+	return nil
+}
+
+// compileOne compiles a single RecC source against the target, writing
+// listings and statistics to stdout.
+func compileOne(c *config, target *core.Target, src string, rep *diag.Reporter, budget *diag.Budget, stdout io.Writer) error {
 	prog, err := cfront.Parse(src)
 	if err != nil {
 		rep.Errorf("recc", diag.Pos{}, "%v", err)
@@ -286,10 +357,11 @@ func compile(c *config, rep *diag.Reporter, budget *diag.Budget, stdout io.Write
 		if c.useNaive {
 			res, err = naive.Compile(target, prog)
 		} else {
-			res, err = target.CompileProgram(prog, core.CompileOptions{
-				NoCompaction: c.noCompaction,
-				NoPeephole:   c.noPeephole,
-			})
+			ctx := context.Background()
+			if budget != nil && budget.Ctx != nil {
+				ctx = budget.Ctx
+			}
+			res, err = target.CompileProgramContext(ctx, prog, c.core.Compile())
 		}
 		return err
 	})
@@ -337,7 +409,7 @@ func compile(c *config, rep *diag.Reporter, budget *diag.Budget, stdout io.Write
 // through the control-flow extension.
 func runControlFlow(target *core.Target, prog *ir.Program, c *config, rep *diag.Reporter, budget *diag.Budget, stdout io.Writer) error {
 	opts := cflow.Options{
-		NoCompaction: c.noCompaction,
+		NoCompaction: c.core.NoCompaction,
 		Reporter:     rep,
 		Budget:       budget,
 	}
@@ -447,5 +519,6 @@ func printRetargetStats(stdout io.Writer, t *core.Target) {
 	fmt.Fprintf(stdout, "  grammar construction        %v (%d rules, %d nonterminals)\n",
 		s.Grammar, s.GrammarSz.RTRules+s.GrammarSz.StartRules+s.GrammarSz.StopRules,
 		s.GrammarSz.Nonterminals)
-	fmt.Fprintf(stdout, "  parser generation           %v\n\n", s.ParserGen)
+	fmt.Fprintf(stdout, "  parser generation           %v\n", s.ParserGen)
+	fmt.Fprintf(stdout, "  freeze (bake encode tables) %v\n\n", s.Freeze)
 }

@@ -214,3 +214,80 @@ func TestCacheDirHitMiss(t *testing.T) {
 		t.Errorf("cached run produced different output:\ncold:\n%s\nwarm:\n%s", cut(out1), cut(out2))
 	}
 }
+
+func TestJobsParallelSources(t *testing.T) {
+	dir := t.TempDir()
+	srcs := []string{
+		"int a = 2; int b = 3; int y; y = a + b;",
+		"int a = 7; int b = 2; int y; y = a - b;",
+		"int a = 4; int y; y = a + a;",
+	}
+	var files []string
+	for i, src := range srcs {
+		f := filepath.Join(dir, "p"+string(rune('0'+i))+".c")
+		if err := os.WriteFile(f, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	serial, parallel := []string{"-model", "demo", "-jobs", "1"}, []string{"-model", "demo", "-jobs", "3"}
+	code, outSerial, _ := record(t, append(serial, files...)...)
+	if code != exitOK {
+		t.Fatalf("serial batch: exit %d\n%s", code, outSerial)
+	}
+	code, outParallel, _ := record(t, append(parallel, files...)...)
+	if code != exitOK {
+		t.Fatalf("parallel batch: exit %d\n%s", code, outParallel)
+	}
+	// Output is buffered per file and replayed in argument order, so
+	// parallel must be byte-identical to serial.
+	if outParallel != outSerial {
+		t.Fatalf("-jobs 3 output differs from -jobs 1:\n--- serial ---\n%s\n--- parallel ---\n%s", outSerial, outParallel)
+	}
+	for _, f := range files {
+		if !strings.Contains(outParallel, "==> "+f) {
+			t.Errorf("missing section for %s", f)
+		}
+	}
+}
+
+func TestJobsBatchPartialFailure(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.c")
+	bad := filepath.Join(dir, "bad.c")
+	if err := os.WriteFile(good, []byte("int a = 1; int y; y = a + a;"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, []byte("int a = 1; int y; y = a + ;"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errs := record(t, "-model", "demo", "-jobs", "2", good, bad)
+	if code != exitInput {
+		t.Fatalf("exit %d, want %d\nstderr: %s", code, exitInput, errs)
+	}
+	// The good file still compiled and printed.
+	if !strings.Contains(out, "==> "+good) || !strings.Contains(out, "code for demo") {
+		t.Errorf("good file output missing:\n%s", out)
+	}
+	if !strings.Contains(errs, bad) || !strings.Contains(errs, "1 of 2 source files failed") {
+		t.Errorf("failure summary missing:\n%s", errs)
+	}
+}
+
+func TestJobsUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "p.c")
+	if err := os.WriteFile(f, []byte("int a = 1; int y; y = a;"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-model", "demo", "-jobs", "-2", f},            // negative jobs
+		{"-model", "demo", "-src", f, f},                // -src plus positional
+		{"-model", "demo", "-kernel", "dot_product", f}, // -kernel plus positional
+	} {
+		if code, _, _ := record(t, args...); code != exitUsage {
+			t.Errorf("record %v: exit = %d, want %d", args, code, exitUsage)
+		}
+	}
+}

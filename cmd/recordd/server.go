@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -57,7 +58,9 @@ func (p *phaseClock) snapshot() (count int64, seconds float64) {
 }
 
 // server is the recordd HTTP service: a retarget-artifact cache behind
-// /v1/retarget and /v1/compile, with health and metrics endpoints.
+// /v1/retarget, /v1/compile and /v1/compile-batch, with health and
+// metrics endpoints.  Targets are frozen, so compiles against one entry
+// run genuinely in parallel — the worker pool bounds CPU, not correctness.
 type server struct {
 	cfg   serverConfig
 	cache *rcache.Cache
@@ -65,8 +68,13 @@ type server struct {
 
 	inflight int64 // atomic: compiles currently executing
 
-	retargetClock phaseClock // time inside cache.Get (includes hits)
+	targMu       sync.Mutex
+	targInflight map[string]int64 // artifact key -> compiles in flight
+
+	retargetClock phaseClock // time inside cache.GetContext (includes hits)
+	freezeClock   phaseClock // freeze/bake time of retargets this process ran
 	compileClock  phaseClock // time inside Entry.Compile
+	batchClock    phaseClock // wall time of whole /v1/compile-batch requests
 	encodeClock   phaseClock // time rendering responses
 }
 
@@ -77,9 +85,10 @@ func newServer(cfg serverConfig) (*server, error) {
 		return nil, err
 	}
 	return &server{
-		cfg:   cfg,
-		cache: cache,
-		sem:   make(chan struct{}, cfg.workers),
+		cfg:          cfg,
+		cache:        cache,
+		sem:          make(chan struct{}, cfg.workers),
+		targInflight: make(map[string]int64),
 	}, nil
 }
 
@@ -89,7 +98,26 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/retarget", s.handleRetarget)
 	mux.HandleFunc("/v1/compile", s.handleCompile)
+	mux.HandleFunc("/v1/compile-batch", s.handleCompileBatch)
 	return mux
+}
+
+// trackCompile bumps the global and per-target in-flight gauges; the
+// returned func undoes both.
+func (s *server) trackCompile(key string) func() {
+	atomic.AddInt64(&s.inflight, 1)
+	s.targMu.Lock()
+	s.targInflight[key]++
+	s.targMu.Unlock()
+	return func() {
+		atomic.AddInt64(&s.inflight, -1)
+		s.targMu.Lock()
+		s.targInflight[key]--
+		if s.targInflight[key] == 0 {
+			delete(s.targInflight, key)
+		}
+		s.targMu.Unlock()
+	}
 }
 
 // acquire takes a worker-pool slot, failing with 503 when the client goes
@@ -113,6 +141,48 @@ func (s *server) budget(ctx context.Context) (*diag.Budget, context.CancelFunc) 
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.timeout)
 	}
 	return &diag.Budget{Ctx: ctx, MaxBDDNodes: s.cfg.maxBDDNodes, MaxRoutes: s.cfg.maxRoutes}, cancel
+}
+
+// compileCtx narrows a request context by the configured per-request
+// timeout; compiles rely on context cancellation alone.
+func (s *server) compileCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.cfg.timeout > 0 {
+		return context.WithTimeout(ctx, s.cfg.timeout)
+	}
+	return ctx, func() {}
+}
+
+// resolveEntry turns (key | model | model_name) into a cache entry,
+// retargeting on demand.  On failure it returns the HTTP status the
+// caller should fail with.
+func (s *server) resolveEntry(ctx context.Context, key string, m modelRequest) (*rcache.Entry, rcache.Outcome, int, error) {
+	if key != "" {
+		if m.Model != "" || m.ModelName != "" {
+			return nil, rcache.Miss, http.StatusBadRequest, fmt.Errorf("use either key or a model, not both")
+		}
+		entry, ok := s.cache.Lookup(key)
+		if !ok {
+			return nil, rcache.Miss, http.StatusNotFound,
+				fmt.Errorf("no artifact for key %s: retarget first or send the model inline", key)
+		}
+		return entry, rcache.Mem, 0, nil
+	}
+	mdl, err := m.source()
+	if err != nil {
+		return nil, rcache.Miss, http.StatusBadRequest, err
+	}
+	budget, cancel := s.budget(ctx)
+	defer cancel()
+	start := time.Now()
+	entry, outcome, err := s.cache.GetContext(ctx, mdl, core.RetargetOptions{Budget: budget})
+	s.retargetClock.observe(time.Since(start))
+	if err != nil {
+		return nil, rcache.Miss, statusFor(err), fmt.Errorf("retarget: %w", err)
+	}
+	if outcome == rcache.Miss {
+		s.freezeClock.observe(entry.Target().Stats.Freeze)
+	}
+	return entry, outcome, 0, nil
 }
 
 // ---- request/response types --------------------------------------------
@@ -155,12 +225,9 @@ type retargetResponse struct {
 
 type compileRequest struct {
 	modelRequest
-	Key     string `json:"key,omitempty"` // artifact key from /v1/retarget
-	Source  string `json:"source"`        // RecC program
-	Options struct {
-		NoCompaction bool `json:"no_compaction,omitempty"`
-		NoPeephole   bool `json:"no_peephole,omitempty"`
-	} `json:"options"`
+	Key     string         `json:"key,omitempty"` // artifact key from /v1/retarget
+	Source  string         `json:"source"`        // RecC program
+	Options compileOptions `json:"options"`
 }
 
 type compileResponse struct {
@@ -171,6 +238,55 @@ type compileResponse struct {
 	CodeLen int      `json:"code_len"` // instruction words
 	Words   []uint64 `json:"words"`
 	Listing string   `json:"listing"`
+}
+
+// compileOptions is the per-program options object shared by /v1/compile
+// and /v1/compile-batch.
+type compileOptions struct {
+	NoCompaction bool `json:"no_compaction,omitempty"`
+	NoPeephole   bool `json:"no_peephole,omitempty"`
+}
+
+// batchProgram is one unit of work in a /v1/compile-batch request.
+type batchProgram struct {
+	ID      string          `json:"id,omitempty"` // echoed back; defaults to its index
+	Source  string          `json:"source"`
+	Options *compileOptions `json:"options,omitempty"` // overrides the batch default
+}
+
+// compileBatchRequest fans a set of programs over the worker pool against
+// one target.  The model is resolved once (key, inline MDL, or bundled
+// name); programs compile concurrently against the frozen target.
+type compileBatchRequest struct {
+	modelRequest
+	Key      string         `json:"key,omitempty"`
+	Programs []batchProgram `json:"programs"`
+	Options  compileOptions `json:"options"` // default for programs without their own
+}
+
+// batchResult is the per-program outcome.  Status mirrors the /v1/compile
+// status mapping: 200 ok, 422 unencodable program, 504 budget exhausted,
+// 500 internal fault.  On non-200 only Error is populated.
+type batchResult struct {
+	ID      string   `json:"id"`
+	Status  int      `json:"status"`
+	Error   string   `json:"error,omitempty"`
+	SeqLen  int      `json:"seq_len,omitempty"`
+	CodeLen int      `json:"code_len,omitempty"`
+	Words   []uint64 `json:"words,omitempty"`
+	Listing string   `json:"listing,omitempty"`
+}
+
+// compileBatchResponse reports every program's outcome.  The HTTP status
+// is 200 whenever the target resolved, even if every program failed —
+// partial failure is data, not transport error.
+type compileBatchResponse struct {
+	Key       string        `json:"key"`
+	Name      string        `json:"name"`
+	Cache     string        `json:"cache"`
+	Succeeded int           `json:"succeeded"`
+	Failed    int           `json:"failed"`
+	Results   []batchResult `json:"results"`
 }
 
 type errorResponse struct {
@@ -207,12 +323,20 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	add("retargets_total", st.Retargets)
 	add("inflight_compiles", atomic.LoadInt64(&s.inflight))
 	add("worker_pool_size", s.cfg.workers)
+	s.targMu.Lock()
+	for key, n := range s.targInflight {
+		lines = append(lines,
+			fmt.Sprintf("recordd_target_inflight_compiles{key=%q} %d", key, n))
+	}
+	s.targMu.Unlock()
 	for _, pc := range []struct {
 		name  string
 		clock *phaseClock
 	}{
 		{"retarget", &s.retargetClock},
+		{"freeze", &s.freezeClock},
 		{"compile", &s.compileClock},
+		{"batch", &s.batchClock},
 		{"encode", &s.encodeClock},
 	} {
 		n, secs := pc.clock.snapshot()
@@ -246,13 +370,16 @@ func (s *server) handleRetarget(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	start := time.Now()
-	entry, outcome, err := s.cache.Get(mdl, core.RetargetOptions{Reporter: rep, Budget: budget})
+	entry, outcome, err := s.cache.GetContext(r.Context(), mdl, core.RetargetOptions{Reporter: rep, Budget: budget})
 	s.retargetClock.observe(time.Since(start))
 	if err != nil {
 		s.fail(w, statusFor(err), fmt.Errorf("retarget: %w", err))
 		return
 	}
 	t := entry.Target()
+	if outcome == rcache.Miss {
+		s.freezeClock.observe(t.Stats.Freeze)
+	}
 	writeJSON(w, http.StatusOK, retargetResponse{
 		Key:       entry.Key,
 		Name:      t.Name,
@@ -277,46 +404,19 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
-	atomic.AddInt64(&s.inflight, 1)
-	defer atomic.AddInt64(&s.inflight, -1)
 
-	var (
-		entry   *rcache.Entry
-		outcome rcache.Outcome
-	)
-	switch {
-	case req.Key != "":
-		if req.Model != "" || req.ModelName != "" {
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("use either key or a model, not both"))
-			return
-		}
-		var ok bool
-		entry, ok = s.cache.Lookup(req.Key)
-		if !ok {
-			s.fail(w, http.StatusNotFound,
-				fmt.Errorf("no artifact for key %s: retarget first or send the model inline", req.Key))
-			return
-		}
-		outcome = rcache.Mem
-	default:
-		mdl, err := req.source()
-		if err != nil {
-			s.fail(w, http.StatusBadRequest, err)
-			return
-		}
-		budget, cancel := s.budget(r.Context())
-		defer cancel()
-		start := time.Now()
-		entry, outcome, err = s.cache.Get(mdl, core.RetargetOptions{Budget: budget})
-		s.retargetClock.observe(time.Since(start))
-		if err != nil {
-			s.fail(w, statusFor(err), fmt.Errorf("retarget: %w", err))
-			return
-		}
+	entry, outcome, status, err := s.resolveEntry(r.Context(), req.Key, req.modelRequest)
+	if err != nil {
+		s.fail(w, status, err)
+		return
 	}
+	done := s.trackCompile(entry.Key)
+	defer done()
 
+	ctx, cancel := s.compileCtx(r.Context())
+	defer cancel()
 	start := time.Now()
-	res, err := entry.Compile(req.Source, core.CompileOptions{
+	res, err := entry.Compile(ctx, req.Source, core.CompileOptions{
 		NoCompaction: req.Options.NoCompaction,
 		NoPeephole:   req.Options.NoPeephole,
 	})
@@ -338,6 +438,106 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	s.encodeClock.observe(time.Since(start))
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCompileBatch resolves the target once, then fans the programs
+// across the worker pool.  Each program independently acquires a pool
+// slot, so a large batch cannot starve other requests of more than the
+// configured concurrency.
+func (s *server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
+	var req compileBatchRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Programs) == 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("no programs"))
+		return
+	}
+	for i, p := range req.Programs {
+		if p.Source == "" {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("program %d has no source", i))
+			return
+		}
+	}
+	batchStart := time.Now()
+	defer func() { s.batchClock.observe(time.Since(batchStart)) }()
+
+	// Resolving the model may retarget: that runs under a pool slot too.
+	if err := s.acquire(r.Context()); err != nil {
+		s.fail(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	entry, outcome, status, err := s.resolveEntry(r.Context(), req.Key, req.modelRequest)
+	s.release()
+	if err != nil {
+		s.fail(w, status, err)
+		return
+	}
+
+	results := make([]batchResult, len(req.Programs))
+	var wg sync.WaitGroup
+	for i := range req.Programs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := req.Programs[i]
+			id := p.ID
+			if id == "" {
+				id = fmt.Sprintf("%d", i)
+			}
+			results[i] = s.compileOne(r.Context(), entry, id, p, req.Options)
+		}(i)
+	}
+	wg.Wait()
+
+	resp := compileBatchResponse{
+		Key:     entry.Key,
+		Name:    entry.Target().Name,
+		Cache:   string(outcome),
+		Results: results,
+	}
+	for _, res := range results {
+		if res.Status == http.StatusOK {
+			resp.Succeeded++
+		} else {
+			resp.Failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// compileOne runs a single batch program under a worker-pool slot.
+func (s *server) compileOne(ctx context.Context, entry *rcache.Entry, id string, p batchProgram, def compileOptions) batchResult {
+	if err := s.acquire(ctx); err != nil {
+		return batchResult{ID: id, Status: http.StatusServiceUnavailable, Error: err.Error()}
+	}
+	defer s.release()
+	done := s.trackCompile(entry.Key)
+	defer done()
+
+	opts := def
+	if p.Options != nil {
+		opts = *p.Options
+	}
+	cctx, cancel := s.compileCtx(ctx)
+	defer cancel()
+	start := time.Now()
+	res, err := entry.Compile(cctx, p.Source, core.CompileOptions{
+		NoCompaction: opts.NoCompaction,
+		NoPeephole:   opts.NoPeephole,
+	})
+	s.compileClock.observe(time.Since(start))
+	if err != nil {
+		return batchResult{ID: id, Status: statusFor(err), Error: err.Error()}
+	}
+	return batchResult{
+		ID:      id,
+		Status:  http.StatusOK,
+		SeqLen:  res.SeqLen(),
+		CodeLen: res.CodeLen(),
+		Words:   res.Words(),
+		Listing: entry.Listing(res),
+	}
 }
 
 // ---- plumbing -----------------------------------------------------------

@@ -247,3 +247,146 @@ func TestWorkerPoolBounds(t *testing.T) {
 		}
 	}
 }
+
+func TestCompileBatch(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{workers: 4})
+	good1 := "int a = 2; int b = 3; int y; y = a + b;"
+	good2 := "int a = 5; int b = 2; int y; y = a - b;"
+	bad := "int a = 1; int y; y = a + ;"
+
+	// Individual reference words for the good programs.
+	ref := func(src string) []uint64 {
+		var cr compileResponse
+		code, raw := post(t, ts.URL+"/v1/compile", map[string]interface{}{
+			"model_name": "demo", "source": src,
+		}, &cr)
+		if code != http.StatusOK {
+			t.Fatalf("reference compile: %d %s", code, raw)
+		}
+		return cr.Words
+	}
+	ref1, ref2 := ref(good1), ref(good2)
+
+	var br compileBatchResponse
+	code, raw := post(t, ts.URL+"/v1/compile-batch", map[string]interface{}{
+		"model_name": "demo",
+		"programs": []map[string]string{
+			{"id": "first", "source": good1},
+			{"source": bad},
+			{"id": "third", "source": good2},
+		},
+	}, &br)
+	if code != http.StatusOK {
+		t.Fatalf("batch: %d %s", code, raw)
+	}
+	if br.Succeeded != 2 || br.Failed != 1 || len(br.Results) != 3 {
+		t.Fatalf("batch counts: %+v", br)
+	}
+	if br.Results[0].ID != "first" || br.Results[1].ID != "1" || br.Results[2].ID != "third" {
+		t.Fatalf("ids not echoed: %+v", br.Results)
+	}
+	if br.Results[0].Status != http.StatusOK || !reflect.DeepEqual(br.Results[0].Words, ref1) {
+		t.Fatalf("program 0: %+v, want words %v", br.Results[0], ref1)
+	}
+	if br.Results[2].Status != http.StatusOK || !reflect.DeepEqual(br.Results[2].Words, ref2) {
+		t.Fatalf("program 2: %+v, want words %v", br.Results[2], ref2)
+	}
+	// Partial failure mirrors the /v1/compile status mapping: a program
+	// the frontend rejects is 422 with an error, no words.
+	if br.Results[1].Status != http.StatusUnprocessableEntity || br.Results[1].Error == "" || len(br.Results[1].Words) != 0 {
+		t.Fatalf("bad program: %+v, want 422 with error", br.Results[1])
+	}
+}
+
+func TestCompileBatchValidation(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{})
+	if code, _ := post(t, ts.URL+"/v1/compile-batch", map[string]interface{}{
+		"model_name": "demo",
+	}, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty batch: %d, want 400", code)
+	}
+	if code, _ := post(t, ts.URL+"/v1/compile-batch", map[string]interface{}{
+		"model_name": "demo",
+		"programs":   []map[string]string{{"id": "x"}},
+	}, nil); code != http.StatusBadRequest {
+		t.Fatalf("sourceless program: %d, want 400", code)
+	}
+	if code, _ := post(t, ts.URL+"/v1/compile-batch", map[string]interface{}{
+		"programs": []map[string]string{{"source": "int a = 1;"}},
+	}, nil); code != http.StatusBadRequest {
+		t.Fatalf("no model: %d, want 400", code)
+	}
+}
+
+func TestCompileBatchParallelConsistency(t *testing.T) {
+	// A batch larger than the pool, all compiling the same program, must
+	// return identical words for every entry (frozen-target determinism).
+	_, ts := newTestServer(t, serverConfig{workers: 4})
+	src := "int a = 2; int b = 3; int c = 4; int y; y = (a + b) - c;"
+	programs := make([]map[string]string, 12)
+	for i := range programs {
+		programs[i] = map[string]string{"source": src}
+	}
+	var br compileBatchResponse
+	code, raw := post(t, ts.URL+"/v1/compile-batch", map[string]interface{}{
+		"model_name": "demo", "programs": programs,
+	}, &br)
+	if code != http.StatusOK {
+		t.Fatalf("batch: %d %s", code, raw)
+	}
+	if br.Succeeded != len(programs) {
+		t.Fatalf("%d of %d succeeded: %s", br.Succeeded, len(programs), raw)
+	}
+	for i := 1; i < len(br.Results); i++ {
+		if !reflect.DeepEqual(br.Results[i].Words, br.Results[0].Words) {
+			t.Fatalf("result %d words %v differ from result 0 %v", i, br.Results[i].Words, br.Results[0].Words)
+		}
+	}
+}
+
+func TestMetricsParallelGauges(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{})
+	if code, _ := post(t, ts.URL+"/v1/compile-batch", map[string]interface{}{
+		"model_name": "demo",
+		"programs":   []map[string]string{{"source": "int a = 1; int y; y = a + a;"}},
+	}, nil); code != http.StatusOK {
+		t.Fatalf("batch: %d", code)
+	}
+
+	scrape := func() string {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	text := scrape()
+	for _, want := range []string{
+		"recordd_phase_freeze_count 1", // one retarget ran, so one freeze was measured
+		"recordd_phase_freeze_seconds_total",
+		"recordd_phase_batch_count 1",
+		"recordd_phase_compile_count 1",
+		"recordd_cache_misses_total 1",
+		"recordd_worker_pool_size",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	// The per-target gauge appears exactly while a compile is in flight.
+	release := s.trackCompile("somekey")
+	if text := scrape(); !strings.Contains(text, `recordd_target_inflight_compiles{key="somekey"} 1`) {
+		t.Errorf("per-target inflight gauge missing:\n%s", text)
+	}
+	release()
+	if text := scrape(); strings.Contains(text, "somekey") {
+		t.Errorf("per-target gauge leaked after compile finished:\n%s", text)
+	}
+}

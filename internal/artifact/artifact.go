@@ -44,13 +44,18 @@ import (
 
 // FormatVersion is bumped whenever the wire form changes; decoders reject
 // other versions (a stale cache file is a miss, not an error).
-const FormatVersion = 1
+//
+// Version 2 added the frozen encoding tables (per-template solo word
+// conditions) so decoded targets are born frozen without re-running the
+// freeze-time conjunction sweep.
+const FormatVersion = 2
 
 // magic heads every encoded artifact, followed by the payload checksum.
 const magic = "recordart"
 
-// TemplateEnc is the wire form of one RT template.  Static is the
-// bdd.Exporter serial id of the execution condition.
+// TemplateEnc is the wire form of one RT template.  Static and Solo are
+// bdd.Exporter serial ids: the raw execution condition and the frozen
+// single-instruction word condition Freeze baked from it.
 type TemplateEnc struct {
 	ID        int         `json:"id"`
 	Dest      string      `json:"dest"`
@@ -58,6 +63,7 @@ type TemplateEnc struct {
 	DestAddr  *rtl.Expr   `json:"dest_addr,omitempty"`
 	Src       *rtl.Expr   `json:"src"`
 	Static    int         `json:"static"`
+	Solo      int         `json:"solo"`
 	Dynamic   []*rtl.Expr `json:"dynamic,omitempty"`
 	Width     int         `json:"width"`
 	Synthetic bool        `json:"synthetic,omitempty"`
@@ -168,6 +174,9 @@ func New(t *core.Target, mdlSource string, opts core.RetargetOptions) (*Artifact
 	if t.Base == nil || t.Grammar == nil || t.ISE == nil || t.ISE.Vars == nil {
 		return nil, fmt.Errorf("artifact: target is incomplete")
 	}
+	if !t.Frozen() {
+		return nil, fmt.Errorf("artifact: target is not frozen (retarget always freezes; construct targets through core.Retarget)")
+	}
 	a := &Artifact{
 		Format:       FormatVersion,
 		Key:          Key(mdlSource, opts),
@@ -202,6 +211,7 @@ func New(t *core.Target, mdlSource string, opts core.RetargetOptions) (*Artifact
 			DestAddr:  tm.DestAddr,
 			Src:       tm.Src,
 			Static:    ex.Export(tm.Cond.Static),
+			Solo:      ex.Export(t.Encoder.SoloCond(tm)),
 			Dynamic:   tm.Cond.Dynamic,
 			Width:     tm.Width,
 			Synthetic: tm.Synthetic,
@@ -302,10 +312,14 @@ func (a *Artifact) Target() (*core.Target, error) {
 	}
 
 	templates := make([]*rtl.Template, len(a.Templates))
+	solo := make([]*bdd.Node, len(a.Templates))
 	for i, te := range a.Templates {
 		static, err := im.Node(te.Static)
 		if err != nil {
 			return nil, fmt.Errorf("artifact: template %d: %w", te.ID, err)
+		}
+		if solo[i], err = im.Node(te.Solo); err != nil {
+			return nil, fmt.Errorf("artifact: template %d solo condition: %w", te.ID, err)
 		}
 		templates[i] = &rtl.Template{
 			ID:        te.ID,
@@ -361,6 +375,12 @@ func (a *Artifact) Target() (*core.Target, error) {
 			background = append(background, st.QName())
 		}
 	}
+	enc := asm.NewEncoder(vars, base, background...)
+	// Decoded targets are born frozen: the expensive solo conditions come
+	// from the wire, only quiescence negations and the NOP are rebuilt.
+	if err := enc.FreezeWithSolo(solo); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
 	t := &core.Target{
 		Name:         a.Name,
 		Model:        model,
@@ -369,7 +389,7 @@ func (a *Artifact) Target() (*core.Target, error) {
 		Base:         base,
 		Grammar:      g,
 		Parser:       parser,
-		Encoder:      asm.NewEncoder(vars, base, background...),
+		Encoder:      enc,
 		ParserSource: a.ParserSource,
 	}
 	t.Stats.Extracted = a.Stats.Extracted

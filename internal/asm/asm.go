@@ -22,6 +22,11 @@ import (
 )
 
 // Encoder encodes instruction words for one extracted machine.
+//
+// A fresh Encoder is single-threaded: encoding operations memoize in the
+// shared BDD manager.  Freeze bakes the per-template encoding tables and
+// freezes the manager, after which the Encoder is immutable and any number
+// of Sessions may encode concurrently.
 type Encoder struct {
 	Vars *ise.VarMap
 	Base *rtl.Base
@@ -33,6 +38,21 @@ type Encoder struct {
 	// quiet is the conjunction of all negated quiesce conditions (the NOP
 	// condition).
 	quiet *bdd.Node
+
+	// Baked at Freeze time; read-only afterwards.
+	frozen      bool
+	storageList []string    // sorted quiesce keys
+	notQuiesce  []*bdd.Node // ¬quiesce[storageList[i]]
+	// solo[t] is t's full single-instruction word condition: its static
+	// execution condition conjoined with quiescence of every other
+	// suppressible storage.  Encoding the common case (one RT per word,
+	// and every word under -no-compaction) is then one cube conjunction
+	// and a satisfiability walk — no shared-state mutation at all.
+	solo map[*rtl.Template]*bdd.Node
+	// nop is the baked quiescent instruction word; nopErr records a
+	// machine without one.
+	nop    uint64
+	nopErr error
 }
 
 // NewEncoder analyses the template base and builds the quiescence
@@ -81,22 +101,173 @@ func (e *Encoder) storages() []string {
 // ModeReq is a required mode-register state: storage name → bit values.
 type ModeReq map[string]int64
 
+// Freeze bakes the read-only encoding tables — per-template solo word
+// conditions, negated quiescence conditions in sorted storage order, the
+// NOP word — and freezes the BDD manager.  After Freeze the Encoder never
+// mutates shared state: every residual BDD operation a Session performs
+// runs through a private copy-on-write view, so any number of Sessions
+// may encode concurrently.  Freeze is idempotent and must be the last
+// manager-mutating step of a retarget.
+func (e *Encoder) Freeze() {
+	if e.frozen {
+		return
+	}
+	e.storageList = e.storages()
+	e.notQuiesce = make([]*bdd.Node, len(e.storageList))
+	for i, s := range e.storageList {
+		e.notQuiesce[i] = e.m.Not(e.quiesce[s])
+	}
+	e.solo = make(map[*rtl.Template]*bdd.Node, e.Base.Len())
+	for _, t := range e.Base.Templates {
+		cond := t.Cond.Static
+		for i, s := range e.storageList {
+			if !t.DestPort && s == t.Dest {
+				continue
+			}
+			cond = e.m.And(cond, e.notQuiesce[i])
+		}
+		e.solo[t] = cond
+	}
+	e.nop, e.nopErr = e.nopWord()
+	e.frozen = true
+	e.m.Freeze()
+}
+
+// Frozen reports whether Freeze has run.
+func (e *Encoder) Frozen() bool { return e.frozen }
+
+// SoloCond returns the baked single-instruction word condition of a
+// template, or nil before Freeze.  internal/artifact serializes these so
+// decoded targets skip the conjunction sweep.
+func (e *Encoder) SoloCond(t *rtl.Template) *bdd.Node {
+	if !e.frozen {
+		return nil
+	}
+	return e.solo[t]
+}
+
+// FreezeWithSolo freezes the encoder installing pre-baked solo word
+// conditions (aligned with Base.Templates, e.g. decoded from an artifact)
+// instead of recomputing them; only the cheap per-storage quiescence
+// negations and the NOP word are rebuilt.  The conditions must denote the
+// same Boolean functions Freeze would compute — BDD canonicity then makes
+// encodings from restored and fresh targets byte-identical.
+func (e *Encoder) FreezeWithSolo(solo []*bdd.Node) error {
+	if e.frozen {
+		return nil
+	}
+	if len(solo) != len(e.Base.Templates) {
+		return fmt.Errorf("asm: %d solo conditions for %d templates", len(solo), len(e.Base.Templates))
+	}
+	e.storageList = e.storages()
+	e.notQuiesce = make([]*bdd.Node, len(e.storageList))
+	for i, s := range e.storageList {
+		e.notQuiesce[i] = e.m.Not(e.quiesce[s])
+	}
+	e.solo = make(map[*rtl.Template]*bdd.Node, e.Base.Len())
+	for i, t := range e.Base.Templates {
+		if solo[i] == nil {
+			return fmt.Errorf("asm: nil solo condition for template %d", t.ID)
+		}
+		e.solo[t] = solo[i]
+	}
+	e.nop, e.nopErr = e.nopWord()
+	e.frozen = true
+	e.m.Freeze()
+	return nil
+}
+
+// condOps is the BDD operation set encoding needs; satisfied by both
+// *bdd.Manager (single-threaded, pre-freeze) and *bdd.View (copy-on-write
+// overlay, post-freeze).
+type condOps interface {
+	True() *bdd.Node
+	False() *bdd.Node
+	And(...*bdd.Node) *bdd.Node
+	Not(*bdd.Node) *bdd.Node
+	Cube(map[int]bool) *bdd.Node
+}
+
+// Session is one encoding session against the (usually frozen) encoder.
+// Sessions of a frozen Encoder are independent and may run concurrently;
+// one Session must not be shared between goroutines.  The session's view
+// accumulates operation memos across words, so one compilation should use
+// one session.
+type Session struct {
+	e   *Encoder
+	ops condOps
+}
+
+// NewSession opens an encoding session.  Pre-freeze the session operates
+// directly (and destructively) on the shared manager, preserving the old
+// single-threaded behavior; post-freeze it gets a private view.
+func (e *Encoder) NewSession() *Session {
+	if e.frozen {
+		return &Session{e: e, ops: e.m.NewView()}
+	}
+	return &Session{e: e, ops: e.m}
+}
+
 // WordCond computes the full encoding condition of a set of parallel RT
 // instances: conjunction of their static conditions, their operand-field
 // bit cubes, and quiescence of every untouched storage.
-func (e *Encoder) WordCond(instrs []*code.Instr) (*bdd.Node, error) {
-	cond := e.m.True()
-	intended := make(map[string]bool)
-	for _, in := range instrs {
-		cond = e.m.And(cond, in.Template.Cond.Static)
-		if !in.Template.DestPort {
-			intended[in.Template.Dest] = true
+func (s *Session) WordCond(instrs []*code.Instr) (*bdd.Node, error) {
+	e := s.e
+	var cond *bdd.Node
+	if e.frozen && len(instrs) == 1 {
+		// Baked fast path: the solo condition already conjoins the static
+		// condition with quiescence of every other storage.  A false solo
+		// condition falls through to the slow path for a precise error.
+		if c, ok := e.solo[instrs[0].Template]; ok && c != e.m.False() {
+			cond = c
 		}
 	}
-	if cond == e.m.False() {
-		return nil, fmt.Errorf("asm: conflicting execution conditions (instruction encoding conflict)")
+	if cond == nil {
+		c := s.ops.True()
+		intended := make(map[string]bool)
+		for _, in := range instrs {
+			c = s.ops.And(c, in.Template.Cond.Static)
+			if !in.Template.DestPort {
+				intended[in.Template.Dest] = true
+			}
+		}
+		if c == s.ops.False() {
+			return nil, fmt.Errorf("asm: conflicting execution conditions (instruction encoding conflict)")
+		}
+		bits, err := e.fieldBits(instrs)
+		if err != nil {
+			return nil, err
+		}
+		c = s.ops.And(c, s.ops.Cube(bits))
+		if c == s.ops.False() {
+			return nil, fmt.Errorf("asm: operand fields contradict execution conditions")
+		}
+		// Quiescence for untouched storages, in sorted storage order.
+		for i, st := range e.quiesceOrder() {
+			if intended[st] {
+				continue
+			}
+			c = s.ops.And(c, e.notQuiesceAt(s.ops, i))
+			if c == s.ops.False() {
+				return nil, fmt.Errorf("asm: cannot encode word without disturbing %s", st)
+			}
+		}
+		return c, nil
 	}
-	// Operand fields pin instruction bits.
+	// Fast path: solo condition plus the operand-field cube.
+	bits, err := e.fieldBits(instrs)
+	if err != nil {
+		return nil, err
+	}
+	cond = s.ops.And(cond, s.ops.Cube(bits))
+	if cond == s.ops.False() {
+		return nil, fmt.Errorf("asm: operand fields contradict execution conditions")
+	}
+	return cond, nil
+}
+
+// fieldBits collects the instruction bits pinned by operand fields.
+func (e *Encoder) fieldBits(instrs []*code.Instr) (map[int]bool, error) {
 	bits := make(map[int]bool) // var index -> value
 	for _, in := range instrs {
 		for _, f := range in.Fields {
@@ -115,30 +286,35 @@ func (e *Encoder) WordCond(instrs []*code.Instr) (*bdd.Node, error) {
 			}
 		}
 	}
-	cond = e.m.And(cond, e.m.Cube(bits))
-	if cond == e.m.False() {
-		return nil, fmt.Errorf("asm: operand fields contradict execution conditions")
+	return bits, nil
+}
+
+// quiesceOrder returns the suppressible storages in sorted order, baked
+// when frozen.
+func (e *Encoder) quiesceOrder() []string {
+	if e.frozen {
+		return e.storageList
 	}
-	// Quiescence for untouched storages.
-	for _, s := range e.storages() {
-		if intended[s] {
-			continue
-		}
-		cond = e.m.And(cond, e.m.Not(e.quiesce[s]))
-		if cond == e.m.False() {
-			return nil, fmt.Errorf("asm: cannot encode word without disturbing %s", s)
-		}
+	return e.storages()
+}
+
+// notQuiesceAt returns ¬quiesce of the i'th ordered storage, baked when
+// frozen.
+func (e *Encoder) notQuiesceAt(ops condOps, i int) *bdd.Node {
+	if e.frozen {
+		return e.notQuiesce[i]
 	}
-	return cond, nil
+	return ops.Not(e.quiesce[e.quiesceOrder()[i]])
 }
 
 // Encode picks a concrete instruction word (and required mode state)
 // satisfying the word condition.  Unconstrained bits default to 0.
-func (e *Encoder) Encode(instrs []*code.Instr) (word uint64, mode ModeReq, err error) {
-	cond, err := e.WordCond(instrs)
+func (s *Session) Encode(instrs []*code.Instr) (word uint64, mode ModeReq, err error) {
+	cond, err := s.WordCond(instrs)
 	if err != nil {
 		return 0, nil, err
 	}
+	e := s.e
 	assign, ok := e.m.AnySat(cond)
 	if !ok {
 		return 0, nil, fmt.Errorf("asm: unsatisfiable word condition")
@@ -166,13 +342,21 @@ func (e *Encoder) Encode(instrs []*code.Instr) (word uint64, mode ModeReq, err e
 }
 
 // Feasible reports whether the instruction set can execute in one word.
-func (e *Encoder) Feasible(instrs []*code.Instr) bool {
-	_, err := e.WordCond(instrs)
+func (s *Session) Feasible(instrs []*code.Instr) bool {
+	_, err := s.WordCond(instrs)
 	return err == nil
 }
 
 // NOP returns an instruction word that changes no suppressible storage.
-func (e *Encoder) NOP() (uint64, error) {
+func (s *Session) NOP() (uint64, error) {
+	if s.e.frozen {
+		return s.e.nop, s.e.nopErr
+	}
+	return s.e.nopWord()
+}
+
+// nopWord picks a quiescent word from the quiet condition (read-only).
+func (e *Encoder) nopWord() (uint64, error) {
 	assign, ok := e.m.AnySat(e.quiet)
 	if !ok {
 		return 0, fmt.Errorf("asm: machine has no quiescent encoding (NOP impossible)")
@@ -190,29 +374,68 @@ func (e *Encoder) NOP() (uint64, error) {
 // requirements of all words are mutually consistent (the program never
 // needs two different states of one mode register without an intervening
 // mode change, which this straight-line encoder does not insert).
-func (e *Encoder) EncodeProgram(p *code.Program) (ModeReq, error) {
+func (s *Session) EncodeProgram(p *code.Program) (ModeReq, error) {
 	required := make(ModeReq)
 	seen := make(map[string]bool)
 	for i, w := range p.Words {
-		bits, mode, err := e.Encode(w.Instrs)
+		bits, mode, err := s.Encode(w.Instrs)
 		if err != nil {
 			return nil, fmt.Errorf("asm: word %d: %w", i, err)
 		}
 		w.Bits = bits
 		w.Encoded = true
-		for s, v := range mode {
-			if seen[s] && required[s] != v {
+		for st, v := range mode {
+			if seen[st] && required[st] != v {
 				return nil, fmt.Errorf("asm: word %d needs mode %s=%d but an earlier word needs %d",
-					i, s, v, required[s])
+					i, st, v, required[st])
 			}
-			seen[s] = true
-			required[s] = v
+			seen[st] = true
+			required[st] = v
 		}
 	}
 	if len(required) == 0 {
 		return nil, nil
 	}
 	return required, nil
+}
+
+// ---- deprecated single-call wrappers ------------------------------------
+//
+// Each opens a throwaway Session; callers compiling whole programs should
+// open one Session per compilation instead so the operation memo is shared
+// across words.
+
+// WordCond computes the encoding condition of a parallel word.
+//
+// Deprecated: use NewSession().WordCond.
+func (e *Encoder) WordCond(instrs []*code.Instr) (*bdd.Node, error) {
+	return e.NewSession().WordCond(instrs)
+}
+
+// Encode picks a concrete instruction word for a parallel word.
+//
+// Deprecated: use NewSession().Encode.
+func (e *Encoder) Encode(instrs []*code.Instr) (uint64, ModeReq, error) {
+	return e.NewSession().Encode(instrs)
+}
+
+// Feasible reports whether the instructions can execute in one word.
+//
+// Deprecated: use NewSession().Feasible.
+func (e *Encoder) Feasible(instrs []*code.Instr) bool {
+	return e.NewSession().Feasible(instrs)
+}
+
+// NOP returns a quiescent instruction word.
+//
+// Deprecated: use NewSession().NOP.
+func (e *Encoder) NOP() (uint64, error) { return e.NewSession().NOP() }
+
+// EncodeProgram encodes every word of p.
+//
+// Deprecated: use NewSession().EncodeProgram.
+func (e *Encoder) EncodeProgram(p *code.Program) (ModeReq, error) {
+	return e.NewSession().EncodeProgram(p)
 }
 
 // Listing renders an encoded program as an annotated listing.

@@ -55,6 +55,9 @@ type Manager struct {
 	byName  map[string]int
 	trueN   *Node
 	falseN  *Node
+	// frozen makes every table read-only: mutation panics, concurrent
+	// reads become safe, and NewView hands out copy-on-write overlays.
+	frozen bool
 }
 
 type triple struct{ a, b, c int }
@@ -103,6 +106,9 @@ func (m *Manager) DeclareVar(name string) int {
 	if v, ok := m.byName[name]; ok {
 		return v
 	}
+	if m.frozen {
+		panic(InvariantError("bdd: DeclareVar on frozen manager"))
+	}
 	v := len(m.names)
 	m.names = append(m.names, name)
 	m.byName[name] = v
@@ -149,6 +155,9 @@ func (m *Manager) mk(v int, lo, hi *Node) *Node {
 	if n, ok := m.unique[key]; ok {
 		return n
 	}
+	if m.frozen {
+		panic(InvariantError("bdd: node creation on frozen manager (use a View)"))
+	}
 	n := &Node{Var: v, Low: lo, High: hi, id: len(m.nodes)}
 	m.nodes = append(m.nodes, n)
 	m.unique[key] = n
@@ -179,6 +188,11 @@ func (m *Manager) Ite(f, g, h *Node) *Node {
 	key := triple{f.id, g.id, h.id}
 	if r, ok := m.iteMemo[key]; ok {
 		return r
+	}
+	if m.frozen {
+		// Even a cache-miss recomputation would write the memo table and
+		// race concurrent readers; residual operations go through a View.
+		panic(InvariantError("bdd: Ite on frozen manager (use a View)"))
 	}
 	v := topVar(f, g, h)
 	f0, f1 := m.cofactors(f, v)

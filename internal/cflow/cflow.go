@@ -143,6 +143,9 @@ func Compile(t *core.Target, prog *ir.Program, opts Options) (*Result, error) {
 		return nil, err
 	}
 	gen := codegen.New(t.Grammar, t.Parser, b)
+	// One encoding session for the whole program keeps cflow reentrant on
+	// frozen targets (feasibility tests and encoding share a private view).
+	sess := t.Encoder.NewSession()
 
 	res := &Result{CFG: cfg, Binding: b, Code: &code.Program{},
 		BlockStart: make([]int, len(cfg.Blocks))}
@@ -197,11 +200,11 @@ func Compile(t *core.Target, prog *ir.Program, opts Options) (*Result, error) {
 				seq.Append(in)
 			}
 		}
-		prg, err := compact.Compact(seq, t.Encoder, compact.Options{Disable: opts.NoCompaction})
+		prg, err := compact.Compact(seq, sess, compact.Options{Disable: opts.NoCompaction})
 		if err != nil {
 			return nil, fmt.Errorf("cflow: block %d: %w", i, err)
 		}
-		if err := compact.Verify(seq, prg, t.Encoder); err != nil {
+		if err := compact.Verify(seq, prg, sess); err != nil {
 			return nil, err
 		}
 		res.Code.Words = append(res.Code.Words, prg.Words...)
@@ -236,7 +239,7 @@ func Compile(t *core.Target, prog *ir.Program, opts Options) (*Result, error) {
 		}
 		pj.instr.Fields = []code.Field{{Hi: js.targetHi, Lo: js.targetLo, Val: int64(target)}}
 	}
-	mode, err := t.Encoder.EncodeProgram(res.Code)
+	mode, err := sess.EncodeProgram(res.Code)
 	if err != nil {
 		return nil, err
 	}

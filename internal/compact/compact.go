@@ -17,7 +17,6 @@ package compact
 import (
 	"fmt"
 
-	"repro/internal/asm"
 	"repro/internal/code"
 )
 
@@ -28,9 +27,16 @@ type Options struct {
 	Disable bool
 }
 
+// Feasibility is the encodability test compaction schedules against —
+// satisfied by *asm.Encoder and, for concurrent compiles against a frozen
+// target, by *asm.Session.
+type Feasibility interface {
+	Feasible([]*code.Instr) bool
+}
+
 // Compact packs a sequential RT list into instruction words using greedy
 // earliest-fit list scheduling.
-func Compact(seq *code.Seq, enc *asm.Encoder, opts Options) (*code.Program, error) {
+func Compact(seq *code.Seq, enc Feasibility, opts Options) (*code.Program, error) {
 	p := &code.Program{}
 	if opts.Disable {
 		for _, in := range seq.Instrs {
@@ -81,7 +87,7 @@ func Compact(seq *code.Seq, enc *asm.Encoder, opts Options) (*code.Program, erro
 // Verify checks that a compacted program respects every dependence of the
 // original sequence and that each word is encodable; it is used by tests
 // and as a safety net after compaction.
-func Verify(seq *code.Seq, p *code.Program, enc *asm.Encoder) error {
+func Verify(seq *code.Seq, p *code.Program, enc Feasibility) error {
 	// Map instructions to their word index (pointer identity).
 	wordOf := make(map[*code.Instr]int)
 	count := 0

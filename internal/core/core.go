@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -64,6 +65,7 @@ type RetargetStats struct {
 	Extension  time.Duration // template-base extension
 	Grammar    time.Duration // tree grammar construction
 	ParserGen  time.Duration // parser generation (tables + optional source)
+	Freeze     time.Duration // baking the read-only encoding tables
 	Total      time.Duration
 	Extracted  int // templates delivered by ISE
 	Templates  int // templates after extension (the paper's column 2)
@@ -72,6 +74,13 @@ type RetargetStats struct {
 }
 
 // Target is a retargeted compiler instance for one processor model.
+//
+// Retarget returns the Target frozen: the encoder's per-template encoding
+// tables are baked and the shared BDD manager is read-only, so Compile
+// methods touch no shared mutable state and any number of goroutines may
+// compile against one Target concurrently.  Degraded (partial) targets are
+// frozen too — freezing is about reentrancy, cacheability is a separate
+// question (see internal/artifact.Cacheable).
 type Target struct {
 	Name    string
 	Model   *hdl.Model
@@ -88,12 +97,42 @@ type Target struct {
 
 // Retarget builds a compiler for the processor described by MDL source.
 //
+// Deprecated: use RetargetContext, which makes cancellation explicit.
+func Retarget(mdlSource string, opts RetargetOptions) (*Target, error) {
+	return RetargetContext(context.Background(), mdlSource, opts)
+}
+
+// RetargetContext builds a compiler for the processor described by MDL
+// source.  ctx bounds the run: cancellation or deadline expiry is observed
+// at phase boundaries and inside route enumeration (it becomes the
+// wall-clock axis of the diag.Budget, replacing the older ad-hoc timeout
+// plumbing — a Budget with its own Ctx keeps it, so legacy callers are
+// unaffected).
+//
 // Every phase runs under a recovery boundary: panics (pipeline invariant
 // violations, injected faults) surface as Error diagnostics on
 // opts.Reporter and a *diag.PanicError return instead of crashing the
 // caller.  Frontend syntax errors are reported individually with their
 // source positions.
-func Retarget(mdlSource string, opts RetargetOptions) (*Target, error) {
+//
+// The returned Target is frozen (see Target) and safe for concurrent
+// compilation.
+func RetargetContext(ctx context.Context, mdlSource string, opts RetargetOptions) (*Target, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Merge ctx into the budget so every existing deadline check in the
+	// pipeline observes the caller's cancellation.
+	switch {
+	case opts.Budget == nil:
+		if ctx != context.Background() {
+			opts.Budget = &diag.Budget{Ctx: ctx}
+		}
+	case opts.Budget.Ctx == nil:
+		b := *opts.Budget
+		b.Ctx = ctx
+		opts.Budget = &b
+	}
 	rep := opts.Reporter
 	t := &Target{}
 	start := time.Now()
@@ -208,6 +247,20 @@ func Retarget(mdlSource string, opts RetargetOptions) (*Target, error) {
 	}
 	t.Stats.ParserGen = time.Since(phase)
 
+	// Freeze: bake the per-template encoding tables and mark the BDD
+	// manager read-only, making the Target safe for concurrent compiles.
+	// This is the last manager-mutating step; it runs for degraded targets
+	// too (frozen ≠ cacheable).
+	phase = time.Now()
+	err = diag.Guard(rep, "freeze", func() error {
+		t.Encoder.Freeze()
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: target freeze: %w", err)
+	}
+	t.Stats.Freeze = time.Since(phase)
+
 	t.Stats.Total = time.Since(start)
 	if t.ISE.Stats.Dropped > 0 {
 		rep.Infof("core", diag.Pos{},
@@ -265,23 +318,63 @@ func (r *CompileResult) SeqLen() int { return r.Seq.Len() }
 // CodeLen is the post-compaction code size (number of instruction words).
 func (r *CompileResult) CodeLen() int { return r.Code.Len() }
 
+// Frozen reports whether the target's encoding tables are baked and its
+// BDD manager read-only (always true for Retarget-built targets).
+func (t *Target) Frozen() bool { return t.Encoder != nil && t.Encoder.Frozen() }
+
 // CompileSource compiles RecC source text for the target.
+//
+// Deprecated: use CompileSourceContext.
 func (t *Target) CompileSource(src string, opts CompileOptions) (*CompileResult, error) {
+	return t.CompileSourceContext(context.Background(), src, opts)
+}
+
+// CompileSourceContext compiles RecC source text for the target,
+// observing ctx cancellation between pipeline stages.  Safe for concurrent
+// use on a frozen target.
+func (t *Target) CompileSourceContext(ctx context.Context, src string, opts CompileOptions) (*CompileResult, error) {
 	prog, err := cfront.Parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("core: RecC frontend: %w", err)
 	}
-	return t.CompileProgram(prog, opts)
+	return t.CompileProgramContext(ctx, prog, opts)
 }
 
 // CompileProgram compiles an IR program for the target.
+//
+// Deprecated: use CompileProgramContext.
 func (t *Target) CompileProgram(prog *ir.Program, opts CompileOptions) (*CompileResult, error) {
+	return t.CompileProgramContext(context.Background(), prog, opts)
+}
+
+// CompileProgramContext compiles an IR program for the target.  ctx
+// cancellation is observed between stages (bind, selection, peephole,
+// compaction, encoding); a cancelled compile returns ctx.Err wrapped in a
+// *diag.BudgetError so servers map it onto their timeout class.
+//
+// On a frozen target the whole compilation touches no shared mutable
+// state: selection walks read-only tables, and encoding runs in a private
+// copy-on-write BDD view, so concurrent compiles need no locking and the
+// produced words are byte-identical to a serial run's.
+func (t *Target) CompileProgramContext(ctx context.Context, prog *ir.Program, opts CompileOptions) (*CompileResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	check := func(stage string) error {
+		if err := ctx.Err(); err != nil {
+			return &diag.BudgetError{Resource: "deadline", Cause: fmt.Errorf("compile cancelled at %s: %w", stage, err)}
+		}
+		return nil
+	}
 	b, err := bind.Bind(prog, t.Net)
 	if err != nil {
 		return nil, err
 	}
 	ets, err := b.LowerProgram(prog)
 	if err != nil {
+		return nil, err
+	}
+	if err := check("selection"); err != nil {
 		return nil, err
 	}
 	gen := codegen.New(t.Grammar, t.Parser, b)
@@ -294,14 +387,24 @@ func (t *Target) CompileProgram(prog *ir.Program, opts CompileOptions) (*Compile
 	if !opts.NoPeephole {
 		seq, optStats = opt.Optimize(raw)
 	}
-	prg, err := compact.Compact(seq, t.Encoder, compact.Options{Disable: opts.NoCompaction})
+	if err := check("compaction"); err != nil {
+		return nil, err
+	}
+	// One encoding session per compilation: against a frozen encoder it
+	// owns a private BDD view shared by compaction feasibility tests and
+	// final encoding.
+	sess := t.Encoder.NewSession()
+	prg, err := compact.Compact(seq, sess, compact.Options{Disable: opts.NoCompaction})
 	if err != nil {
 		return nil, err
 	}
-	if err := compact.Verify(seq, prg, t.Encoder); err != nil {
+	if err := compact.Verify(seq, prg, sess); err != nil {
 		return nil, err
 	}
-	mode, err := t.Encoder.EncodeProgram(prg)
+	if err := check("encoding"); err != nil {
+		return nil, err
+	}
+	mode, err := sess.EncodeProgram(prg)
 	if err != nil {
 		return nil, err
 	}

@@ -11,13 +11,15 @@
 // corruption: a file that fails to decode is a miss plus a diagnostic
 // warning, never an error.
 //
-// Entries wrap their Target with a mutex because compilation is not
-// reentrant per target — encoding walks the shared BDD manager, which
-// memoizes destructively.  Callers compile through Entry.Compile.
+// Entries need no per-entry lock: every cached Target is frozen (its BDD
+// tables are read-only and compiles run against private copy-on-write
+// views), so any number of goroutines may compile through the same entry
+// simultaneously.
 package rcache
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -68,32 +70,29 @@ type Options struct {
 // is unset.
 const DefaultMaxEntries = 16
 
-// Entry is one cached retarget product.  Compile serializes access to the
-// underlying target, whose BDD manager is not safe for concurrent use.
+// Entry is one cached retarget product.  The target is frozen, so every
+// method — and direct use of Target() — is safe for concurrent use with
+// no serialization: parallel compiles share the read-only tables and keep
+// their mutable state in per-compile sessions.
 type Entry struct {
 	Key string
 
-	mu     sync.Mutex
 	target *core.Target
 }
 
-// Compile compiles RecC source through the cached target.  It is safe for
-// concurrent use; compiles for the same entry run one at a time.
-func (e *Entry) Compile(src string, opts core.CompileOptions) (*core.CompileResult, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.target.CompileSource(src, opts)
+// Compile compiles RecC source through the cached target.  Any number of
+// Compiles may run concurrently against the same entry.
+func (e *Entry) Compile(ctx context.Context, src string, opts core.CompileOptions) (*core.CompileResult, error) {
+	return e.target.CompileSourceContext(ctx, src, opts)
 }
 
 // Listing renders a compile result against the cached target.
 func (e *Entry) Listing(r *core.CompileResult) string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return e.target.Listing(r)
 }
 
-// Target exposes the underlying target for single-threaded callers (the
-// CLI).  Concurrent servers must go through Compile.
+// Target exposes the underlying frozen target; it is safe to share across
+// goroutines.
 func (e *Entry) Target() *core.Target { return e.target }
 
 type flight struct {
@@ -155,10 +154,21 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.opts.Dir, key+".rart")
 }
 
-// Get returns the cached retarget product for (mdlSource, ropts), running
-// core.Retarget at most once per content address across concurrent
-// callers.  The returned outcome says which tier satisfied the request.
+// Get is GetContext with a background context.
+//
+// Deprecated: use GetContext so cancellation reaches the underlying
+// retarget.
 func (c *Cache) Get(mdlSource string, ropts core.RetargetOptions) (*Entry, Outcome, error) {
+	return c.GetContext(context.Background(), mdlSource, ropts)
+}
+
+// GetContext returns the cached retarget product for (mdlSource, ropts),
+// running the retarget at most once per content address across concurrent
+// callers.  ctx bounds a retarget this call initiates; coalesced waiters
+// also stop waiting when their own ctx is done (the in-flight retarget
+// keeps running for its initiator).  The returned outcome says which tier
+// satisfied the request.
+func (c *Cache) GetContext(ctx context.Context, mdlSource string, ropts core.RetargetOptions) (*Entry, Outcome, error) {
 	key := artifact.Key(mdlSource, ropts)
 
 	c.mu.Lock()
@@ -172,7 +182,11 @@ func (c *Cache) Get(mdlSource string, ropts core.RetargetOptions) (*Entry, Outco
 	if f, ok := c.flight[key]; ok {
 		c.stats.Coalesced++
 		c.mu.Unlock()
-		<-f.done
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, Miss, &diag.BudgetError{Resource: "deadline", Cause: ctx.Err()}
+		}
 		if f.err != nil {
 			return nil, Miss, f.err
 		}
@@ -182,7 +196,7 @@ func (c *Cache) Get(mdlSource string, ropts core.RetargetOptions) (*Entry, Outco
 	c.flight[key] = f
 	c.mu.Unlock()
 
-	entry, outcome, err := c.fill(key, mdlSource, ropts)
+	entry, outcome, err := c.fill(ctx, key, mdlSource, ropts)
 
 	c.mu.Lock()
 	delete(c.flight, key)
@@ -239,7 +253,7 @@ func (c *Cache) Lookup(key string) (*Entry, bool) {
 
 // fill resolves a key the memory tier does not have: disk first, then a
 // full retarget (persisting the fresh artifact for the next process).
-func (c *Cache) fill(key, mdlSource string, ropts core.RetargetOptions) (*Entry, Outcome, error) {
+func (c *Cache) fill(ctx context.Context, key, mdlSource string, ropts core.RetargetOptions) (*Entry, Outcome, error) {
 	if entry := c.loadDisk(key); entry != nil {
 		return entry, Disk, nil
 	}
@@ -247,7 +261,7 @@ func (c *Cache) fill(key, mdlSource string, ropts core.RetargetOptions) (*Entry,
 	c.mu.Lock()
 	c.stats.Retargets++
 	c.mu.Unlock()
-	t, err := core.Retarget(mdlSource, ropts)
+	t, err := core.RetargetContext(ctx, mdlSource, ropts)
 	if err != nil {
 		return nil, Miss, err
 	}

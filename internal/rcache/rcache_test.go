@@ -1,6 +1,7 @@
 package rcache
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -77,7 +78,7 @@ func TestDiskTierAcrossInstances(t *testing.T) {
 		t.Fatal("disk hit still retargeted")
 	}
 	// The decoded target compiles.
-	res, err := e.Compile("int a = 2; int b = 3; int y; y = a + b;", core.CompileOptions{})
+	res, err := e.Compile(context.Background(), "int a = 2; int b = 3; int y; y = a + b;", core.CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func TestConcurrentCompilesOneEntry(t *testing.T) {
 		t.Fatal(err)
 	}
 	src := "int a = 2; int b = 3; int y; y = a + b;"
-	ref, err := e.Compile(src, core.CompileOptions{})
+	ref, err := e.Compile(context.Background(), src, core.CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +267,7 @@ func TestConcurrentCompilesOneEntry(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, err := e.Compile(src, core.CompileOptions{})
+			res, err := e.Compile(context.Background(), src, core.CompileOptions{})
 			if err != nil {
 				panic(err)
 			}
