@@ -8,11 +8,13 @@
 //	benchtab -table3
 //	benchtab -fig2
 //	benchtab          (both)
+//	benchtab -validate-metrics metrics.txt   (check a /metrics scrape, - for stdin)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -24,10 +26,18 @@ import (
 
 func main() {
 	var (
-		table3 = flag.Bool("table3", false, "print table 3 (retargeting)")
-		fig2   = flag.Bool("fig2", false, "print figure 2 (code size)")
+		table3  = flag.Bool("table3", false, "print table 3 (retargeting)")
+		fig2    = flag.Bool("fig2", false, "print figure 2 (code size)")
+		metrics = flag.String("validate-metrics", "", "validate a Prometheus text exposition from this file (- for stdin) and exit")
 	)
 	flag.Parse()
+	if *metrics != "" {
+		if err := runValidateMetrics(*metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if !*table3 && !*fig2 {
 		*table3, *fig2 = true, true
 	}
@@ -43,6 +53,24 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+func runValidateMetrics(path string) error {
+	in := io.Reader(os.Stdin)
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	families, samples, err := validateMetrics(in)
+	if err != nil {
+		return fmt.Errorf("invalid metrics exposition: %w", err)
+	}
+	fmt.Printf("metrics OK: %d families, %d samples\n", families, samples)
+	return nil
 }
 
 func printTable3() error {

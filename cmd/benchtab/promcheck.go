@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format validator (version 0.0.4), used by CI to check
+// that a live recordd /metrics scrape is well-formed: every sample belongs
+// to a declared family, values parse, histograms carry cumulative buckets
+// ending in +Inf, and families appear in sorted order so scrapes are
+// deterministic.
+
+var (
+	metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$`)
+	labelPair  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+type promFamily struct {
+	typ     string
+	hasHelp bool
+	samples int
+	// histogram bookkeeping
+	infBucket bool
+	sum       bool
+	count     bool
+}
+
+// baseFamily strips the histogram sample suffixes so _bucket/_sum/_count
+// lines resolve to their declaring family.
+func baseFamily(name string, fams map[string]*promFamily) (string, string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if b := strings.TrimSuffix(name, suf); b != name {
+			if f, ok := fams[b]; ok && f.typ == "histogram" {
+				return b, suf
+			}
+		}
+	}
+	return name, ""
+}
+
+// validateMetrics checks a Prometheus text exposition, returning family
+// and sample counts for reporting.
+func validateMetrics(r io.Reader) (families, samples int, err error) {
+	fams := make(map[string]*promFamily)
+	var lastFamily string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...interface{}) error {
+			return fmt.Errorf("line %d: %s (%q)", lineNo, fmt.Sprintf(format, args...), line)
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return 0, 0, fail("comment is neither HELP nor TYPE")
+			}
+			name := fields[2]
+			if !metricName.MatchString(name) {
+				return 0, 0, fail("bad metric name %q", name)
+			}
+			f := fams[name]
+			if f == nil {
+				f = &promFamily{}
+				fams[name] = f
+				families++
+				if lastFamily != "" && name <= lastFamily {
+					return 0, 0, fail("family %q not in sorted order after %q", name, lastFamily)
+				}
+				lastFamily = name
+			}
+			if fields[1] == "HELP" {
+				f.hasHelp = true
+				continue
+			}
+			typ := fields[3]
+			switch typ {
+			case "counter", "gauge", "histogram":
+				f.typ = typ
+			default:
+				return 0, 0, fail("unknown TYPE %q", typ)
+			}
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			return 0, 0, fail("not a valid sample line")
+		}
+		name, labels, value := m[1], m[2], m[3]
+		base, suffix := baseFamily(name, fams)
+		f, ok := fams[base]
+		if !ok || f.typ == "" {
+			return 0, 0, fail("sample %q has no preceding TYPE declaration", name)
+		}
+		if (suffix != "") != (f.typ == "histogram") {
+			return 0, 0, fail("sample %q does not match its family type %q", name, f.typ)
+		}
+		var le string
+		if labels != "" {
+			for _, pair := range splitLabels(labels) {
+				lm := labelPair.FindStringSubmatch(pair)
+				if lm == nil {
+					return 0, 0, fail("bad label pair %q", pair)
+				}
+				if lm[1] == "le" {
+					le = lm[2]
+				}
+			}
+		}
+		switch suffix {
+		case "_bucket":
+			if le == "" {
+				return 0, 0, fail("histogram bucket without an le label")
+			}
+			if le == "+Inf" {
+				f.infBucket = true
+			}
+		case "_sum":
+			f.sum = true
+		case "_count":
+			f.count = true
+		}
+		v := value
+		if v != "+Inf" && v != "-Inf" && v != "NaN" {
+			if _, err := strconv.ParseFloat(v, 64); err != nil {
+				return 0, 0, fail("unparseable value %q", value)
+			}
+		}
+		f.samples++
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, err
+	}
+	for name, f := range fams {
+		switch {
+		case f.typ == "":
+			return 0, 0, fmt.Errorf("family %s has HELP but no TYPE", name)
+		case f.samples == 0:
+			return 0, 0, fmt.Errorf("family %s declares a TYPE but has no samples", name)
+		case f.typ == "histogram" && (!f.infBucket || !f.sum || !f.count):
+			return 0, 0, fmt.Errorf("histogram %s is missing +Inf bucket, _sum or _count", name)
+		}
+	}
+	if families == 0 {
+		return 0, 0, fmt.Errorf("no metric families in input")
+	}
+	return families, samples, nil
+}
+
+// splitLabels splits the inside of a label block on commas that are not
+// inside quoted values.
+func splitLabels(s string) []string {
+	var out []string
+	var b strings.Builder
+	inQuote, escaped := false, false
+	for _, r := range s {
+		switch {
+		case escaped:
+			escaped = false
+		case r == '\\':
+			escaped = true
+		case r == '"':
+			inQuote = !inQuote
+		case r == ',' && !inQuote:
+			out = append(out, b.String())
+			b.Reset()
+			continue
+		}
+		b.WriteRune(r)
+	}
+	if b.Len() > 0 {
+		out = append(out, b.String())
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+const validExposition = `# HELP record_core_phase_seconds wall-clock seconds per pipeline phase
+# TYPE record_core_phase_seconds histogram
+record_core_phase_seconds_bucket{phase="ise",le="0.01"} 1
+record_core_phase_seconds_bucket{phase="ise",le="+Inf"} 1
+record_core_phase_seconds_sum{phase="ise"} 0.004
+record_core_phase_seconds_count{phase="ise"} 1
+# HELP record_core_retargets_total retargeting pipeline runs
+# TYPE record_core_retargets_total counter
+record_core_retargets_total 1
+# HELP record_recordd_inflight_compiles in-flight compile requests
+# TYPE record_recordd_inflight_compiles gauge
+record_recordd_inflight_compiles 0
+`
+
+func TestValidateMetricsValid(t *testing.T) {
+	families, samples, err := validateMetrics(strings.NewReader(validExposition))
+	if err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	if families != 3 {
+		t.Errorf("families = %d, want 3", families)
+	}
+	if samples != 6 {
+		t.Errorf("samples = %d, want 6", samples)
+	}
+}
+
+func TestValidateMetricsInvalid(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"sample without TYPE", "record_foo_total 1\n"},
+		{"unknown TYPE", "# TYPE record_foo_total summary\nrecord_foo_total 1\n"},
+		{"bad value", "# TYPE record_foo_total counter\nrecord_foo_total banana\n"},
+		{"bad label pair", "# TYPE record_foo_total counter\nrecord_foo_total{tier=mem} 1\n"},
+		{"unsorted families", "# TYPE record_b_total counter\nrecord_b_total 1\n# TYPE record_a_total counter\nrecord_a_total 1\n"},
+		{"family without samples", "# TYPE record_foo_total counter\n"},
+		{"histogram missing +Inf", "# TYPE record_h histogram\nrecord_h_bucket{le=\"1\"} 1\nrecord_h_sum 0.5\nrecord_h_count 1\n"},
+		{"histogram missing sum", "# TYPE record_h histogram\nrecord_h_bucket{le=\"+Inf\"} 1\nrecord_h_count 1\n"},
+		{"bucket without le", "# TYPE record_h histogram\nrecord_h_bucket 1\nrecord_h_sum 0.5\nrecord_h_count 1\n"},
+		{"stray comment", "# just a note\n"},
+	}
+	for _, tc := range cases {
+		if _, _, err := validateMetrics(strings.NewReader(tc.input)); err == nil {
+			t.Errorf("%s: accepted invalid exposition", tc.name)
+		}
+	}
+}
+
+// TestValidateMetricsAgainstRegistry feeds a real registry exposition —
+// the same code path recordd serves on /metrics — through the validator,
+// pinning the two implementations to each other.
+func TestValidateMetricsAgainstRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("record_core_retargets_total", "retargeting pipeline runs").Inc()
+	reg.CounterVec("record_rcache_hits_total", "cache hits by tier", "tier").With("mem").Add(2)
+	reg.Gauge("record_recordd_inflight_compiles", "in-flight compile requests").Set(3)
+	reg.HistogramVec("record_core_phase_seconds", "wall-clock seconds per pipeline phase", nil, "phase").
+		With("ise").Observe(0.004)
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	families, samples, err := validateMetrics(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("registry exposition rejected: %v\n%s", err, b.String())
+	}
+	if families != 4 {
+		t.Errorf("families = %d, want 4\n%s", families, b.String())
+	}
+	if samples == 0 {
+		t.Error("no samples parsed")
+	}
+}

@@ -16,11 +16,21 @@
 // speedup_at_4 is ns/op(1 worker) / ns/op(4 workers): >1 means parallel
 // compilation pays off (expect near-linear on multicore; ~1 or below on a
 // single-CPU runner where workers only add scheduling overhead).
+//
+// With -phase-trace the entry additionally carries per-phase wall time
+// summed from a Chrome trace produced by `record -trace`:
+//
+//	record -model demo -kernel fir -trace out.json
+//	benchtraj -phase-trace out.json -out bench/trajectory.json -label "$SHA"
+//
+// When -phase-trace is given, bench input is optional: an entry with only
+// phase_seconds is still recorded.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,10 +42,15 @@ import (
 
 // Entry is one benchmark run in the trajectory.
 type Entry struct {
-	Label      string             `json:"label"`
-	NsPerOp    map[string]float64 `json:"ns_per_op"`
-	SpeedupAt4 float64            `json:"speedup_at_4,omitempty"`
+	Label        string             `json:"label"`
+	NsPerOp      map[string]float64 `json:"ns_per_op,omitempty"`
+	SpeedupAt4   float64            `json:"speedup_at_4,omitempty"`
+	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
 }
+
+// errNoBench marks input that contained no benchmark lines — fatal on its
+// own, tolerated when a phase trace supplies the entry's payload instead.
+var errNoBench = errors.New("benchtraj: no BenchmarkParallelCompile lines in input")
 
 var benchLine = regexp.MustCompile(`^BenchmarkParallelCompile(\d+)\S*\s+\d+\s+([\d.]+) ns/op`)
 
@@ -58,9 +73,39 @@ func parse(r io.Reader) (map[string]float64, error) {
 		return nil, err
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("benchtraj: no BenchmarkParallelCompile lines in input")
+		return nil, errNoBench
 	}
 	return out, nil
+}
+
+// parsePhaseTrace sums span durations per name from a Chrome trace_event
+// JSON file (as written by `record -trace`), in seconds.
+func parsePhaseTrace(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		return nil, fmt.Errorf("benchtraj: %s is not a Chrome trace: %w", path, err)
+	}
+	phases := make(map[string]float64)
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		phases[ev.Name] += ev.Dur / 1e6 // trace durations are microseconds
+	}
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("benchtraj: no complete (ph=X) events in %s", path)
+	}
+	return phases, nil
 }
 
 // appendEntry loads the trajectory array (missing file = empty), appends,
@@ -87,16 +132,27 @@ func appendEntry(path string, e Entry) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func run(in io.Reader, outPath, label string) error {
+func run(in io.Reader, outPath, label, tracePath string) error {
 	ns, err := parse(in)
 	if err != nil {
-		return err
+		// A run that only records phase timings has no bench lines to
+		// parse; any other parse failure is still fatal.
+		if !(errors.Is(err, errNoBench) && tracePath != "") {
+			return err
+		}
 	}
 	e := Entry{Label: label, NsPerOp: ns}
 	if n1, ok1 := ns["1"]; ok1 {
 		if n4, ok4 := ns["4"]; ok4 && n4 > 0 {
 			e.SpeedupAt4 = n1 / n4
 		}
+	}
+	if tracePath != "" {
+		phases, err := parsePhaseTrace(tracePath)
+		if err != nil {
+			return err
+		}
+		e.PhaseSeconds = phases
 	}
 	return appendEntry(outPath, e)
 }
@@ -105,6 +161,7 @@ func main() {
 	inFile := flag.String("in", "-", "bench output file (- for stdin)")
 	outFile := flag.String("out", "bench/trajectory.json", "trajectory JSON to append to")
 	label := flag.String("label", "local", "label for this run (e.g. the commit SHA)")
+	phaseTrace := flag.String("phase-trace", "", "Chrome trace JSON from `record -trace`; per-phase durations are added to the entry")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -117,7 +174,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	if err := run(in, *outFile, *label); err != nil {
+	if err := run(in, *outFile, *label, *phaseTrace); err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(1)
 	}

@@ -39,7 +39,7 @@ func TestParseRejectsEmpty(t *testing.T) {
 func TestRunAppends(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench", "trajectory.json")
 	for _, label := range []string{"first", "second"} {
-		if err := run(strings.NewReader(sample), path, label); err != nil {
+		if err := run(strings.NewReader(sample), path, label, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -65,7 +65,65 @@ func TestRunRejectsCorruptTrajectory(t *testing.T) {
 	if err := os.WriteFile(path, []byte("{not an array"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(strings.NewReader(sample), path, "x"); err == nil {
+	if err := run(strings.NewReader(sample), path, "x", ""); err == nil {
 		t.Fatal("corrupt trajectory accepted")
+	}
+}
+
+const sampleTrace = `{"displayTimeUnit": "ms", "traceEvents": [
+  {"name": "record.run", "ph": "X", "ts": 0, "dur": 5000, "pid": 1, "tid": 1},
+  {"name": "retarget", "ph": "X", "ts": 10, "dur": 3000, "pid": 1, "tid": 1},
+  {"name": "ise", "ph": "X", "ts": 20, "dur": 1000, "pid": 1, "tid": 1},
+  {"name": "ise.dest", "ph": "X", "ts": 30, "dur": 400, "pid": 1, "tid": 1},
+  {"name": "ise.dest", "ph": "X", "ts": 500, "dur": 600, "pid": 1, "tid": 1},
+  {"name": "meta", "ph": "M", "ts": 0, "dur": 99, "pid": 1, "tid": 1}
+]}`
+
+func TestParsePhaseTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := os.WriteFile(path, []byte(sampleTrace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	phases, err := parsePhaseTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ise.dest durations sum across spans; the "M" metadata event is ignored.
+	if phases["ise.dest"] != 0.001 || phases["retarget"] != 0.003 {
+		t.Fatalf("phases %v", phases)
+	}
+	if _, ok := phases["meta"]; ok {
+		t.Fatalf("metadata event counted as a phase: %v", phases)
+	}
+}
+
+func TestRunPhaseTraceWithoutBench(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(trace, []byte(sampleTrace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "trajectory.json")
+	// Empty bench input is tolerated when a phase trace is supplied...
+	if err := run(strings.NewReader(""), path, "trace-only", trace); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].PhaseSeconds["record.run"] != 0.005 {
+		t.Fatalf("entries %+v", entries)
+	}
+	if len(entries[0].NsPerOp) != 0 {
+		t.Fatalf("trace-only entry has ns_per_op: %+v", entries[0])
+	}
+	// ...but not without one.
+	if err := run(strings.NewReader(""), path, "none", ""); err == nil {
+		t.Fatal("empty bench input accepted without a phase trace")
 	}
 }

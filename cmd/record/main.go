@@ -27,6 +27,8 @@
 //	-no-extension      disable template-base extension
 //	-seq               print the sequential RT code as well
 //	-stats             print retargeting and compilation statistics
+//	-trace file        write a Chrome trace_event JSON file of the run
+//	                   (open in chrome://tracing or Perfetto)
 //	-cache-dir dir     reuse retarget artifacts across runs (prints
 //	                   "cache: hit|miss" under -stats)
 //	-run               execute on the netlist simulator and dump variables
@@ -63,6 +65,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/models"
 	"repro/internal/naive"
+	"repro/internal/obs"
 	"repro/internal/rcache"
 	"repro/internal/vhdl"
 )
@@ -89,6 +92,7 @@ type config struct {
 	showSeq, showStats, execute  bool
 
 	cacheDir    string
+	traceFile   string
 	faultpoints string
 	srcFiles    []string // positional: parallel multi-source mode
 
@@ -116,6 +120,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&c.showStats, "stats", false, "print statistics")
 	fs.BoolVar(&c.execute, "run", false, "simulate and dump final variables")
 	fs.StringVar(&c.cacheDir, "cache-dir", "", "retarget artifact cache directory (skips ISE on repeat runs)")
+	fs.StringVar(&c.traceFile, "trace", "", "write a Chrome trace_event JSON file of the run")
 	fs.BoolVar(&c.core.Strict, "strict", false, "treat warnings as errors")
 	fs.IntVar(&c.core.MaxErrors, "max-errors", 0, "stop after this many errors (0 = unlimited)")
 	fs.DurationVar(&c.core.Timeout, "timeout", 0, "wall-clock budget for the whole run (0 = unlimited)")
@@ -159,7 +164,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	budget, cancel := c.core.Budget(context.Background())
 	defer cancel()
 
+	// -trace instruments the whole run: every pipeline phase and compile
+	// stage spans under one record.run root, exported as Chrome
+	// trace_event JSON on exit.  The registry rides along so pipeline
+	// counters have somewhere to land.
+	var tracer *obs.Tracer
+	var rootSpan *obs.Span
+	if c.traceFile != "" {
+		tracer = obs.NewTracer()
+		rootSpan, c.core.Obs = obs.NewScope(obs.NewRegistry(), tracer).Start("record.run")
+	}
+
 	err := compile(&c, rep, budget, stdout, stderr)
+	if tracer != nil {
+		rootSpan.End()
+		if werr := writeTrace(c.traceFile, tracer); werr != nil {
+			fmt.Fprintf(stderr, "record: -trace: %v\n", werr)
+			if err == nil {
+				err = werr
+			}
+		}
+	}
 	listDiagnostics(stderr, rep, c.modelSourceName())
 	switch {
 	case err != nil:
@@ -242,7 +267,7 @@ func compile(c *config, rep *diag.Reporter, budget *diag.Budget, stdout, stderr 
 	ropts := c.core.Retarget(rep, budget)
 	var target *core.Target
 	if c.cacheDir != "" {
-		cache, err := rcache.New(rcache.Options{Dir: c.cacheDir, MaxEntries: 1, Reporter: rep})
+		cache, err := rcache.New(rcache.Options{Dir: c.cacheDir, MaxEntries: 1, Reporter: rep, Obs: c.core.Obs})
 		if err != nil {
 			return err
 		}
@@ -412,6 +437,7 @@ func runControlFlow(target *core.Target, prog *ir.Program, c *config, rep *diag.
 		NoCompaction: c.core.NoCompaction,
 		Reporter:     rep,
 		Budget:       budget,
+		Obs:          c.core.Obs,
 	}
 	var res *cflow.Result
 	err := diag.Guard(rep, "cflow", func() error {
@@ -442,6 +468,20 @@ func runControlFlow(target *core.Target, prog *ir.Program, c *config, rep *diag.
 		printEnv(stdout, env)
 	}
 	return nil
+}
+
+// writeTrace exports the run's spans as Chrome trace_event JSON.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := tr.WriteChromeTrace(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 func printEnv(stdout io.Writer, env ir.Env) {
@@ -514,6 +554,8 @@ func printRetargetStats(stdout io.Writer, t *core.Target) {
 	fmt.Fprintf(stdout, "  HDL frontend + elaboration  %v\n", s.Frontend)
 	fmt.Fprintf(stdout, "  instruction-set extraction  %v (%d routes, %d unsat pruned, %d destinations dropped)\n",
 		s.ISE, s.ISEDetails.RoutesEnumerated, s.ISEDetails.Unsatisfiable, s.ISEDetails.Dropped)
+	fmt.Fprintf(stdout, "  templates discarded         encoding-conflict=%d bus-contention=%d budget=%d\n",
+		s.ISEDetails.UnsatEncoding, s.ISEDetails.UnsatBus, s.ISEDetails.DiscardedBudget)
 	fmt.Fprintf(stdout, "  template-base extension     %v (%d -> %d templates)\n",
 		s.Extension, s.Extracted, s.Templates)
 	fmt.Fprintf(stdout, "  grammar construction        %v (%d rules, %d nonterminals)\n",

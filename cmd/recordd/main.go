@@ -18,6 +18,8 @@
 // Flags:
 //
 //	-addr host:port    listen address (default :8347)
+//	-debug-addr h:p    profiling listener: net/http/pprof plus /metrics
+//	                   (default off; keep it off the public address)
 //	-cache-dir dir     artifact store directory (default: memory-only)
 //	-cache-size n      in-memory target LRU capacity
 //	-workers n         bounded worker pool for retarget/compile work
@@ -32,12 +34,15 @@ import (
 	"net/http"
 	"os"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8347", "listen address")
-		cfg  serverConfig
+		addr      = flag.String("addr", ":8347", "listen address")
+		debugAddr = flag.String("debug-addr", "", "profiling listener (pprof + /metrics); empty = disabled")
+		cfg       serverConfig
 	)
 	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "artifact store directory (empty = memory-only)")
 	flag.IntVar(&cfg.cacheSize, "cache-size", 16, "in-memory target LRU capacity")
@@ -51,6 +56,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "recordd: %v\n", err)
 		os.Exit(1)
+	}
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, obs.DebugMux(s.reg)); err != nil {
+				fmt.Fprintf(os.Stderr, "recordd: debug listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("recordd debug listener on %s (pprof + /metrics)\n", *debugAddr)
 	}
 	fmt.Printf("recordd listening on %s (workers=%d, cache-dir=%q)\n",
 		*addr, s.cfg.workers, s.cfg.cacheDir)

@@ -7,14 +7,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/rcache"
 )
 
@@ -42,54 +41,56 @@ func (c serverConfig) withDefaults() serverConfig {
 	return c
 }
 
-// phaseClock accumulates latency for one phase of request handling.
-type phaseClock struct {
-	count int64 // atomic
-	nanos int64 // atomic
-}
-
-func (p *phaseClock) observe(d time.Duration) {
-	atomic.AddInt64(&p.count, 1)
-	atomic.AddInt64(&p.nanos, int64(d))
-}
-
-func (p *phaseClock) snapshot() (count int64, seconds float64) {
-	return atomic.LoadInt64(&p.count), float64(atomic.LoadInt64(&p.nanos)) / 1e9
-}
-
 // server is the recordd HTTP service: a retarget-artifact cache behind
 // /v1/retarget, /v1/compile and /v1/compile-batch, with health and
 // metrics endpoints.  Targets are frozen, so compiles against one entry
 // run genuinely in parallel — the worker pool bounds CPU, not correctness.
+//
+// All counters and gauges live in one obs.Registry: the cache and the
+// compile pipeline register their own instruments against it, the
+// request-handling instruments below are the server's, and /metrics is a
+// plain registry scrape — the server keeps no metric state of its own.
 type server struct {
 	cfg   serverConfig
 	cache *rcache.Cache
 	sem   chan struct{} // worker pool slots
 
-	inflight int64 // atomic: compiles currently executing
+	reg *obs.Registry
+	scp *obs.Scope // registry-only scope handed to the pipeline
 
-	targMu       sync.Mutex
-	targInflight map[string]int64 // artifact key -> compiles in flight
+	gInflight     *obs.Gauge        // compiles currently executing
+	gTargInflight *obs.GaugeVec     // by artifact key; series dropped at zero
+	hPhase        *obs.HistogramVec // request-handling latency by phase
 
-	retargetClock phaseClock // time inside cache.GetContext (includes hits)
-	freezeClock   phaseClock // freeze/bake time of retargets this process ran
-	compileClock  phaseClock // time inside Entry.Compile
-	batchClock    phaseClock // wall time of whole /v1/compile-batch requests
-	encodeClock   phaseClock // time rendering responses
+	// targMu serializes the zero-check-then-delete on gTargInflight so a
+	// concurrent Inc cannot land between Dec and Delete.
+	targMu sync.Mutex
 }
 
 func newServer(cfg serverConfig) (*server, error) {
 	cfg = cfg.withDefaults()
-	cache, err := rcache.New(rcache.Options{Dir: cfg.cacheDir, MaxEntries: cfg.cacheSize})
+	reg := obs.NewRegistry()
+	scp := obs.NewScope(reg, nil)
+	cache, err := rcache.New(rcache.Options{Dir: cfg.cacheDir, MaxEntries: cfg.cacheSize, Obs: scp})
 	if err != nil {
 		return nil, err
 	}
-	return &server{
-		cfg:          cfg,
-		cache:        cache,
-		sem:          make(chan struct{}, cfg.workers),
-		targInflight: make(map[string]int64),
-	}, nil
+	s := &server{
+		cfg:   cfg,
+		cache: cache,
+		sem:   make(chan struct{}, cfg.workers),
+		reg:   reg,
+		scp:   scp,
+		gInflight: reg.Gauge("record_recordd_inflight_compiles",
+			"compiles currently executing"),
+		gTargInflight: reg.GaugeVec("record_recordd_target_inflight_compiles",
+			"compiles currently executing, by artifact key", "key"),
+		hPhase: reg.HistogramVec("record_recordd_phase_seconds",
+			"request-handling latency by phase", nil, "phase"),
+	}
+	reg.Gauge("record_recordd_worker_pool_size",
+		"configured worker pool capacity").Set(int64(cfg.workers))
+	return s, nil
 }
 
 func (s *server) handler() http.Handler {
@@ -103,21 +104,28 @@ func (s *server) handler() http.Handler {
 }
 
 // trackCompile bumps the global and per-target in-flight gauges; the
-// returned func undoes both.
+// returned func undoes both, retiring the per-target series when its last
+// compile finishes so /metrics does not accumulate dead keys.
 func (s *server) trackCompile(key string) func() {
-	atomic.AddInt64(&s.inflight, 1)
+	s.gInflight.Inc()
 	s.targMu.Lock()
-	s.targInflight[key]++
+	s.gTargInflight.With(key).Inc()
 	s.targMu.Unlock()
 	return func() {
-		atomic.AddInt64(&s.inflight, -1)
+		s.gInflight.Dec()
 		s.targMu.Lock()
-		s.targInflight[key]--
-		if s.targInflight[key] == 0 {
-			delete(s.targInflight, key)
+		g := s.gTargInflight.With(key)
+		g.Dec()
+		if g.Value() == 0 {
+			s.gTargInflight.Delete(key)
 		}
 		s.targMu.Unlock()
 	}
+}
+
+// observePhase lands a request-phase duration in the shared histogram.
+func (s *server) observePhase(phase string, d time.Duration) {
+	s.hPhase.With(phase).Observe(d.Seconds())
 }
 
 // acquire takes a worker-pool slot, failing with 503 when the client goes
@@ -174,13 +182,13 @@ func (s *server) resolveEntry(ctx context.Context, key string, m modelRequest) (
 	budget, cancel := s.budget(ctx)
 	defer cancel()
 	start := time.Now()
-	entry, outcome, err := s.cache.GetContext(ctx, mdl, core.RetargetOptions{Budget: budget})
-	s.retargetClock.observe(time.Since(start))
+	entry, outcome, err := s.cache.GetContext(ctx, mdl, core.RetargetOptions{Budget: budget, Obs: s.scp})
+	s.observePhase("retarget", time.Since(start))
 	if err != nil {
 		return nil, rcache.Miss, statusFor(err), fmt.Errorf("retarget: %w", err)
 	}
 	if outcome == rcache.Miss {
-		s.freezeClock.observe(entry.Target().Stats.Freeze)
+		s.observePhase("freeze", entry.Target().Stats.Freeze)
 	}
 	return entry, outcome, 0, nil
 }
@@ -308,45 +316,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
-	st := s.cache.Stats()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	var lines []string
-	add := func(name string, v interface{}) {
-		lines = append(lines, fmt.Sprintf("recordd_%s %v", name, v))
-	}
-	add("cache_mem_hits_total", st.MemHits)
-	add("cache_disk_hits_total", st.DiskHits)
-	add("cache_misses_total", st.Misses)
-	add("cache_coalesced_total", st.Coalesced)
-	add("cache_evictions_total", st.Evictions)
-	add("cache_corrupt_total", st.Corrupt)
-	add("retargets_total", st.Retargets)
-	add("inflight_compiles", atomic.LoadInt64(&s.inflight))
-	add("worker_pool_size", s.cfg.workers)
-	s.targMu.Lock()
-	for key, n := range s.targInflight {
-		lines = append(lines,
-			fmt.Sprintf("recordd_target_inflight_compiles{key=%q} %d", key, n))
-	}
-	s.targMu.Unlock()
-	for _, pc := range []struct {
-		name  string
-		clock *phaseClock
-	}{
-		{"retarget", &s.retargetClock},
-		{"freeze", &s.freezeClock},
-		{"compile", &s.compileClock},
-		{"batch", &s.batchClock},
-		{"encode", &s.encodeClock},
-	} {
-		n, secs := pc.clock.snapshot()
-		add("phase_"+pc.name+"_count", n)
-		add("phase_"+pc.name+"_seconds_total", fmt.Sprintf("%.6f", secs))
-	}
-	sort.Strings(lines)
-	for _, l := range lines {
-		fmt.Fprintln(w, l)
-	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
 }
 
 func (s *server) handleRetarget(w http.ResponseWriter, r *http.Request) {
@@ -370,15 +341,15 @@ func (s *server) handleRetarget(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	start := time.Now()
-	entry, outcome, err := s.cache.GetContext(r.Context(), mdl, core.RetargetOptions{Reporter: rep, Budget: budget})
-	s.retargetClock.observe(time.Since(start))
+	entry, outcome, err := s.cache.GetContext(r.Context(), mdl, core.RetargetOptions{Reporter: rep, Budget: budget, Obs: s.scp})
+	s.observePhase("retarget", time.Since(start))
 	if err != nil {
 		s.fail(w, statusFor(err), fmt.Errorf("retarget: %w", err))
 		return
 	}
 	t := entry.Target()
 	if outcome == rcache.Miss {
-		s.freezeClock.observe(t.Stats.Freeze)
+		s.observePhase("freeze", t.Stats.Freeze)
 	}
 	writeJSON(w, http.StatusOK, retargetResponse{
 		Key:       entry.Key,
@@ -419,8 +390,9 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	res, err := entry.Compile(ctx, req.Source, core.CompileOptions{
 		NoCompaction: req.Options.NoCompaction,
 		NoPeephole:   req.Options.NoPeephole,
+		Obs:          s.scp,
 	})
-	s.compileClock.observe(time.Since(start))
+	s.observePhase("compile", time.Since(start))
 	if err != nil {
 		s.fail(w, statusFor(err), fmt.Errorf("compile: %w", err))
 		return
@@ -436,7 +408,7 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		Words:   res.Words(),
 		Listing: entry.Listing(res),
 	}
-	s.encodeClock.observe(time.Since(start))
+	s.observePhase("encode", time.Since(start))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -460,7 +432,7 @@ func (s *server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	batchStart := time.Now()
-	defer func() { s.batchClock.observe(time.Since(batchStart)) }()
+	defer func() { s.observePhase("batch", time.Since(batchStart)) }()
 
 	// Resolving the model may retarget: that runs under a pool slot too.
 	if err := s.acquire(r.Context()); err != nil {
@@ -525,8 +497,9 @@ func (s *server) compileOne(ctx context.Context, entry *rcache.Entry, id string,
 	res, err := entry.Compile(cctx, p.Source, core.CompileOptions{
 		NoCompaction: opts.NoCompaction,
 		NoPeephole:   opts.NoPeephole,
+		Obs:          s.scp,
 	})
-	s.compileClock.observe(time.Since(start))
+	s.observePhase("compile", time.Since(start))
 	if err != nil {
 		return batchResult{ID: id, Status: statusFor(err), Error: err.Error()}
 	}

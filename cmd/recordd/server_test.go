@@ -205,10 +205,13 @@ func TestMetrics(t *testing.T) {
 	}
 	text := buf.String()
 	for _, want := range []string{
-		"recordd_retargets_total 1",
-		"recordd_cache_misses_total 1",
-		"recordd_inflight_compiles 0",
-		"recordd_phase_retarget_count 1",
+		"record_rcache_retargets_total 1",
+		"record_rcache_misses_total 1",
+		"record_recordd_inflight_compiles 0",
+		`record_recordd_phase_seconds_count{phase="retarget"} 1`,
+		// The pipeline's own instruments surface through the same scrape.
+		"record_core_retargets_total 1",
+		"record_ise_templates_extracted_total",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)
@@ -368,12 +371,12 @@ func TestMetricsParallelGauges(t *testing.T) {
 
 	text := scrape()
 	for _, want := range []string{
-		"recordd_phase_freeze_count 1", // one retarget ran, so one freeze was measured
-		"recordd_phase_freeze_seconds_total",
-		"recordd_phase_batch_count 1",
-		"recordd_phase_compile_count 1",
-		"recordd_cache_misses_total 1",
-		"recordd_worker_pool_size",
+		`record_recordd_phase_seconds_count{phase="freeze"} 1`, // one retarget ran, so one freeze was measured
+		`record_recordd_phase_seconds_sum{phase="freeze"}`,
+		`record_recordd_phase_seconds_count{phase="batch"} 1`,
+		`record_recordd_phase_seconds_count{phase="compile"} 1`,
+		"record_rcache_misses_total 1",
+		"record_recordd_worker_pool_size",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)
@@ -382,7 +385,7 @@ func TestMetricsParallelGauges(t *testing.T) {
 
 	// The per-target gauge appears exactly while a compile is in flight.
 	release := s.trackCompile("somekey")
-	if text := scrape(); !strings.Contains(text, `recordd_target_inflight_compiles{key="somekey"} 1`) {
+	if text := scrape(); !strings.Contains(text, `record_recordd_target_inflight_compiles{key="somekey"} 1`) {
 		t.Errorf("per-target inflight gauge missing:\n%s", text)
 	}
 	release()

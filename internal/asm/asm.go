@@ -18,6 +18,7 @@ import (
 	"repro/internal/bdd"
 	"repro/internal/code"
 	"repro/internal/ise"
+	"repro/internal/obs"
 	"repro/internal/rtl"
 )
 
@@ -196,6 +197,10 @@ type condOps interface {
 type Session struct {
 	e   *Encoder
 	ops condOps
+
+	// Session-local instruments (see NewSessionObs); nil discards.
+	cFeas  *obs.Counter
+	cWords *obs.Counter
 }
 
 // NewSession opens an encoding session.  Pre-freeze the session operates
@@ -206,6 +211,22 @@ func (e *Encoder) NewSession() *Session {
 		return &Session{e: e, ops: e.m.NewView()}
 	}
 	return &Session{e: e, ops: e.m}
+}
+
+// NewSessionObs opens an encoding session with instrumentation: every
+// feasibility probe (compaction scheduling trials included) and every
+// successfully encoded word is counted in the scope's registry.  The
+// counters are process-wide totals shared by all sessions of the
+// registry; a nil scope yields an uninstrumented session.
+func (e *Encoder) NewSessionObs(scope *obs.Scope) *Session {
+	s := e.NewSession()
+	if reg := scope.Registry(); reg != nil {
+		s.cFeas = reg.Counter("record_asm_feasibility_checks_total",
+			"instruction-word feasibility probes (compaction trials and encoding)")
+		s.cWords = reg.Counter("record_asm_words_encoded_total",
+			"instruction words successfully encoded")
+	}
+	return s
 }
 
 // WordCond computes the full encoding condition of a set of parallel RT
@@ -338,11 +359,13 @@ func (s *Session) Encode(instrs []*code.Instr) (word uint64, mode ModeReq, err e
 	if len(mode) == 0 {
 		mode = nil
 	}
+	s.cWords.Inc()
 	return word, mode, nil
 }
 
 // Feasible reports whether the instruction set can execute in one word.
 func (s *Session) Feasible(instrs []*code.Instr) bool {
+	s.cFeas.Inc()
 	_, err := s.WordCond(instrs)
 	return err == nil
 }

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/faultpoint"
+	"repro/internal/obs"
 )
 
 // InvariantError is the panic value used for caller-contract violations
@@ -58,6 +59,13 @@ type Manager struct {
 	// frozen makes every table read-only: mutation panics, concurrent
 	// reads become safe, and NewView hands out copy-on-write overlays.
 	frozen bool
+
+	// Optional observability counters (nil-safe, single atomic add on the
+	// hot path): nodes allocated by mk, Ite invocations.  Set before the
+	// manager is shared; per-template satisfiability cost then shows up
+	// in /metrics instead of requiring a profiler.
+	nodesAllocated *obs.Counter
+	iteOps         *obs.Counter
 }
 
 type triple struct{ a, b, c int }
@@ -161,7 +169,18 @@ func (m *Manager) mk(v int, lo, hi *Node) *Node {
 	n := &Node{Var: v, Low: lo, High: hi, id: len(m.nodes)}
 	m.nodes = append(m.nodes, n)
 	m.unique[key] = n
+	m.nodesAllocated.Inc()
 	return n
+}
+
+// Instrument wires observability counters into the manager's hot paths:
+// nodesAllocated counts canonical nodes created by mk, iteOps counts Ite
+// calls (the unit of BDD work).  Either may be nil.  Call before sharing
+// the manager; the counters themselves are atomic, so instrumented
+// managers stay safe under frozen-target parallel compilation.
+func (m *Manager) Instrument(nodesAllocated, iteOps *obs.Counter) {
+	m.nodesAllocated = nodesAllocated
+	m.iteOps = iteOps
 }
 
 // Size returns the total number of nodes ever created in the manager
@@ -174,6 +193,7 @@ func (m *Manager) Ite(f, g, h *Node) *Node {
 	if err := faultpoint.Hit("bdd.ite", ""); err != nil {
 		panic(err) // Ite cannot return errors; the phase boundary recovers.
 	}
+	m.iteOps.Inc()
 	// Terminal cases.
 	switch {
 	case f == m.trueN:

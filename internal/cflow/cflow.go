@@ -24,6 +24,7 @@ import (
 	"repro/internal/diag"
 	"repro/internal/faultpoint"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/rtl"
 	"repro/internal/sim"
@@ -40,6 +41,8 @@ type Options struct {
 	// Budget bounds compilation (checked at block boundaries) and
 	// execution (checked per simulated cycle).  nil means unlimited.
 	Budget *diag.Budget
+	// Obs receives per-block spans and block/word counters.  nil is safe.
+	Obs *obs.Scope
 }
 
 // Result is a compiled control-flow program.
@@ -145,7 +148,11 @@ func Compile(t *core.Target, prog *ir.Program, opts Options) (*Result, error) {
 	gen := codegen.New(t.Grammar, t.Parser, b)
 	// One encoding session for the whole program keeps cflow reentrant on
 	// frozen targets (feasibility tests and encoding share a private view).
-	sess := t.Encoder.NewSession()
+	sess := t.Encoder.NewSessionObs(opts.Obs)
+	cfSpan, scope := opts.Obs.Start("cflow.compile", obs.KV("blocks", len(cfg.Blocks)))
+	defer cfSpan.End()
+	cBlocks := scope.Registry().Counter("record_cflow_blocks_total",
+		"basic blocks compiled by the control-flow pipeline")
 
 	res := &Result{CFG: cfg, Binding: b, Code: &code.Program{},
 		BlockStart: make([]int, len(cfg.Blocks))}
@@ -159,74 +166,87 @@ func Compile(t *core.Target, prog *ir.Program, opts Options) (*Result, error) {
 	}
 
 	for i, blk := range cfg.Blocks {
-		if err := faultpoint.Hit("cflow.block", fmt.Sprintf("%s#%d", t.Name, i)); err != nil {
-			return nil, fmt.Errorf("cflow: block %d: %w", i, err)
-		}
-		if err := opts.Budget.Exceeded(); err != nil {
-			opts.Reporter.Errorf("cflow", diag.Pos{}, "compilation budget exhausted at block %d of %d", i, len(cfg.Blocks))
-			return nil, fmt.Errorf("cflow: block %d: %w", i, err)
-		}
-		res.BlockStart[i] = len(res.Code.Words)
-		// Straight-line part.
-		var ets []*bind.ET
-		for _, a := range blk.Assigns {
-			et, err := b.LowerAssign(a)
-			if err != nil {
-				return nil, err
+		blk := blk
+		// Each block compiles under its own span so traces show where a
+		// control-flow-heavy program spends its time.
+		err := func() error {
+			sp, bscope := scope.Start("cflow.block", obs.KV("block", i))
+			defer sp.End()
+			if err := faultpoint.Hit("cflow.block", fmt.Sprintf("%s#%d", t.Name, i)); err != nil {
+				return fmt.Errorf("cflow: block %d: %w", i, err)
 			}
-			ets = append(ets, et)
-		}
-		seq, err := gen.Compile(ets)
-		if err != nil {
-			return nil, fmt.Errorf("cflow: block %d: %w", i, err)
-		}
-		seq, _ = opt.Optimize(seq)
+			if err := opts.Budget.Exceeded(); err != nil {
+				opts.Reporter.Errorf("cflow", diag.Pos{}, "compilation budget exhausted at block %d of %d", i, len(cfg.Blocks))
+				return fmt.Errorf("cflow: block %d: %w", i, err)
+			}
+			res.BlockStart[i] = len(res.Code.Words)
+			// Straight-line part.
+			var ets []*bind.ET
+			for _, a := range blk.Assigns {
+				et, err := b.LowerAssign(a)
+				if err != nil {
+					return err
+				}
+				ets = append(ets, et)
+			}
+			seq, err := gen.Compile(ets)
+			if err != nil {
+				return fmt.Errorf("cflow: block %d: %w", i, err)
+			}
+			seq, _ = opt.Optimize(seq)
 
-		// Branch conditions materialize into the flag register before the
-		// jump; the flag-set code joins the block for compaction.
-		br, isBranch := blk.Term.(*ir.Branch)
-		if isBranch {
-			condTree, err := b.LowerExpr(asBool(br.Cond))
+			// Branch conditions materialize into the flag register before the
+			// jump; the flag-set code joins the block for compaction.
+			br, isBranch := blk.Term.(*ir.Branch)
+			if isBranch {
+				condTree, err := b.LowerExpr(asBool(br.Cond))
+				if err != nil {
+					return err
+				}
+				flagCode, err := gen.CompileET(&bind.ET{
+					Dest: js.flagReg, Src: condTree,
+					Source: fmt.Sprintf("branch if %s", br.Cond)})
+				if err != nil {
+					return fmt.Errorf("cflow: block %d condition: %w", i, err)
+				}
+				for _, in := range flagCode {
+					seq.Append(in)
+				}
+			}
+			prg, err := compact.Compact(seq, sess, compact.Options{Disable: opts.NoCompaction, Obs: bscope})
 			if err != nil {
-				return nil, err
+				return fmt.Errorf("cflow: block %d: %w", i, err)
 			}
-			flagCode, err := gen.CompileET(&bind.ET{
-				Dest: js.flagReg, Src: condTree,
-				Source: fmt.Sprintf("branch if %s", br.Cond)})
-			if err != nil {
-				return nil, fmt.Errorf("cflow: block %d condition: %w", i, err)
+			if err := compact.Verify(seq, prg, sess); err != nil {
+				return err
 			}
-			for _, in := range flagCode {
-				seq.Append(in)
+			res.Code.Words = append(res.Code.Words, prg.Words...)
+
+			// Terminator.
+			next := i + 1 // fallthrough block in layout order
+			switch term := blk.Term.(type) {
+			case *ir.Halt:
+				if i != len(cfg.Blocks)-1 {
+					appendJump(js.uncond, -1)
+				}
+			case *ir.Goto:
+				if term.Target != next {
+					appendJump(js.uncond, term.Target)
+				}
+			case *ir.Branch:
+				appendJump(js.condTaken, term.Then)
+				if term.Else != next {
+					appendJump(js.uncond, term.Else)
+				}
+			default:
+				return fmt.Errorf("cflow: block %d missing terminator", i)
 			}
-		}
-		prg, err := compact.Compact(seq, sess, compact.Options{Disable: opts.NoCompaction})
+			sp.SetAttr("words", len(res.Code.Words)-res.BlockStart[i])
+			cBlocks.Inc()
+			return nil
+		}()
 		if err != nil {
-			return nil, fmt.Errorf("cflow: block %d: %w", i, err)
-		}
-		if err := compact.Verify(seq, prg, sess); err != nil {
 			return nil, err
-		}
-		res.Code.Words = append(res.Code.Words, prg.Words...)
-
-		// Terminator.
-		next := i + 1 // fallthrough block in layout order
-		switch term := blk.Term.(type) {
-		case *ir.Halt:
-			if i != len(cfg.Blocks)-1 {
-				appendJump(js.uncond, -1)
-			}
-		case *ir.Goto:
-			if term.Target != next {
-				appendJump(js.uncond, term.Target)
-			}
-		case *ir.Branch:
-			appendJump(js.condTaken, term.Then)
-			if term.Else != next {
-				appendJump(js.uncond, term.Else)
-			}
-		default:
-			return nil, fmt.Errorf("cflow: block %d missing terminator", i)
 		}
 	}
 	res.Exit = len(res.Code.Words)

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/code"
+	"repro/internal/obs"
 )
 
 // Options tunes compaction.
@@ -25,6 +26,22 @@ type Options struct {
 	// Disable turns compaction off: one RT per word (the ablation
 	// baseline).
 	Disable bool
+	// Obs receives compaction instruments (instructions in, words out);
+	// nil is safe.
+	Obs *obs.Scope
+}
+
+// record lands the compaction ratio in the registry; the instruction and
+// word totals together give the paper's table 4 packing factor.
+func record(scope *obs.Scope, seq *code.Seq, p *code.Program) {
+	reg := scope.Registry()
+	if reg == nil {
+		return
+	}
+	reg.Counter("record_compact_instrs_total",
+		"sequential RT instructions fed to compaction").Add(len(seq.Instrs))
+	reg.Counter("record_compact_words_total",
+		"instruction words emitted by compaction").Add(len(p.Words))
 }
 
 // Feasibility is the encodability test compaction schedules against —
@@ -45,6 +62,7 @@ func Compact(seq *code.Seq, enc Feasibility, opts Options) (*code.Program, error
 			}
 			p.Words = append(p.Words, &code.Word{Instrs: []*code.Instr{in}})
 		}
+		record(opts.Obs, seq, p)
 		return p, nil
 	}
 
@@ -81,6 +99,7 @@ func Compact(seq *code.Seq, enc Feasibility, opts Options) (*code.Program, error
 			wordOf[idx] = len(p.Words) - 1
 		}
 	}
+	record(opts.Obs, seq, p)
 	return p, nil
 }
 

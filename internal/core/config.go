@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/diag"
 	"repro/internal/ise"
+	"repro/internal/obs"
 	"repro/internal/rewrite"
 )
 
@@ -45,6 +46,11 @@ type Config struct {
 	// Parallelism: concurrent compiles against one frozen target
 	// (record -jobs, recordd -workers).  0 means 1.
 	Jobs int
+
+	// Observability: the scope carried into both option views.  Like
+	// Reporter state it never affects produced code or cache keys; nil
+	// disables instrumentation.
+	Obs *obs.Scope
 }
 
 // Validate checks the configuration for nonsensical values.  A zero Config
@@ -115,10 +121,11 @@ func (c Config) Retarget(rep *diag.Reporter, budget *diag.Budget) RetargetOption
 		EmitParserSource: c.EmitParserSource,
 		Reporter:         rep,
 		Budget:           budget,
+		Obs:              c.Obs,
 	}
 }
 
 // Compile is the CompileOptions view of the config.
 func (c Config) Compile() CompileOptions {
-	return CompileOptions{NoCompaction: c.NoCompaction, NoPeephole: c.NoPeephole}
+	return CompileOptions{NoCompaction: c.NoCompaction, NoPeephole: c.NoPeephole, Obs: c.Obs}
 }

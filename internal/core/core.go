@@ -28,6 +28,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/ise"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/rewrite"
 	"repro/internal/rtl"
@@ -55,6 +56,18 @@ type RetargetOptions struct {
 	// during control-signal analysis, and Budget.MaxRoutes overrides
 	// ISE.MaxAlts when set.  nil means unlimited.
 	Budget *diag.Budget
+	// Obs receives per-phase spans and pipeline instruments (see
+	// internal/obs); like Reporter it is excluded from artifact
+	// fingerprints and nil is safe.
+	Obs *obs.Scope
+}
+
+// phaseSeconds is the shared per-phase wall-clock histogram; retargeting
+// phases and compile stages land in one family distinguished by the phase
+// label, so both register with identical metadata.
+func phaseSeconds(reg *obs.Registry) *obs.HistogramVec {
+	return reg.HistogramVec("record_core_phase_seconds",
+		"wall-clock seconds per pipeline phase", nil, "phase")
 }
 
 // RetargetStats reports per-phase retargeting effort — the quantities of
@@ -137,6 +150,16 @@ func RetargetContext(ctx context.Context, mdlSource string, opts RetargetOptions
 	t := &Target{}
 	start := time.Now()
 
+	// Instrumentation: one span per phase under a retarget root, and the
+	// same durations as seconds in the shared phase histogram.  A nil
+	// opts.Obs (or one without a tracer/registry) makes all of this
+	// discard.
+	opts.Obs.Registry().Counter("record_core_retargets_total",
+		"retargeting pipeline runs").Inc()
+	phaseSec := phaseSeconds(opts.Obs.Registry())
+	rtSpan, scope := opts.Obs.Start("retarget")
+	defer rtSpan.End()
+
 	// Thread the budget and reporter into ISE unless the caller set them
 	// on the ISE options explicitly.
 	if opts.ISE.Reporter == nil {
@@ -149,6 +172,7 @@ func RetargetContext(ctx context.Context, mdlSource string, opts RetargetOptions
 		opts.ISE.MaxAlts = opts.Budget.MaxRoutes
 	}
 
+	feSpan, _ := scope.Start("frontend")
 	err := diag.Guard(rep, "hdl", func() error {
 		model, err := hdl.ParseAndCheck(mdlSource)
 		if err != nil {
@@ -167,15 +191,22 @@ func RetargetContext(ctx context.Context, mdlSource string, opts RetargetOptions
 		t.Net = net
 		return nil
 	})
+	feSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: HDL frontend: %w", err)
 	}
 	t.Stats.Frontend = time.Since(start)
+	phaseSec.With("frontend").Observe(t.Stats.Frontend.Seconds())
+	rtSpan.SetAttr("target", t.Name)
 
 	if err := opts.Budget.Exceeded(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	phase := time.Now()
+	iseSpan, iseScope := scope.Start("ise")
+	if opts.ISE.Obs == nil {
+		opts.ISE.Obs = iseScope
+	}
 	err = diag.Guard(rep, "ise", func() error {
 		res, err := ise.Extract(t.Net, opts.ISE)
 		if err != nil {
@@ -186,13 +217,19 @@ func RetargetContext(ctx context.Context, mdlSource string, opts RetargetOptions
 		return nil
 	})
 	if err != nil {
+		iseSpan.End()
 		return nil, fmt.Errorf("core: instruction-set extraction: %w", err)
 	}
+	iseSpan.SetAttr("templates", t.Base.Len())
+	iseSpan.SetAttr("dropped", t.ISE.Stats.Dropped)
+	iseSpan.End()
 	t.Stats.ISE = time.Since(phase)
 	t.Stats.Extracted = t.Base.Len()
 	t.Stats.ISEDetails = t.ISE.Stats
+	phaseSec.With("ise").Observe(t.Stats.ISE.Seconds())
 
 	phase = time.Now()
+	extSpan, _ := scope.Start("extend")
 	err = diag.Guard(rep, "extend", func() error {
 		if !opts.NoExtension {
 			ext := rewrite.DefaultOptions()
@@ -203,31 +240,37 @@ func RetargetContext(ctx context.Context, mdlSource string, opts RetargetOptions
 		}
 		return nil
 	})
+	extSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: template-base extension: %w", err)
 	}
 	t.Stats.Extension = time.Since(phase)
 	t.Stats.Templates = t.Base.Len()
+	phaseSec.With("extend").Observe(t.Stats.Extension.Seconds())
 
 	if err := opts.Budget.Exceeded(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	phase = time.Now()
+	gSpan, gScope := scope.Start("grammar")
 	err = diag.Guard(rep, "grammar", func() error {
-		g, err := grammar.BuildReported(t.Base, grammar.SpecFromNetlist(t.Net), rep)
+		g, err := grammar.BuildObs(t.Base, grammar.SpecFromNetlist(t.Net), rep, gScope)
 		if err != nil {
 			return err
 		}
 		t.Grammar = g
 		return nil
 	})
+	gSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: grammar construction: %w", err)
 	}
 	t.Stats.Grammar = time.Since(phase)
 	t.Stats.GrammarSz = t.Grammar.Stats()
+	phaseSec.With("grammar").Observe(t.Stats.Grammar.Seconds())
 
 	phase = time.Now()
+	bSpan, _ := scope.Start("burs")
 	err = diag.Guard(rep, "burs", func() error {
 		t.Parser = burs.NewParser(t.Grammar)
 		if opts.EmitParserSource {
@@ -242,24 +285,29 @@ func RetargetContext(ctx context.Context, mdlSource string, opts RetargetOptions
 		t.Encoder = asm.NewEncoder(t.ISE.Vars, t.Base, background...)
 		return nil
 	})
+	bSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: parser generation: %w", err)
 	}
 	t.Stats.ParserGen = time.Since(phase)
+	phaseSec.With("burs").Observe(t.Stats.ParserGen.Seconds())
 
 	// Freeze: bake the per-template encoding tables and mark the BDD
 	// manager read-only, making the Target safe for concurrent compiles.
 	// This is the last manager-mutating step; it runs for degraded targets
 	// too (frozen ≠ cacheable).
 	phase = time.Now()
+	fzSpan, _ := scope.Start("freeze")
 	err = diag.Guard(rep, "freeze", func() error {
 		t.Encoder.Freeze()
 		return nil
 	})
+	fzSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: target freeze: %w", err)
 	}
 	t.Stats.Freeze = time.Since(phase)
+	phaseSec.With("freeze").Observe(t.Stats.Freeze.Seconds())
 
 	t.Stats.Total = time.Since(start)
 	if t.ISE.Stats.Dropped > 0 {
@@ -289,6 +337,10 @@ type CompileOptions struct {
 	NoCompaction bool
 	// NoPeephole skips redundant-load/dead-store elimination (ablation).
 	NoPeephole bool
+	// Obs receives per-stage spans and compile instruments.  Instruments
+	// are atomic, so concurrent compiles against one frozen target may
+	// share a scope.  nil is safe.
+	Obs *obs.Scope
 }
 
 // CompileResult is compiled machine code with its provenance.
@@ -366,26 +418,48 @@ func (t *Target) CompileProgramContext(ctx context.Context, prog *ir.Program, op
 		}
 		return nil
 	}
+	opts.Obs.Registry().Counter("record_core_compiles_total",
+		"program compilations started").Inc()
+	phaseSec := phaseSeconds(opts.Obs.Registry())
+	cSpan, scope := opts.Obs.Start("compile")
+	defer cSpan.End()
+	// stage wraps one pipeline stage in a span and the phase histogram;
+	// the returned func must run exactly once, error path included.
+	stage := func(name string) func() {
+		sp, _ := scope.Start(name)
+		from := time.Now()
+		return func() {
+			sp.End()
+			phaseSec.With(name).Observe(time.Since(from).Seconds())
+		}
+	}
+	done := stage("bind")
 	b, err := bind.Bind(prog, t.Net)
 	if err != nil {
+		done()
 		return nil, err
 	}
 	ets, err := b.LowerProgram(prog)
+	done()
 	if err != nil {
 		return nil, err
 	}
 	if err := check("selection"); err != nil {
 		return nil, err
 	}
+	done = stage("select")
 	gen := codegen.New(t.Grammar, t.Parser, b)
 	raw, err := gen.Compile(ets)
+	done()
 	if err != nil {
 		return nil, err
 	}
 	seq := raw
 	var optStats opt.Stats
 	if !opts.NoPeephole {
+		done = stage("peephole")
 		seq, optStats = opt.Optimize(raw)
+		done()
 	}
 	if err := check("compaction"); err != nil {
 		return nil, err
@@ -393,21 +467,29 @@ func (t *Target) CompileProgramContext(ctx context.Context, prog *ir.Program, op
 	// One encoding session per compilation: against a frozen encoder it
 	// owns a private BDD view shared by compaction feasibility tests and
 	// final encoding.
-	sess := t.Encoder.NewSession()
-	prg, err := compact.Compact(seq, sess, compact.Options{Disable: opts.NoCompaction})
+	sess := t.Encoder.NewSessionObs(opts.Obs)
+	done = stage("compact")
+	prg, err := compact.Compact(seq, sess, compact.Options{Disable: opts.NoCompaction, Obs: scope})
 	if err != nil {
+		done()
 		return nil, err
 	}
-	if err := compact.Verify(seq, prg, sess); err != nil {
+	err = compact.Verify(seq, prg, sess)
+	done()
+	if err != nil {
 		return nil, err
 	}
 	if err := check("encoding"); err != nil {
 		return nil, err
 	}
+	done = stage("encode")
 	mode, err := sess.EncodeProgram(prg)
+	done()
 	if err != nil {
 		return nil, err
 	}
+	cSpan.SetAttr("instrs", seq.Len())
+	cSpan.SetAttr("words", prg.Len())
 	return &CompileResult{
 		Program: prog,
 		Binding: b,

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/diag"
 	"repro/internal/faultpoint"
+	"repro/internal/obs"
 
 	"repro/internal/netlist"
 	"repro/internal/rtl"
@@ -55,15 +56,15 @@ const (
 // retarget-artifact wire form (internal/artifact).
 type Pat struct {
 	Kind    PatKind `json:"k,omitempty"`
-	NT      int     `json:"nt,omitempty"` // PatNT: nonterminal index
-	Op      rtl.Op  `json:"op,omitempty"` // PatOp
-	Width   int     `json:"w,omitempty"` // result width (all kinds)
-	Storage string  `json:"st,omitempty"` // PatReg / PatMem: qualified storage name
-	ImmHi   int     `json:"ihi,omitempty"` // PatImm: instruction field bits
-	ImmLo   int     `json:"ilo,omitempty"` // PatImm
-	Val     int64   `json:"val,omitempty"` // PatConst
+	NT      int     `json:"nt,omitempty"`   // PatNT: nonterminal index
+	Op      rtl.Op  `json:"op,omitempty"`   // PatOp
+	Width   int     `json:"w,omitempty"`    // result width (all kinds)
+	Storage string  `json:"st,omitempty"`   // PatReg / PatMem: qualified storage name
+	ImmHi   int     `json:"ihi,omitempty"`  // PatImm: instruction field bits
+	ImmLo   int     `json:"ilo,omitempty"`  // PatImm
+	Val     int64   `json:"val,omitempty"`  // PatConst
 	Port    string  `json:"port,omitempty"` // PatPort
-	Hi      int     `json:"hi,omitempty"` // PatSlice
+	Hi      int     `json:"hi,omitempty"`   // PatSlice
 	Lo      int     `json:"lo,omitempty"`
 	Kids    []*Pat  `json:"kids,omitempty"`
 }
@@ -281,6 +282,28 @@ func SpecFromNetlist(n *netlist.Netlist) Spec {
 // Build constructs the tree grammar from a template base and machine spec.
 func Build(base *rtl.Base, spec Spec) (*Grammar, error) {
 	return BuildReported(base, spec, nil)
+}
+
+// BuildObs is BuildReported with instrumentation: the finished grammar's
+// rule counts land in the scope's registry, broken down by rule kind, so
+// `record -stats` and the recordd /metrics endpoint report grammar size
+// without recomputing Stats.  scope may be nil.
+func BuildObs(base *rtl.Base, spec Spec, rep *diag.Reporter, scope *obs.Scope) (*Grammar, error) {
+	g, err := BuildReported(base, spec, rep)
+	if err != nil {
+		return nil, err
+	}
+	if reg := scope.Registry(); reg != nil {
+		st := g.Stats()
+		rules := reg.CounterVec("record_grammar_rules_total",
+			"tree-grammar rules constructed, by rule kind", "kind")
+		rules.With("start").Add(st.StartRules)
+		rules.With("rt").Add(st.RTRules)
+		rules.With("stop").Add(st.StopRules)
+		reg.Counter("record_grammar_nonterminals_total",
+			"tree-grammar nonterminals constructed").Add(st.Nonterminals)
+	}
+	return g, nil
 }
 
 // BuildReported is Build with degraded-mode diagnostics: a template that

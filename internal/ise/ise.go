@@ -35,6 +35,7 @@ import (
 	"repro/internal/faultpoint"
 	"repro/internal/hdl"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/rtl"
 )
 
@@ -56,6 +57,10 @@ type Options struct {
 	// is exhausted mid-extraction, enumeration stops and the partial
 	// template base built so far is returned.  nil means unlimited.
 	Budget *diag.Budget
+	// Obs receives per-destination traversal spans and the extraction
+	// instruments (routes enumerated, templates discarded by reason, BDD
+	// work).  nil is safe: instrumentation is skipped.
+	Obs *obs.Scope
 }
 
 // DefaultOptions returns the limits used by the paper-scale models.
@@ -104,8 +109,15 @@ func (v *VarMap) ModeVarOwner(x int) (storage string, bit int) {
 type Stats struct {
 	RoutesEnumerated int // candidate templates before pruning
 	Unsatisfiable    int // discarded: conflicting execution conditions
-	Templates        int // final template count
-	BDDNodes         int // size of the BDD universe after extraction
+	// The paper's section 4 splits the unsatisfiable discards by cause;
+	// UnsatEncoding + UnsatBus == Unsatisfiable.
+	UnsatEncoding int // instruction-encoding conflicts (guards, CASE selectors)
+	UnsatBus      int // tristate bus contention (exclusivity violated)
+	// DiscardedBudget counts templates already enumerated but thrown away
+	// because the extraction budget ran out mid-destination.
+	DiscardedBudget int
+	Templates       int // final template count
+	BDDNodes        int // size of the BDD universe after extraction
 	// Dropped counts RT destinations abandoned after route explosion,
 	// unsupported constructs or recovered panics; the rest of the
 	// instruction set is still extracted (degraded mode).
@@ -145,6 +157,25 @@ func Extract(n *netlist.Netlist, opts Options) (*Result, error) {
 		m:       bdd.New(),
 		outMemo: make(map[string][]alt),
 		symMemo: make(map[string]symResult),
+		scope:   opts.Obs,
+	}
+	if reg := opts.Obs.Registry(); reg != nil {
+		x.cRoutes = reg.Counter("record_ise_routes_enumerated_total",
+			"Candidate data-transfer routes enumerated before pruning.")
+		disc := reg.CounterVec("record_ise_templates_discarded_total",
+			"Templates discarded during extraction, by reason.", "reason")
+		x.cDiscEnc = disc.With("encoding-conflict")
+		x.cDiscBus = disc.With("bus-contention")
+		x.cDiscBudget = disc.With("budget")
+		x.cDropped = reg.Counter("record_ise_destinations_dropped_total",
+			"RT destinations abandoned during degraded extraction.")
+		x.cTemplates = reg.Counter("record_ise_templates_extracted_total",
+			"Templates delivered into the base.")
+		x.m.Instrument(
+			reg.Counter("record_bdd_nodes_allocated_total",
+				"Canonical BDD nodes allocated during control-signal analysis."),
+			reg.Counter("record_bdd_ite_ops_total",
+				"BDD Ite operations (including recursive steps)."))
 	}
 	x.declareVars()
 	if err := x.run(); err != nil {
@@ -177,6 +208,16 @@ type extractor struct {
 	m    *bdd.Manager
 	vars *VarMap
 	res  *Result
+
+	// Observability: per-destination spans hang off scope; counters are
+	// resolved once in Extract (nil when uninstrumented).
+	scope       *obs.Scope
+	cRoutes     *obs.Counter
+	cDiscEnc    *obs.Counter
+	cDiscBus    *obs.Counter
+	cDiscBudget *obs.Counter
+	cDropped    *obs.Counter
+	cTemplates  *obs.Counter
 
 	outMemo map[string][]alt     // "inst.port" -> route alternatives
 	symMemo map[string]symResult // "inst.port" -> symbolic control value
@@ -264,9 +305,12 @@ func (x *extractor) run() error {
 // A route error or recovered panic drops only this destination with a
 // warning; budget exhaustion stops extraction entirely, keeping the
 // partial base (stop=true).  Buffered templates reach the base only on
-// success.
+// success.  Each destination is one traversal span with its outcome and
+// template count as attributes.
 func (x *extractor) extractDest(dest string, fn func() error) (stop bool) {
 	x.pending = x.pending[:0]
+	sp, _ := x.scope.Start("ise.dest", obs.KV("dest", dest))
+	defer sp.End()
 	err := faultpoint.Hit("ise.route.explosion", dest)
 	if err != nil {
 		err = fmt.Errorf("ise: route explosion in %s (limit %d): %w", dest, x.opts.MaxAlts, err)
@@ -285,21 +329,45 @@ func (x *extractor) extractDest(dest string, fn func() error) (stop bool) {
 		for _, t := range x.pending {
 			x.res.Base.Add(t)
 		}
+		x.cTemplates.Add(len(x.pending))
+		sp.SetAttr("templates", len(x.pending))
+		sp.SetAttr("outcome", "ok")
 		x.pending = x.pending[:0]
 		return false
 	}
+	enumerated := len(x.pending)
 	x.pending = x.pending[:0]
 	var be *diag.BudgetError
 	if errors.As(err, &be) {
 		x.res.Stats.Partial = true
+		x.res.Stats.DiscardedBudget += enumerated
+		x.cDiscBudget.Add(enumerated)
+		sp.SetAttr("outcome", "budget")
 		x.opts.Reporter.Warnf("ise", diag.Pos{},
 			"extraction budget exhausted at destination %s (%v); template base is partial", dest, err)
 		return true
 	}
 	x.res.Stats.Dropped++
+	x.cDropped.Inc()
+	sp.SetAttr("outcome", "dropped")
 	x.opts.Reporter.Warnf("ise", diag.Pos{},
 		"dropping destination %s: %v; retargeting continues without it", dest, err)
 	return false
+}
+
+// unsatEncoding records one template pruned because its execution
+// condition conflicts with the instruction encoding; unsatBus one pruned
+// because tristate-bus exclusivity cannot hold.
+func (x *extractor) unsatEncoding() {
+	x.res.Stats.Unsatisfiable++
+	x.res.Stats.UnsatEncoding++
+	x.cDiscEnc.Inc()
+}
+
+func (x *extractor) unsatBus() {
+	x.res.Stats.Unsatisfiable++
+	x.res.Stats.UnsatBus++
+	x.cDiscBus.Inc()
 }
 
 // extractWrite enumerates templates for one guarded storage write.
@@ -314,7 +382,7 @@ func (x *extractor) extractWrite(s *netlist.Storage, inst *netlist.Inst, st *hdl
 		gCond, gDyn = c, d
 	}
 	if gCond == x.m.False() {
-		x.res.Stats.Unsatisfiable++
+		x.unsatEncoding()
 		return nil
 	}
 
@@ -338,8 +406,9 @@ func (x *extractor) extractWrite(s *netlist.Storage, inst *netlist.Inst, st *hdl
 		for _, da := range dataAlts {
 			cond := x.m.And(gCond, aa.cond, da.cond)
 			x.res.Stats.RoutesEnumerated++
+			x.cRoutes.Inc()
 			if cond == x.m.False() {
-				x.res.Stats.Unsatisfiable++
+				x.unsatEncoding()
 				continue
 			}
 			dyn := concatDyn(gDyn, aa.dyn, da.dyn)
@@ -732,7 +801,7 @@ func (x *extractor) resolveCase(inst *netlist.Inst, ce *hdl.CaseExpr) ([]alt, er
 			return err
 		}
 		if cond == x.m.False() {
-			x.res.Stats.Unsatisfiable++
+			x.unsatEncoding()
 			return nil
 		}
 		alts, err := x.resolveModExpr(inst, body)
@@ -742,7 +811,7 @@ func (x *extractor) resolveCase(inst *netlist.Inst, ce *hdl.CaseExpr) ([]alt, er
 		for _, a := range alts {
 			c := x.m.And(cond, a.cond)
 			if c == x.m.False() {
-				x.res.Stats.Unsatisfiable++
+				x.unsatEncoding()
 				continue
 			}
 			out = append(out, alt{expr: a.expr, cond: c, dyn: concatDyn(dyn, a.dyn)})
@@ -882,7 +951,7 @@ func (x *extractor) resolveBus(b *netlist.Bus) ([]alt, error) {
 			}
 		}
 		if cond == x.m.False() {
-			x.res.Stats.Unsatisfiable++
+			x.unsatBus()
 			continue
 		}
 		srcAlts, err := x.resolveDriver(bd.Src)
@@ -892,7 +961,7 @@ func (x *extractor) resolveBus(b *netlist.Bus) ([]alt, error) {
 		for _, a := range srcAlts {
 			c := x.m.And(cond, a.cond)
 			if c == x.m.False() {
-				x.res.Stats.Unsatisfiable++
+				x.unsatBus()
 				continue
 			}
 			out = append(out, alt{expr: a.expr, cond: c, dyn: concatDyn(dyn, a.dyn)})

@@ -1,0 +1,108 @@
+// Package obs is the observability layer of the retargetable compiler: a
+// zero-dependency metrics registry, a hierarchical tracer, and profiling
+// hooks, shared by the record CLI and the recordd service.
+//
+// The paper reports its results phase-by-phase — template counts,
+// discarded-unsat templates, CPU seconds per pipeline phase (section 5) —
+// and the production service needs the same numbers continuously.  This
+// package gives both one source of truth:
+//
+//   - Registry: counters, gauges and fixed-bucket histograms with label
+//     support.  Hot paths are single atomic operations, safe under the
+//     lock-free parallel compiler; exposition renders the Prometheus text
+//     format with instruments sorted by name and label values, so scrapes
+//     and golden tests are deterministic.
+//
+//   - Tracer / Span: hierarchical spans for every pipeline phase and
+//     sub-phase (per-destination ISE traversal, per-block control-flow
+//     compilation, per-program compile) with attributes (route counts,
+//     node counts, cache hit/miss).  A run exports as Chrome trace_event
+//     JSON, loadable in chrome://tracing or Perfetto.  The clock is
+//     injectable so serialized traces never depend on time.Now.
+//
+//   - Profiling hooks: DebugMux wires net/http/pprof (recordd
+//     -debug-addr), and every span opens a runtime/trace region when
+//     runtime tracing is enabled, so `go tool trace` shows pipeline
+//     phases alongside scheduler events.
+//
+// Scope bundles a registry, a tracer and the current parent span into the
+// single value threaded through core.Config into the pipeline.  Every
+// type in this package is nil-safe the way diag.Reporter is: a nil
+// *Scope, *Registry, *Tracer, instrument or *Span discards, so
+// instrumented code needs no nil checks and uninstrumented runs pay one
+// predictable branch.
+//
+// Instrument naming convention: record_<pkg>_<name>_<unit>, e.g.
+// record_ise_templates_discarded_total, record_core_phase_seconds (see
+// DESIGN.md section 10 for the full table).
+package obs
+
+// Attr is one span attribute: a key with a value that must render
+// deterministically (strings, integers, bools).
+type Attr struct {
+	Key   string
+	Value interface{}
+}
+
+// KV builds an Attr.
+func KV(key string, value interface{}) Attr { return Attr{Key: key, Value: value} }
+
+// Scope bundles the registry, the tracer and the current parent span.  It
+// is the one value threaded through the pipeline; derived scopes returned
+// by Start parent subsequent spans under the phase that created them.
+// All methods are nil-safe: a nil *Scope returns nil components, and nil
+// components discard.
+type Scope struct {
+	reg    *Registry
+	tracer *Tracer
+	span   *Span
+}
+
+// NewScope builds a scope over a registry and a tracer; either may be nil.
+// A scope with neither is useless but harmless.
+func NewScope(reg *Registry, tr *Tracer) *Scope {
+	if reg == nil && tr == nil {
+		return nil
+	}
+	return &Scope{reg: reg, tracer: tr}
+}
+
+// Registry returns the scope's registry, or nil.
+func (s *Scope) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Tracer returns the scope's tracer, or nil.
+func (s *Scope) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.tracer
+}
+
+// Span returns the scope's current parent span, or nil.
+func (s *Scope) Span() *Span {
+	if s == nil {
+		return nil
+	}
+	return s.span
+}
+
+// Start opens a span named name under the scope's current span and
+// returns it with a derived scope that parents subsequent spans under it.
+// The caller must End the span.  On a nil scope or a scope without a
+// tracer the span is nil (End and SetAttr on it are no-ops) and the
+// returned scope keeps whatever registry the receiver had.
+func (s *Scope) Start(name string, attrs ...Attr) (*Span, *Scope) {
+	if s == nil {
+		return nil, nil
+	}
+	if s.tracer == nil {
+		return nil, s
+	}
+	sp := s.tracer.start(s.span, name, attrs)
+	return sp, &Scope{reg: s.reg, tracer: s.tracer, span: sp}
+}

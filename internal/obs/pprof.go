@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux returns the profiling mux served by recordd -debug-addr:
+// net/http/pprof under /debug/pprof/ (CPU, heap, goroutine, mutex, block
+// profiles and the runtime execution tracer at /debug/pprof/trace) plus,
+// when reg is non-nil, the metrics registry at /metrics.  Keep the debug
+// address off the public listener — profiles expose internals and the
+// CPU profile costs real time.
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.WritePrometheus(w)
+		})
+	}
+	return mux
+}

@@ -1,0 +1,471 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// instrument kinds, for TYPE lines and registration conflict checks.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// DefaultDurationBuckets are the histogram bucket upper bounds (seconds)
+// used for pipeline phase latencies: the paper-scale models retarget in
+// milliseconds to minutes, so the range spans 100µs..60s.
+var DefaultDurationBuckets = []float64{
+	0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 15, 60,
+}
+
+// Registry holds every instrument of one process (or one test).  Lookup
+// and registration take a lock; the instruments themselves are lock-free.
+// All methods are safe for concurrent use and nil-safe (a nil *Registry
+// returns nil instruments, which discard).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named instrument with its labeled children.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	labels  []string  // label names, fixed at registration
+	buckets []float64 // histogram upper bounds (strictly increasing)
+
+	mu       sync.RWMutex
+	children map[string]child // serialized label values -> instrument
+}
+
+type child interface{}
+
+// register returns the family for name, creating it on first use and
+// panicking on a conflicting re-registration — instrument identity is a
+// program invariant, not an input.
+func (r *Registry) register(name, help string, k kind, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != k || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: %s re-registered as %s%v (was %s%v)", name, k, labels, f.kind, f.labels))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: %s re-registered with labels %v (was %v)", name, labels, f.labels))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: k,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: make(map[string]child),
+	}
+	r.families[name] = f
+	return f
+}
+
+// labelKey serializes label values into the child-map key.  Values are
+// escaped so distinct tuples never collide.
+func labelKey(values []string) string {
+	if len(values) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, v := range values {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
+// get returns the child for values, creating it with mk on first use.
+func (f *family) get(values []string, mk func() child) child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s takes %d label value(s), got %d", f.name, len(f.labels), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c = mk()
+	f.children[key] = c
+	return c
+}
+
+// del drops the child for values (used for ephemeral gauge series like
+// per-target in-flight compiles; absent children are a no-op).
+func (f *family) del(values []string) {
+	f.mu.Lock()
+	delete(f.children, labelKey(values))
+	f.mu.Unlock()
+}
+
+// ----- counters ---------------------------------------------------------
+
+// Counter is a monotonically increasing count.  Nil-safe; Add of a
+// negative delta panics.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta (>= 0).
+func (c *Counter) Add(delta int) {
+	if c == nil {
+		return
+	}
+	if delta < 0 {
+		panic("obs: counter decremented")
+	}
+	c.v.Add(uint64(delta))
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Counter returns the unlabeled counter named name.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.register(name, help, kindCounter, nil, nil)
+	return f.get(nil, func() child { return &Counter{} }).(*Counter)
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec returns the counter family named name with the given label
+// names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.register(name, help, kindCounter, labels, nil)}
+}
+
+// With returns the child counter for the label values.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(values, func() child { return &Counter{} }).(*Counter)
+}
+
+// ----- gauges -----------------------------------------------------------
+
+// Gauge is a value that can go up and down.  Nil-safe.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores x.
+func (g *Gauge) Set(x int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(x)
+}
+
+// Add adds delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Gauge returns the unlabeled gauge named name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.register(name, help, kindGauge, nil, nil)
+	return f.get(nil, func() child { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec returns the gauge family named name with the given label names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.register(name, help, kindGauge, labels, nil)}
+}
+
+// With returns the child gauge for the label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(values, func() child { return &Gauge{} }).(*Gauge)
+}
+
+// Delete drops the child series for the label values, removing it from
+// exposition (for ephemeral series that would otherwise linger at zero).
+func (v *GaugeVec) Delete(values ...string) {
+	if v == nil {
+		return
+	}
+	v.f.del(values)
+}
+
+// ----- histograms -------------------------------------------------------
+
+// Histogram is a fixed-bucket distribution; Observe is three atomic adds.
+// Nil-safe.
+type Histogram struct {
+	bounds []float64       // upper bounds; the +Inf bucket is implicit
+	counts []atomic.Uint64 // len(bounds)+1, non-cumulative per bucket
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Histogram returns the unlabeled histogram named name.  buckets are the
+// upper bounds in increasing order; nil means DefaultDurationBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefaultDurationBuckets
+	}
+	f := r.register(name, help, kindHistogram, nil, buckets)
+	return f.get(nil, func() child { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec returns the histogram family named name with the given
+// buckets (nil = DefaultDurationBuckets) and label names.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefaultDurationBuckets
+	}
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, buckets)}
+}
+
+// With returns the child histogram for the label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(values, func() child { return newHistogram(v.f.buckets) }).(*Histogram)
+}
+
+// ----- exposition -------------------------------------------------------
+
+// WritePrometheus renders every instrument in the Prometheus text format
+// (version 0.0.4).  Families are sorted by name and children by label
+// values, so successive scrapes of an unchanged registry are
+// byte-identical — the property the recordd golden tests and CI format
+// check rely on.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.write(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) write(b *strings.Builder) {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children := make([]child, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.RUnlock()
+	if len(children) == 0 {
+		return
+	}
+
+	if f.help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	for i, c := range children {
+		values := strings.Split(keys[i], "\x00")
+		if keys[i] == "" {
+			values = nil
+		}
+		switch inst := c.(type) {
+		case *Counter:
+			fmt.Fprintf(b, "%s%s %d\n", f.name, labelString(f.labels, values, "", ""), inst.Value())
+		case *Gauge:
+			fmt.Fprintf(b, "%s%s %d\n", f.name, labelString(f.labels, values, "", ""), inst.Value())
+		case *Histogram:
+			cum := uint64(0)
+			for bi, bound := range inst.bounds {
+				cum += inst.counts[bi].Load()
+				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, values, "le", formatFloat(bound)), cum)
+			}
+			cum += inst.counts[len(inst.bounds)].Load()
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelString(f.labels, values, "le", "+Inf"), cum)
+			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, labelString(f.labels, values, "", ""), formatFloat(inst.Sum()))
+			fmt.Fprintf(b, "%s_count%s %d\n", f.name, labelString(f.labels, values, "", ""), inst.Count())
+		}
+	}
+}
+
+// labelString renders {k="v",...}, appending the extra pair (the
+// histogram le label) when extraKey is non-empty.  No labels renders as
+// the empty string.
+func labelString(names, values []string, extraKey, extraVal string) string {
+	if len(names) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(values[i]))
+	}
+	if extraKey != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		// Render integral values without an exponent so counters read
+		// naturally; Prometheus accepts either.
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	// %q already escapes quotes and backslashes; strip the quotes it adds.
+	q := strconv.Quote(s)
+	return q[1 : len(q)-1]
+}

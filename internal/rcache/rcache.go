@@ -28,6 +28,7 @@ import (
 	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/obs"
 )
 
 // Outcome says which tier satisfied a Get.
@@ -64,6 +65,10 @@ type Options struct {
 	MaxEntries int
 	// Reporter receives corruption and store-failure warnings; nil is safe.
 	Reporter *diag.Reporter
+	// Obs supplies the registry the cache counters land in
+	// (record_rcache_*); per-request spans come from the RetargetOptions
+	// passed to GetContext instead.  nil is safe.
+	Obs *obs.Scope
 }
 
 // DefaultMaxEntries is the memory-tier capacity when Options.MaxEntries
@@ -111,6 +116,16 @@ type Cache struct {
 	byKey  map[string]*list.Element // key -> LRU element
 	flight map[string]*flight       // key -> in-flight retarget
 	stats  Stats
+
+	// Registry mirrors of the Stats counters (nil-safe when Options.Obs
+	// carries no registry).  Stats stays authoritative for programmatic
+	// reads; these exist so /metrics needs no snapshot plumbing.
+	cHits      *obs.CounterVec // by tier: mem | disk
+	cMisses    *obs.Counter
+	cCoalesced *obs.Counter
+	cEvictions *obs.Counter
+	cCorrupt   *obs.Counter
+	cRetargets *obs.Counter
 }
 
 // New creates a cache; when opts.Dir is set the directory is created.
@@ -123,12 +138,34 @@ func New(opts Options) (*Cache, error) {
 			return nil, fmt.Errorf("rcache: %w", err)
 		}
 	}
-	return &Cache{
+	c := &Cache{
 		opts:   opts,
 		lru:    list.New(),
 		byKey:  make(map[string]*list.Element),
 		flight: make(map[string]*flight),
-	}, nil
+	}
+	reg := opts.Obs.Registry()
+	c.cHits = reg.CounterVec("record_rcache_hits_total",
+		"retarget cache hits, by tier", "tier")
+	c.cMisses = reg.Counter("record_rcache_misses_total",
+		"retarget cache misses (full retarget ran)")
+	c.cCoalesced = reg.Counter("record_rcache_coalesced_total",
+		"requests coalesced onto an in-flight retarget")
+	c.cEvictions = reg.Counter("record_rcache_evictions_total",
+		"memory-tier LRU evictions")
+	c.cCorrupt = reg.Counter("record_rcache_corrupt_total",
+		"disk artifacts dropped as corrupt")
+	c.cRetargets = reg.Counter("record_rcache_retargets_total",
+		"underlying retarget invocations")
+	return c, nil
+}
+
+// markHit records a zero-length cache.hit span so the trace of a cached
+// request shows which tier answered — and, by the absence of retarget
+// spans, that no pipeline work ran.
+func markHit(scope *obs.Scope, tier string) {
+	sp, _ := scope.Start("cache.hit", obs.KV("tier", tier))
+	sp.End()
 }
 
 // Stats returns a snapshot of the counters.
@@ -171,22 +208,34 @@ func (c *Cache) Get(mdlSource string, ropts core.RetargetOptions) (*Entry, Outco
 func (c *Cache) GetContext(ctx context.Context, mdlSource string, ropts core.RetargetOptions) (*Entry, Outcome, error) {
 	key := artifact.Key(mdlSource, ropts)
 
+	// The request's trace: everything below — hit markers, coalesced
+	// waits, a full retarget — parents under one rcache.get span.
+	gSpan, gScope := ropts.Obs.Start("rcache.get")
+	defer gSpan.End()
+	ropts.Obs = gScope
+
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.lru.MoveToFront(el)
 		c.stats.MemHits++
 		e := el.Value.(*Entry)
 		c.mu.Unlock()
+		c.cHits.With("mem").Inc()
+		markHit(gScope, "mem")
 		return e, Mem, nil
 	}
 	if f, ok := c.flight[key]; ok {
 		c.stats.Coalesced++
 		c.mu.Unlock()
+		c.cCoalesced.Inc()
+		wSpan, _ := gScope.Start("cache.coalesced")
 		select {
 		case <-f.done:
 		case <-ctx.Done():
+			wSpan.End()
 			return nil, Miss, &diag.BudgetError{Resource: "deadline", Cause: ctx.Err()}
 		}
+		wSpan.End()
 		if f.err != nil {
 			return nil, Miss, f.err
 		}
@@ -210,8 +259,10 @@ func (c *Cache) GetContext(ctx context.Context, mdlSource string, ropts core.Ret
 		switch outcome {
 		case Disk:
 			c.stats.DiskHits++
+			c.cHits.With("disk").Inc()
 		case Miss:
 			c.stats.Misses++
+			c.cMisses.Inc()
 		}
 	}
 	c.mu.Unlock()
@@ -231,6 +282,7 @@ func (c *Cache) Lookup(key string) (*Entry, bool) {
 		c.stats.MemHits++
 		e := el.Value.(*Entry)
 		c.mu.Unlock()
+		c.cHits.With("mem").Inc()
 		return e, true
 	}
 	c.mu.Unlock()
@@ -248,6 +300,7 @@ func (c *Cache) Lookup(key string) (*Entry, bool) {
 	}
 	c.stats.DiskHits++
 	c.mu.Unlock()
+	c.cHits.With("disk").Inc()
 	return entry, true
 }
 
@@ -255,12 +308,14 @@ func (c *Cache) Lookup(key string) (*Entry, bool) {
 // full retarget (persisting the fresh artifact for the next process).
 func (c *Cache) fill(ctx context.Context, key, mdlSource string, ropts core.RetargetOptions) (*Entry, Outcome, error) {
 	if entry := c.loadDisk(key); entry != nil {
+		markHit(ropts.Obs, "disk")
 		return entry, Disk, nil
 	}
 
 	c.mu.Lock()
 	c.stats.Retargets++
 	c.mu.Unlock()
+	c.cRetargets.Inc()
 	t, err := core.RetargetContext(ctx, mdlSource, ropts)
 	if err != nil {
 		return nil, Miss, err
@@ -287,6 +342,7 @@ func (c *Cache) loadDisk(key string) *Entry {
 		c.mu.Lock()
 		c.stats.Corrupt++
 		c.mu.Unlock()
+		c.cCorrupt.Inc()
 		c.opts.Reporter.Warnf("rcache", diag.Pos{},
 			"dropping corrupt cache artifact %s: %v", key, err)
 		_ = os.Remove(c.path(key))
@@ -346,5 +402,6 @@ func (c *Cache) insert(key string, e *Entry) {
 		victim := c.lru.Remove(tail).(*Entry)
 		delete(c.byKey, victim.Key)
 		c.stats.Evictions++
+		c.cEvictions.Inc()
 	}
 }
