@@ -1,7 +1,9 @@
 // Command benchtraj appends BenchmarkParallelCompile results to the bench
 // trajectory file — a JSON array tracking parallel-compile throughput
 // across commits, so scaling regressions show up as data rather than
-// anecdotes.
+// anecdotes.  BenchmarkServerCompile* lines (recordd request latency on
+// the happy path and under shedding) ride along in server_ns_per_op, so
+// the resilience layers' overhead is tracked the same way.
 //
 // Usage:
 //
@@ -11,7 +13,8 @@
 // BenchmarkParallelCompile<N> lines, and appends one entry per invocation:
 //
 //	{"label": "...", "ns_per_op": {"1": 527672, "4": 1268698},
-//	 "speedup_at_4": 0.41}
+//	 "speedup_at_4": 0.41,
+//	 "server_ns_per_op": {"base": 353216, "shed": 337470}}
 //
 // speedup_at_4 is ns/op(1 worker) / ns/op(4 workers): >1 means parallel
 // compilation pays off (expect near-linear on multicore; ~1 or below on a
@@ -42,40 +45,60 @@ import (
 
 // Entry is one benchmark run in the trajectory.
 type Entry struct {
-	Label        string             `json:"label"`
-	NsPerOp      map[string]float64 `json:"ns_per_op,omitempty"`
-	SpeedupAt4   float64            `json:"speedup_at_4,omitempty"`
-	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
+	Label         string             `json:"label"`
+	NsPerOp       map[string]float64 `json:"ns_per_op,omitempty"`
+	SpeedupAt4    float64            `json:"speedup_at_4,omitempty"`
+	ServerNsPerOp map[string]float64 `json:"server_ns_per_op,omitempty"`
+	PhaseSeconds  map[string]float64 `json:"phase_seconds,omitempty"`
 }
 
 // errNoBench marks input that contained no benchmark lines — fatal on its
 // own, tolerated when a phase trace supplies the entry's payload instead.
-var errNoBench = errors.New("benchtraj: no BenchmarkParallelCompile lines in input")
+var errNoBench = errors.New("benchtraj: no BenchmarkParallelCompile or BenchmarkServerCompile lines in input")
 
-var benchLine = regexp.MustCompile(`^BenchmarkParallelCompile(\d+)\S*\s+\d+\s+([\d.]+) ns/op`)
+var (
+	benchLine  = regexp.MustCompile(`^BenchmarkParallelCompile(\d+)\S*\s+\d+\s+([\d.]+) ns/op`)
+	serverLine = regexp.MustCompile(`^BenchmarkServerCompile(\w*)\S*\s+\d+\s+([\d.]+) ns/op`)
+)
 
-// parse extracts worker-count → ns/op from `go test -bench` output.
-func parse(r io.Reader) (map[string]float64, error) {
-	out := make(map[string]float64)
+// serverKeys maps BenchmarkServerCompile<Suffix> onto trajectory keys.
+var serverKeys = map[string]string{"": "base", "Shed": "shed"}
+
+// parse extracts worker-count → ns/op (parallel-compile lines) and
+// scenario → ns/op (server-latency lines) from `go test -bench` output.
+func parse(r io.Reader) (ns, server map[string]float64, err error) {
+	ns = make(map[string]float64)
+	server = make(map[string]float64)
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
-		if m == nil {
+		line := sc.Text()
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			v, perr := strconv.ParseFloat(m[2], 64)
+			if perr != nil {
+				return nil, nil, fmt.Errorf("benchtraj: bad ns/op in %q: %w", line, perr)
+			}
+			ns[m[1]] = v
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("benchtraj: bad ns/op in %q: %w", sc.Text(), err)
+		if m := serverLine.FindStringSubmatch(line); m != nil {
+			key, ok := serverKeys[m[1]]
+			if !ok {
+				key = m[1] // unknown scenario: keep it under its own name
+			}
+			v, perr := strconv.ParseFloat(m[2], 64)
+			if perr != nil {
+				return nil, nil, fmt.Errorf("benchtraj: bad ns/op in %q: %w", line, perr)
+			}
+			server[key] = v
 		}
-		out[m[1]] = ns
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if len(out) == 0 {
-		return nil, errNoBench
+	if len(ns) == 0 && len(server) == 0 {
+		return nil, nil, errNoBench
 	}
-	return out, nil
+	return ns, server, nil
 }
 
 // parsePhaseTrace sums span durations per name from a Chrome trace_event
@@ -133,7 +156,7 @@ func appendEntry(path string, e Entry) error {
 }
 
 func run(in io.Reader, outPath, label, tracePath string) error {
-	ns, err := parse(in)
+	ns, server, err := parse(in)
 	if err != nil {
 		// A run that only records phase timings has no bench lines to
 		// parse; any other parse failure is still fatal.
@@ -141,7 +164,13 @@ func run(in io.Reader, outPath, label, tracePath string) error {
 			return err
 		}
 	}
-	e := Entry{Label: label, NsPerOp: ns}
+	e := Entry{Label: label, NsPerOp: ns, ServerNsPerOp: server}
+	if len(e.NsPerOp) == 0 {
+		e.NsPerOp = nil
+	}
+	if len(e.ServerNsPerOp) == 0 {
+		e.ServerNsPerOp = nil
+	}
 	if n1, ok1 := ns["1"]; ok1 {
 		if n4, ok4 := ns["4"]; ok4 && n4 > 0 {
 			e.SpeedupAt4 = n1 / n4

@@ -16,23 +16,39 @@ BenchmarkParallelCompile1 	    2138	    527672 ns/op	  291766 B/op	    3951 allo
 BenchmarkParallelCompile2 	    2103	    603139 ns/op	  291934 B/op	    3953 allocs/op
 BenchmarkParallelCompile4 	     870	   1268698 ns/op	  291604 B/op	    3947 allocs/op
 BenchmarkParallelCompile8-4 	     894	   1493683 ns/op	  291576 B/op	    3944 allocs/op
+BenchmarkServerCompile-4     	      50	    353216 ns/op	  107867 B/op	    1517 allocs/op
+BenchmarkServerCompileShed-4 	      50	    137470 ns/op	  107898 B/op	    1518 allocs/op
 PASS
 ok  	repro	5.234s
 `
 
 func TestParse(t *testing.T) {
-	ns, err := parse(strings.NewReader(sample))
+	ns, server, err := parse(strings.NewReader(sample))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ns) != 4 || ns["1"] != 527672 || ns["8"] != 1493683 {
 		t.Fatalf("parsed %v", ns)
 	}
+	if len(server) != 2 || server["base"] != 353216 || server["shed"] != 137470 {
+		t.Fatalf("server latencies %v", server)
+	}
 }
 
 func TestParseRejectsEmpty(t *testing.T) {
-	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
+	if _, _, err := parse(strings.NewReader("PASS\n")); err == nil {
 		t.Fatal("no error for input without benchmark lines")
+	}
+}
+
+func TestParseServerOnly(t *testing.T) {
+	in := "BenchmarkServerCompile-4 	 50 	 353216 ns/op\nPASS\n"
+	ns, server, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 0 || server["base"] != 353216 {
+		t.Fatalf("ns=%v server=%v", ns, server)
 	}
 }
 
@@ -57,6 +73,9 @@ func TestRunAppends(t *testing.T) {
 	want := 527672.0 / 1268698.0
 	if got := entries[0].SpeedupAt4; got < want-1e-9 || got > want+1e-9 {
 		t.Fatalf("speedup_at_4 = %v, want %v", got, want)
+	}
+	if entries[0].ServerNsPerOp["shed"] != 137470 {
+		t.Fatalf("server_ns_per_op not persisted: %+v", entries[0])
 	}
 }
 

@@ -37,7 +37,11 @@
 //	-timeout d         wall-clock budget for the whole run (0 = unlimited)
 //	-max-bdd-nodes n   cap the BDD universe during extraction
 //	-max-routes n      cap route enumeration per traversal point
-//	-faultpoints s     arm fault-injection points (testing)
+//	-server url        compile remotely against a running recordd; the
+//	                   client retries transient failures (429/5xx,
+//	                   Retry-After-aware) and circuit-breaks per model
+//	-faultpoints s     arm fault-injection points (testing); "list"
+//	                   prints every planted site and exits
 //
 // Exit codes: 0 success, 1 usage error, 2 input or compilation error
 // (including warnings under -strict), 3 internal fault.
@@ -67,6 +71,7 @@ import (
 	"repro/internal/naive"
 	"repro/internal/obs"
 	"repro/internal/rcache"
+	"repro/internal/rclient"
 	"repro/internal/vhdl"
 )
 
@@ -94,6 +99,7 @@ type config struct {
 	cacheDir    string
 	traceFile   string
 	faultpoints string
+	serverURL   string   // remote compile against a recordd instance
 	srcFiles    []string // positional: parallel multi-source mode
 
 	core core.Config
@@ -127,8 +133,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&c.core.MaxBDDNodes, "max-bdd-nodes", 0, "cap the BDD universe during extraction (0 = unlimited)")
 	fs.IntVar(&c.core.MaxRoutes, "max-routes", 0, "cap route enumeration per traversal point (0 = default)")
 	fs.IntVar(&c.core.Jobs, "jobs", 1, "parallel workers for positional source files")
+	fs.StringVar(&c.serverURL, "server", "",
+		"compile against a running recordd at this base URL instead of locally")
 	fs.StringVar(&c.faultpoints, "faultpoints", "",
-		"comma-separated fault injection specs name[@match]=kind[:arg][*times] (testing)")
+		"comma-separated fault injection specs name[@match]=kind[:arg][*times] (testing); \"list\" prints sites")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -138,6 +146,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 
+	if c.faultpoints == "list" {
+		fmt.Fprintln(stdout, "faultpoint sites (arm with -faultpoints name[@match]=kind[:arg][*times]):")
+		for _, site := range faultpoint.Sites() {
+			fmt.Fprintf(stdout, "  %-24s %s\n", site.Name, site.Where)
+		}
+		return exitOK
+	}
 	if c.faultpoints != "" {
 		for _, spec := range strings.Split(c.faultpoints, ",") {
 			if err := faultpoint.ArmSpec(strings.TrimSpace(spec)); err != nil {
@@ -251,6 +266,9 @@ func listDiagnostics(stderr io.Writer, rep *diag.Reporter, source string) {
 
 // compile runs the full pipeline per the parsed configuration.
 func compile(c *config, rep *diag.Reporter, budget *diag.Budget, stdout, stderr io.Writer) error {
+	if c.serverURL != "" {
+		return compileRemote(c, budget, stdout)
+	}
 	mdl, err := loadModel(c.modelName, c.mdlFile, c.vhdlFile)
 	if err != nil {
 		return err
@@ -302,6 +320,105 @@ func compile(c *config, rep *diag.Reporter, budget *diag.Budget, stdout, stderr 
 		return compileMany(c, target, budget, stdout, stderr)
 	}
 	return compileOne(c, target, src, rep, budget, stdout)
+}
+
+// compileRemote compiles against a running recordd instead of the local
+// pipeline.  The model is retargeted once server-side (paying at most one
+// cache miss); programs then compile by artifact key.  The client retries
+// transient failures (shed 429s, drain/breaker 503s, injected 5xx faults)
+// with backoff and honors the service's Retry-After — a briefly unhealthy
+// service costs latency, not a failed build.
+func compileRemote(c *config, budget *diag.Budget, stdout io.Writer) error {
+	switch {
+	case c.useNaive:
+		return usagef("-naive runs locally; it cannot be combined with -server")
+	case c.execute:
+		return usagef("-run (simulation) is local-only; it cannot be combined with -server")
+	case c.showSeq:
+		return usagef("-seq is local-only; it cannot be combined with -server")
+	case c.cacheDir != "":
+		return usagef("-cache-dir is local-only; the server has its own artifact cache")
+	}
+
+	// Bundled models go by name (the server has them); file-based models
+	// ship their source inline.  VHDL is translated locally first.
+	ref := rclient.ModelRef{ModelName: c.modelName}
+	if c.modelName == "" {
+		mdl, err := loadModel(c.modelName, c.mdlFile, c.vhdlFile)
+		if err != nil {
+			return err
+		}
+		ref = rclient.ModelRef{Model: mdl}
+	}
+
+	ctx := context.Background()
+	if budget != nil && budget.Ctx != nil {
+		ctx = budget.Ctx
+	}
+	cl := rclient.New(c.serverURL)
+	rt, err := cl.Retarget(ctx, ref)
+	if err != nil {
+		return err
+	}
+	if c.showStats {
+		state := "miss"
+		if rt.Cache == "hit" || rt.Cache == "hit-disk" || rt.Cache == "coalesced" {
+			state = "hit"
+		}
+		fmt.Fprintf(stdout, "cache: %s (remote)\n", state)
+		fmt.Fprintf(stdout, "retargeted %s remotely: %d templates, %d rules\n",
+			rt.Name, rt.Templates, rt.Rules)
+	}
+
+	byKey := rclient.ModelRef{Key: rt.Key}
+	opts := rclient.CompileOptions{
+		NoCompaction: c.core.NoCompaction,
+		NoPeephole:   c.core.NoPeephole,
+	}
+	sources := c.srcFiles
+	if len(sources) == 0 {
+		src, err := loadSource(c.srcFile, c.kernelName)
+		if err != nil {
+			return err
+		}
+		res, err := cl.Compile(ctx, byKey, src, opts)
+		if err != nil {
+			return err
+		}
+		printRemoteResult(stdout, res)
+		return nil
+	}
+	var firstErr error
+	failed := 0
+	for _, file := range sources {
+		fmt.Fprintf(stdout, "==> %s\n", file)
+		src, err := os.ReadFile(file)
+		if err == nil {
+			var res *rclient.CompileResult
+			if res, err = cl.Compile(ctx, byKey, string(src), opts); err == nil {
+				printRemoteResult(stdout, res)
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(stdout, "record: %s: %v\n", file, err)
+			failed++
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if firstErr != nil {
+		return fmt.Errorf("%d of %d source files failed: %w", failed, len(sources), firstErr)
+	}
+	return nil
+}
+
+// printRemoteResult writes a remote compile in the same shape as the local
+// driver's output, so scripts cannot tell the difference.
+func printRemoteResult(stdout io.Writer, res *rclient.CompileResult) {
+	fmt.Fprintf(stdout, "code for %s: %d RT instructions in %d words\n\n",
+		res.Name, res.SeqLen, res.CodeLen)
+	fmt.Fprint(stdout, res.Listing)
 }
 
 // compileMany compiles every positional source file against one frozen

@@ -2,10 +2,16 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
+
+	"repro/internal/faultpoint"
 )
 
 // record invokes the driver like a shell would and captures both streams.
@@ -289,5 +295,70 @@ func TestJobsUsageErrors(t *testing.T) {
 		if code, _, _ := record(t, args...); code != exitUsage {
 			t.Errorf("record %v: exit = %d, want %d", args, code, exitUsage)
 		}
+	}
+}
+
+func TestFaultpointsListPrintsEverySite(t *testing.T) {
+	code, out, _ := record(t, "-faultpoints", "list")
+	if code != exitOK {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, site := range faultpoint.Sites() {
+		if !strings.Contains(out, site.Name) {
+			t.Errorf("site %s missing from listing:\n%s", site.Name, out)
+		}
+	}
+}
+
+func TestServerFlagUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-server", "http://x", "-model", "demo", "-kernel", "dot_product", "-naive"},
+		{"-server", "http://x", "-model", "demo", "-kernel", "dot_product", "-run"},
+		{"-server", "http://x", "-model", "demo", "-kernel", "dot_product", "-seq"},
+		{"-server", "http://x", "-model", "demo", "-kernel", "dot_product", "-cache-dir", "d"},
+	}
+	for _, args := range cases {
+		if code, _, _ := record(t, args...); code != exitUsage {
+			t.Errorf("%v: exit = %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+// TestServerRemoteCompile drives the -server path against a stub speaking
+// the recordd wire protocol; the end-to-end version against a live daemon
+// runs in CI.
+func TestServerRemoteCompile(t *testing.T) {
+	var retargets, compiles atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch r.URL.Path {
+		case "/v1/retarget":
+			retargets.Add(1)
+			fmt.Fprint(w, `{"key":"k1","name":"demo","templates":5,"rules":9,"cache":"miss"}`)
+		case "/v1/compile":
+			if compiles.Add(1) == 1 { // one injected transient failure
+				w.WriteHeader(http.StatusInternalServerError)
+				fmt.Fprint(w, `{"error":"injected fault recordd.worker.spawn"}`)
+				return
+			}
+			fmt.Fprint(w, `{"key":"k1","name":"demo","cache":"hit","seq_len":4,"code_len":3,"words":[1,2,3],"listing":"0000 nop\n"}`)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	defer srv.Close()
+
+	code, out, stderr := record(t, "-server", srv.URL, "-model", "demo", "-kernel", "dot_product")
+	if code != exitOK {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(out, "code for demo: 4 RT instructions in 3 words") {
+		t.Errorf("remote output shape differs from local:\n%s", out)
+	}
+	if retargets.Load() != 1 {
+		t.Errorf("retargets = %d, want 1", retargets.Load())
+	}
+	if compiles.Load() != 2 {
+		t.Errorf("compiles = %d, want 2 (retry through the injected failure)", compiles.Load())
 	}
 }

@@ -12,7 +12,7 @@
 //	POST /v1/compile   {"key": "<artifact key>"} or a model selector, plus
 //	                   {"source": "<RecC program>", "options": {...}}
 //	                   → {"key", "cache", "words", "listing", "seq_len", "code_len"}
-//	GET  /healthz      liveness
+//	GET  /healthz      liveness; 503 {"draining": true} during shutdown
 //	GET  /metrics      cache counters, in-flight compiles, per-phase latency
 //
 // Flags:
@@ -26,15 +26,32 @@
 //	-timeout d         per-request wall-clock budget (0 = unlimited)
 //	-max-bdd-nodes n   per-request BDD universe cap (0 = unlimited)
 //	-max-routes n      per-request route enumeration cap (0 = default)
+//	-max-queue n       pool-slot waiters admitted before shedding 429 (0 = unlimited)
+//	-drain-timeout d   grace for in-flight requests after SIGTERM/SIGINT
+//	-breaker-window n  per-model circuit-breaker outcome window (0 = off)
+//	-breaker-rate f    failure rate that opens a model's circuit
+//	-breaker-cooldown d  open → half-open probe cooldown
+//	-faultpoints spec  arm fault-injection points (chaos testing; see
+//	                   `record -faultpoints list`)
+//
+// On SIGTERM/SIGINT the daemon drains: /healthz flips to 503, new work is
+// refused with explicit statuses, in-flight requests get -drain-timeout to
+// finish, and the artifact cache directory is flushed before exit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"repro/internal/faultpoint"
 	"repro/internal/obs"
 )
 
@@ -42,6 +59,8 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8347", "listen address")
 		debugAddr = flag.String("debug-addr", "", "profiling listener (pprof + /metrics); empty = disabled")
+		drain     = flag.Duration("drain-timeout", 15*time.Second, "grace for in-flight requests on SIGTERM/SIGINT")
+		faults    = flag.String("faultpoints", "", "arm fault-injection points: name[@match]=kind[:arg][*times],...")
 		cfg       serverConfig
 	)
 	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "artifact store directory (empty = memory-only)")
@@ -50,7 +69,19 @@ func main() {
 	flag.DurationVar(&cfg.timeout, "timeout", 2*time.Minute, "per-request wall-clock budget (0 = unlimited)")
 	flag.IntVar(&cfg.maxBDDNodes, "max-bdd-nodes", 0, "per-request BDD universe cap (0 = unlimited)")
 	flag.IntVar(&cfg.maxRoutes, "max-routes", 0, "per-request route enumeration cap (0 = default)")
+	flag.IntVar(&cfg.maxQueue, "max-queue", 64, "pool-slot waiters admitted before shedding with 429 (0 = unlimited)")
+	flag.IntVar(&cfg.brkWindow, "breaker-window", 8, "per-model circuit-breaker outcome window (0 = breaker off)")
+	flag.Float64Var(&cfg.brkRate, "breaker-rate", 0.5, "failure rate that opens a model's circuit")
+	flag.DurationVar(&cfg.brkCooldown, "breaker-cooldown", 10*time.Second, "circuit open -> half-open probe cooldown")
 	flag.Parse()
+
+	if *faults != "" {
+		if err := faultpoint.ArmSpec(*faults); err != nil {
+			fmt.Fprintf(os.Stderr, "recordd: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "recordd: armed faultpoints: %v\n", faultpoint.Armed())
+	}
 
 	s, err := newServer(cfg)
 	if err != nil {
@@ -65,10 +96,64 @@ func main() {
 		}()
 		fmt.Printf("recordd debug listener on %s (pprof + /metrics)\n", *debugAddr)
 	}
-	fmt.Printf("recordd listening on %s (workers=%d, cache-dir=%q)\n",
-		*addr, s.cfg.workers, s.cfg.cacheDir)
-	if err := http.ListenAndServe(*addr, s.handler()); err != nil {
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "recordd: %v\n", err)
 		os.Exit(1)
 	}
+	fmt.Printf("recordd listening on %s (workers=%d, cache-dir=%q)\n",
+		ln.Addr(), s.cfg.workers, s.cfg.cacheDir)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	if err := serve(ln, s, *drain, sigs, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "recordd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the HTTP service on ln until a signal arrives on sigs, then
+// drains gracefully: the server flips into refusal mode (queued waiters
+// shed with 503, /healthz reports draining), in-flight requests get
+// drainTimeout to finish, and the cache directory is flushed before
+// returning.  Factored out of main so the chaos harness can exercise the
+// full drain sequence in-process.
+func serve(ln net.Listener, s *server, drainTimeout time.Duration, sigs <-chan os.Signal, logw io.Writer) error {
+	srv := &http.Server{Handler: s.handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+		close(errc)
+	}()
+
+	select {
+	case err, ok := <-errc:
+		if ok && err != nil {
+			return err
+		}
+		return fmt.Errorf("listener closed unexpectedly")
+	case sig := <-sigs:
+		fmt.Fprintf(logw, "recordd: %v: draining (timeout %v)\n", sig, drainTimeout)
+	}
+
+	s.beginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(logw, "recordd: drain timeout exceeded, closing: %v\n", err)
+		srv.Close()
+	}
+	if err := s.cache.Close(); err != nil {
+		fmt.Fprintf(logw, "recordd: cache flush: %v\n", err)
+	}
+	for err := range errc {
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(logw, "recordd: drained, exiting\n")
+	return nil
 }

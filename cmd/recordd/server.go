@@ -7,14 +7,18 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/faultpoint"
 	"repro/internal/models"
 	"repro/internal/obs"
 	"repro/internal/rcache"
+	"repro/internal/resilience"
 )
 
 // serverConfig tunes one daemon instance.
@@ -26,6 +30,13 @@ type serverConfig struct {
 	maxBDDNodes int           // per-request BDD node cap (0 = unlimited)
 	maxRoutes   int           // per-request route cap (0 = phase default)
 	maxBody     int64         // request body cap in bytes
+
+	maxQueue    int           // admission bound on pool-slot waiters (0 = unlimited)
+	brkWindow   int           // breaker outcome window per model (0 = breaker off)
+	brkRate     float64       // breaker failure-rate threshold
+	brkCooldown time.Duration // breaker open -> half-open cooldown
+
+	brkClock func() time.Time // injectable breaker clock (tests); nil = time.Now
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -46,6 +57,13 @@ func (c serverConfig) withDefaults() serverConfig {
 // metrics endpoints.  Targets are frozen, so compiles against one entry
 // run genuinely in parallel — the worker pool bounds CPU, not correctness.
 //
+// The service protects itself (internal/resilience): admission control
+// sheds with 429 + Retry-After once the pool backlog exceeds -max-queue, a
+// per-model circuit breaker turns a repeatedly failing model into fast
+// 503s instead of burnt retarget workers, and beginDrain flips the whole
+// surface into refusal mode so shutdown finishes in-flight work and
+// nothing is dropped without an explicit status.
+//
 // All counters and gauges live in one obs.Registry: the cache and the
 // compile pipeline register their own instruments against it, the
 // request-handling instruments below are the server's, and /metrics is a
@@ -55,12 +73,25 @@ type server struct {
 	cache *rcache.Cache
 	sem   chan struct{} // worker pool slots
 
+	adm      *resilience.Admission
+	brk      *resilience.Breaker
+	drainCh  chan struct{} // closed when draining starts
+	draining atomic.Bool
+
 	reg *obs.Registry
 	scp *obs.Scope // registry-only scope handed to the pipeline
 
 	gInflight     *obs.Gauge        // compiles currently executing
 	gTargInflight *obs.GaugeVec     // by artifact key; series dropped at zero
 	hPhase        *obs.HistogramVec // request-handling latency by phase
+
+	gQueue     *obs.Gauge      // requests waiting for a pool slot
+	gDraining  *obs.Gauge      // 1 while draining
+	cShed      *obs.Counter    // requests shed by admission control
+	cBrkOpens  *obs.Counter    // breaker trips to open
+	cBrkReject *obs.Counter    // requests refused by an open circuit
+	cErrors    *obs.CounterVec // error responses, by status
+	cAborts    *obs.Counter    // client disconnects before a response
 
 	// targMu serializes the zero-check-then-delete on gTargInflight so a
 	// concurrent Inc cannot land between Dec and Delete.
@@ -76,23 +107,51 @@ func newServer(cfg serverConfig) (*server, error) {
 		return nil, err
 	}
 	s := &server{
-		cfg:   cfg,
-		cache: cache,
-		sem:   make(chan struct{}, cfg.workers),
-		reg:   reg,
-		scp:   scp,
+		cfg:     cfg,
+		cache:   cache,
+		sem:     make(chan struct{}, cfg.workers),
+		adm:     resilience.NewAdmission(cfg.maxQueue, time.Second),
+		drainCh: make(chan struct{}),
+		reg:     reg,
+		scp:     scp,
 		gInflight: reg.Gauge("record_recordd_inflight_compiles",
 			"compiles currently executing"),
 		gTargInflight: reg.GaugeVec("record_recordd_target_inflight_compiles",
 			"compiles currently executing, by artifact key", "key"),
 		hPhase: reg.HistogramVec("record_recordd_phase_seconds",
 			"request-handling latency by phase", nil, "phase"),
+		gQueue: reg.Gauge("record_recordd_queue_depth",
+			"requests waiting for a worker-pool slot"),
+		gDraining: reg.Gauge("record_recordd_draining",
+			"1 while the service is draining"),
+		cShed: reg.Counter("record_recordd_shed_total",
+			"requests shed by admission control (429)"),
+		cBrkOpens: reg.Counter("record_recordd_breaker_opens_total",
+			"circuit-breaker trips to open, across all models"),
+		cBrkReject: reg.Counter("record_recordd_breaker_rejections_total",
+			"requests refused because a model's circuit was open"),
+		cErrors: reg.CounterVec("record_recordd_errors_total",
+			"error responses, by HTTP status", "status"),
+		cAborts: reg.Counter("record_recordd_client_aborts_total",
+			"requests whose client disconnected before a response (499-style)"),
+	}
+	if cfg.brkWindow > 0 {
+		s.brk = resilience.NewBreaker(resilience.BreakerConfig{
+			Window:      cfg.brkWindow,
+			FailureRate: cfg.brkRate,
+			Cooldown:    cfg.brkCooldown,
+			Now:         cfg.brkClock,
+			OnTrip:      func(string) { s.cBrkOpens.Inc() },
+		})
 	}
 	reg.Gauge("record_recordd_worker_pool_size",
 		"configured worker pool capacity").Set(int64(cfg.workers))
 	return s, nil
 }
 
+// handler wraps the route mux in the drain gate: once draining, every
+// request that would start new work is refused with an explicit 503 so no
+// client is dropped without a status; health and metrics stay readable.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -100,7 +159,24 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/retarget", s.handleRetarget)
 	mux.HandleFunc("/v1/compile", s.handleCompile)
 	mux.HandleFunc("/v1/compile-batch", s.handleCompileBatch)
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() && r.Method != http.MethodGet {
+			s.fail(w, r, http.StatusServiceUnavailable,
+				&resilience.DrainingError{After: time.Second})
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// beginDrain flips the service into draining mode: /healthz reports
+// draining, new work is refused, and requests queued for a pool slot are
+// released with an explicit 503 instead of waiting out the shutdown.
+func (s *server) beginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.gDraining.Set(1)
+		close(s.drainCh)
+	}
 }
 
 // trackCompile bumps the global and per-target in-flight gauges; the
@@ -128,12 +204,30 @@ func (s *server) observePhase(phase string, d time.Duration) {
 	s.hPhase.With(phase).Observe(d.Seconds())
 }
 
-// acquire takes a worker-pool slot, failing with 503 when the client goes
-// away before one frees up.
+// acquire takes a worker-pool slot.  Admission control sheds immediately
+// (429) when the waiter backlog is at -max-queue; an admitted waiter can
+// still fail with 503 when the drain starts or the client goes away
+// before a slot frees up.
 func (s *server) acquire(ctx context.Context) error {
+	leave, err := s.adm.Enter()
+	if err != nil {
+		s.cShed.Inc()
+		return err
+	}
+	s.gQueue.Inc()
+	defer func() {
+		s.gQueue.Dec()
+		leave()
+	}()
 	select {
 	case s.sem <- struct{}{}:
+		if err := faultpoint.Hit("recordd.worker.spawn", ""); err != nil {
+			s.release()
+			return err
+		}
 		return nil
+	case <-s.drainCh:
+		return &resilience.DrainingError{After: time.Second}
 	case <-ctx.Done():
 		return fmt.Errorf("worker pool saturated: %w", ctx.Err())
 	}
@@ -158,6 +252,49 @@ func (s *server) compileCtx(ctx context.Context) (context.Context, context.Cance
 		return context.WithTimeout(ctx, s.cfg.timeout)
 	}
 	return ctx, func() {}
+}
+
+// breakerKey fingerprints the model a request targets: the artifact key
+// when the caller sent one, else the content address the cache will use
+// for the model — computable without running any pipeline work.
+func (s *server) breakerKey(key string, m modelRequest) (string, error) {
+	if key != "" {
+		return key, nil
+	}
+	mdl, err := m.source()
+	if err != nil {
+		return "", err
+	}
+	return s.cache.Key(mdl, core.RetargetOptions{}), nil
+}
+
+// allow consults the model's circuit; an open circuit refuses the request
+// with 503 + Retry-After before any pipeline work runs.
+func (s *server) allow(w http.ResponseWriter, r *http.Request, bkey string) bool {
+	if err := s.brk.Allow(bkey); err != nil {
+		s.cBrkReject.Inc()
+		s.fail(w, r, statusFor(err), err)
+		return false
+	}
+	return true
+}
+
+// serverFault reports whether err is the service's failure class (the
+// 5xx statuses the breaker counts): budget exhaustion, recovered panics
+// and injected service faults — not caller mistakes.
+func serverFault(err error) bool {
+	return err != nil && statusFor(err) >= http.StatusInternalServerError
+}
+
+// recordOutcome lands one pipeline outcome in the model's circuit: success
+// and server faults move the window, caller errors (4xx) do not.
+func (s *server) recordOutcome(bkey string, err error) {
+	switch {
+	case err == nil:
+		s.brk.Record(bkey, true)
+	case serverFault(err):
+		s.brk.Record(bkey, false)
+	}
 }
 
 // resolveEntry turns (key | model | model_name) into a cache entry,
@@ -305,7 +442,12 @@ type errorResponse struct {
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		s.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]bool{"ok": false, "draining": true})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
@@ -313,7 +455,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		s.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -327,11 +469,15 @@ func (s *server) handleRetarget(w http.ResponseWriter, r *http.Request) {
 	}
 	mdl, err := req.source()
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	bkey := s.cache.Key(mdl, core.RetargetOptions{})
+	if !s.allow(w, r, bkey) {
 		return
 	}
 	if err := s.acquire(r.Context()); err != nil {
-		s.fail(w, http.StatusServiceUnavailable, err)
+		s.fail(w, r, statusFor(err), err)
 		return
 	}
 	defer s.release()
@@ -343,8 +489,9 @@ func (s *server) handleRetarget(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	entry, outcome, err := s.cache.GetContext(r.Context(), mdl, core.RetargetOptions{Reporter: rep, Budget: budget, Obs: s.scp})
 	s.observePhase("retarget", time.Since(start))
+	s.recordOutcome(bkey, err)
 	if err != nil {
-		s.fail(w, statusFor(err), fmt.Errorf("retarget: %w", err))
+		s.fail(w, r, statusFor(err), fmt.Errorf("retarget: %w", err))
 		return
 	}
 	t := entry.Target()
@@ -367,18 +514,27 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Source == "" {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("no source program"))
+		s.fail(w, r, http.StatusBadRequest, fmt.Errorf("no source program"))
+		return
+	}
+	bkey, err := s.breakerKey(req.Key, req.modelRequest)
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if !s.allow(w, r, bkey) {
 		return
 	}
 	if err := s.acquire(r.Context()); err != nil {
-		s.fail(w, http.StatusServiceUnavailable, err)
+		s.fail(w, r, statusFor(err), err)
 		return
 	}
 	defer s.release()
 
 	entry, outcome, status, err := s.resolveEntry(r.Context(), req.Key, req.modelRequest)
 	if err != nil {
-		s.fail(w, status, err)
+		s.recordOutcome(bkey, err)
+		s.fail(w, r, status, err)
 		return
 	}
 	done := s.trackCompile(entry.Key)
@@ -393,8 +549,9 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		Obs:          s.scp,
 	})
 	s.observePhase("compile", time.Since(start))
+	s.recordOutcome(bkey, err)
 	if err != nil {
-		s.fail(w, statusFor(err), fmt.Errorf("compile: %w", err))
+		s.fail(w, r, statusFor(err), fmt.Errorf("compile: %w", err))
 		return
 	}
 
@@ -422,27 +579,36 @@ func (s *server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Programs) == 0 {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("no programs"))
+		s.fail(w, r, http.StatusBadRequest, fmt.Errorf("no programs"))
 		return
 	}
 	for i, p := range req.Programs {
 		if p.Source == "" {
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("program %d has no source", i))
+			s.fail(w, r, http.StatusBadRequest, fmt.Errorf("program %d has no source", i))
 			return
 		}
+	}
+	bkey, err := s.breakerKey(req.Key, req.modelRequest)
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if !s.allow(w, r, bkey) {
+		return
 	}
 	batchStart := time.Now()
 	defer func() { s.observePhase("batch", time.Since(batchStart)) }()
 
 	// Resolving the model may retarget: that runs under a pool slot too.
 	if err := s.acquire(r.Context()); err != nil {
-		s.fail(w, http.StatusServiceUnavailable, err)
+		s.fail(w, r, statusFor(err), err)
 		return
 	}
 	entry, outcome, status, err := s.resolveEntry(r.Context(), req.Key, req.modelRequest)
 	s.release()
 	if err != nil {
-		s.fail(w, status, err)
+		s.recordOutcome(bkey, err)
+		s.fail(w, r, status, err)
 		return
 	}
 
@@ -481,7 +647,7 @@ func (s *server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
 // compileOne runs a single batch program under a worker-pool slot.
 func (s *server) compileOne(ctx context.Context, entry *rcache.Entry, id string, p batchProgram, def compileOptions) batchResult {
 	if err := s.acquire(ctx); err != nil {
-		return batchResult{ID: id, Status: http.StatusServiceUnavailable, Error: err.Error()}
+		return batchResult{ID: id, Status: statusFor(err), Error: err.Error()}
 	}
 	defer s.release()
 	done := s.trackCompile(entry.Key)
@@ -500,6 +666,7 @@ func (s *server) compileOne(ctx context.Context, entry *rcache.Entry, id string,
 		Obs:          s.scp,
 	})
 	s.observePhase("compile", time.Since(start))
+	s.recordOutcome(entry.Key, err)
 	if err != nil {
 		return batchResult{ID: id, Status: statusFor(err), Error: err.Error()}
 	}
@@ -517,34 +684,64 @@ func (s *server) compileOne(ctx context.Context, entry *rcache.Entry, id string,
 
 func (s *server) readJSON(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
 	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		s.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return false
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.maxBody+1))
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		s.fail(w, r, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
 		return false
 	}
 	if int64(len(body)) > s.cfg.maxBody {
-		s.fail(w, http.StatusRequestEntityTooLarge,
+		s.fail(w, r, http.StatusRequestEntityTooLarge,
 			fmt.Errorf("body exceeds %d bytes", s.cfg.maxBody))
 		return false
 	}
 	if err := json.Unmarshal(body, dst); err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+		s.fail(w, r, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
 		return false
 	}
 	return true
 }
 
-func (s *server) fail(w http.ResponseWriter, status int, err error) {
+// fail writes an error response.  A client that already disconnected gets
+// nothing — that is a 499-style silent abort counted apart from server
+// errors, not a 500.  Resilience errors carry Retry-After hints that
+// surface as the HTTP header of the same name.
+func (s *server) fail(w http.ResponseWriter, r *http.Request, status int, err error) {
+	if r.Context().Err() == context.Canceled {
+		s.cAborts.Inc()
+		return
+	}
+	if after, ok := resilience.RetryAfterOf(err); ok {
+		secs := int((after + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	s.cErrors.With(strconv.Itoa(status)).Inc()
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
-// statusFor maps pipeline failures onto HTTP statuses: resource-budget
-// exhaustion is the server's fault class (504-ish), internal faults 500,
-// everything else is a caller problem (unprocessable model/program).
+// statusFor maps failures onto HTTP statuses: overload sheds as 429,
+// breaker/drain refusals and abandoned pool waits are 503, resource-budget
+// exhaustion is the server's fault class (504-ish), internal faults —
+// recovered panics and injected service faults — are 500, and everything
+// else is a caller problem (unprocessable model/program).
 func statusFor(err error) int {
+	var ov *resilience.OverloadError
+	if errors.As(err, &ov) {
+		return http.StatusTooManyRequests
+	}
+	var oe *resilience.OpenError
+	if errors.As(err, &oe) {
+		return http.StatusServiceUnavailable
+	}
+	var de *resilience.DrainingError
+	if errors.As(err, &de) {
+		return http.StatusServiceUnavailable
+	}
 	var be *diag.BudgetError
 	if errors.As(err, &be) {
 		return http.StatusGatewayTimeout
@@ -553,10 +750,23 @@ func statusFor(err error) int {
 	if errors.As(err, &pe) {
 		return http.StatusInternalServerError
 	}
+	var fe *faultpoint.Fault
+	if errors.As(err, &fe) {
+		return http.StatusInternalServerError
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
 	return http.StatusUnprocessableEntity
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	if err := faultpoint.Hit("recordd.response.encode", ""); err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -10,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/dspstone"
 )
@@ -391,5 +393,104 @@ func TestMetricsParallelGauges(t *testing.T) {
 	release()
 	if text := scrape(); strings.Contains(text, "somekey") {
 		t.Errorf("per-target gauge leaked after compile finished:\n%s", text)
+	}
+}
+
+// TestPoolSaturationSheds is the admission-control acceptance test: with
+// the worker pool held and the waiter queue full, the next request must be
+// rejected promptly with 429 + Retry-After rather than queuing without
+// bound, and queued work must still complete once capacity frees up.
+func TestPoolSaturationSheds(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{workers: 1, maxQueue: 1})
+
+	// Warm the cache so the queued compile needs no retarget.
+	if code, raw := post(t, ts.URL+"/v1/retarget", map[string]string{"model_name": "demo"}, nil); code != http.StatusOK {
+		t.Fatalf("warm retarget: %d %s", code, raw)
+	}
+
+	s.sem <- struct{}{} // occupy the only worker slot
+
+	// One request is allowed to queue for the slot...
+	queued := make(chan int, 1)
+	go func() {
+		code, _, _, _ := rawPost(ts.URL+"/v1/compile",
+			map[string]string{"model_name": "demo", "source": "int a = 2; int y; y = a + 1;"})
+		queued <- code
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.adm.Depth() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// ...and the one after that is shed, fast and with a retry hint.
+	start := time.Now()
+	code, hdr, raw, err := rawPost(ts.URL+"/v1/compile",
+		map[string]string{"model_name": "demo", "source": "int a = 2; int y; y = a + 1;"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("saturated pool: %d %s, want 429", code, raw)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("shed took %v, want a fast rejection", d)
+	}
+	if s.adm.Shed() != 1 {
+		t.Fatalf("shed counter = %d, want 1", s.adm.Shed())
+	}
+
+	// Freeing the slot lets the queued request finish normally.
+	<-s.sem
+	select {
+	case code := <-queued:
+		if code != http.StatusOK {
+			t.Fatalf("queued request finished %d, want 200", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued request never completed")
+	}
+}
+
+// TestClientDisconnectIsSilentAbort asserts the 499-style contract: a
+// client that goes away mid-request produces no error response and is
+// counted as an abort, not a server error.
+func TestClientDisconnectIsSilentAbort(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{workers: 1})
+	s.sem <- struct{}{} // make the request queue so cancellation lands first
+	defer func() { <-s.sem }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(map[string]string{"model_name": "demo", "source": "int y; y = 1;"})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/compile", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("canceled request unexpectedly succeeded")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.cAborts.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("client abort not counted (aborts=%d)", s.cAborts.Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The disconnect is not misfiled as a server error.
+	if got := s.cErrors.With("500").Value(); got != 0 {
+		t.Fatalf("client disconnect counted as %d server errors", got)
 	}
 }

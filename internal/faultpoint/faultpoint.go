@@ -14,16 +14,10 @@
 // default fires exactly once, so "break one instruction, keep the rest"
 // scenarios are a one-liner.
 //
-// The planted sites are:
-//
-//	hdl.parse            start of MDL parsing           (detail: "")
-//	ise.extract          start of instruction-set extraction (detail: model name)
-//	ise.route.explosion  per RT-destination enumeration (detail: destination)
-//	bdd.ite              BDD apply step                 (detail: "")      panics on error kind
-//	bitvec.slice         symbolic word slicing          (detail: "")      panics on error kind
-//	grammar.rule         per-template rule lowering     (detail: template)
-//	cflow.block          per basic-block compilation    (detail: "block N")
-//	sim.step             per simulated machine cycle    (detail: "")
+// The planted sites are listed by Sites (and by `record -faultpoints
+// list`): eight pipeline sites from the retargeting path plus three
+// service-layer sites (cache disk write, worker spawn, response encode)
+// exercised by the recordd chaos harness.
 package faultpoint
 
 import (
@@ -35,6 +29,37 @@ import (
 	"sync/atomic"
 	"time"
 )
+
+// Site describes one planted faultpoint: its name and where in the
+// pipeline or service it fires.
+type Site struct {
+	Name  string
+	Where string
+}
+
+// sites is the authoritative list of planted faultpoints.  Adding a
+// Hit call to new code means adding a row here; TestSitesMatchHits keeps
+// the two in sync.
+var sites = []Site{
+	{"bdd.ite", "BDD apply step (panics on error kind)"},
+	{"bitvec.slice", "symbolic word slicing (panics on error kind)"},
+	{"cflow.block", "per basic-block compilation (detail: block name)"},
+	{"grammar.rule", "per-template rule lowering (detail: template dest)"},
+	{"hdl.parse", "start of MDL parsing"},
+	{"ise.extract", "start of instruction-set extraction (detail: model name)"},
+	{"ise.route.explosion", "per RT-destination enumeration (detail: destination)"},
+	{"rcache.disk.write", "artifact cache disk write (detail: artifact key)"},
+	{"recordd.response.encode", "recordd response serialization"},
+	{"recordd.worker.spawn", "recordd worker-pool slot handoff"},
+	{"sim.step", "per simulated machine cycle (detail: netlist name)"},
+}
+
+// Sites returns every planted faultpoint, sorted by name.
+func Sites() []Site {
+	out := make([]Site, len(sites))
+	copy(out, sites)
+	return out
+}
 
 // Kind selects what an armed action does when its faultpoint is hit.
 type Kind int

@@ -2,6 +2,11 @@ package faultpoint
 
 import (
 	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -178,5 +183,40 @@ func TestConcurrentHits(t *testing.T) {
 	wg.Wait()
 	if fired != 100 {
 		t.Errorf("fired %d, want exactly 100", fired)
+	}
+}
+
+// TestSitesMatchHitCalls keeps the Sites table in sync with the
+// faultpoint.Hit calls actually planted in the tree.
+func TestSitesMatchHitCalls(t *testing.T) {
+	re := regexp.MustCompile(`faultpoint\.Hit\("([^"]+)"`)
+	planted := make(map[string]bool)
+	err := filepath.WalkDir("../..", func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range re.FindAllStringSubmatch(string(data), -1) {
+			planted[m[1]] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	listed := make(map[string]bool)
+	for _, s := range Sites() {
+		listed[s.Name] = true
+		if !planted[s.Name] {
+			t.Errorf("Sites lists %s but no faultpoint.Hit(%q, ...) exists", s.Name, s.Name)
+		}
+	}
+	for name := range planted {
+		if !listed[name] {
+			t.Errorf("faultpoint.Hit(%q, ...) is planted but missing from Sites", name)
+		}
 	}
 }

@@ -254,7 +254,7 @@ func (x *extractor) declareVars() {
 }
 
 func (x *extractor) run() error {
-	if err := faultpoint.Hit("ise.extract", ""); err != nil {
+	if err := faultpoint.Hit("ise.extract", x.n.Name); err != nil {
 		return fmt.Errorf("ise: %w", err)
 	}
 	// RT destinations: every write statement of every data storage ...

@@ -20,14 +20,19 @@ package rcache
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 
 	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/faultpoint"
 	"repro/internal/obs"
 )
 
@@ -55,6 +60,8 @@ type Stats struct {
 	Evictions uint64 // memory-tier LRU evictions
 	Corrupt   uint64 // disk artifacts dropped as corrupt
 	Retargets uint64 // underlying core.Retarget invocations
+	Orphans   uint64 // crash-orphaned temp files removed by the recovery scan
+	DiskFails uint64 // disk-tier write failures (any cause)
 }
 
 // Options configures a cache.
@@ -117,18 +124,29 @@ type Cache struct {
 	flight map[string]*flight       // key -> in-flight retarget
 	stats  Stats
 
+	// diskOff flips on when the store becomes unusable (disk full,
+	// read-only filesystem, permission loss): the cache degrades to
+	// memory-only with one warning instead of failing every request.
+	diskOff atomic.Bool
+
 	// Registry mirrors of the Stats counters (nil-safe when Options.Obs
 	// carries no registry).  Stats stays authoritative for programmatic
 	// reads; these exist so /metrics needs no snapshot plumbing.
-	cHits      *obs.CounterVec // by tier: mem | disk
-	cMisses    *obs.Counter
-	cCoalesced *obs.Counter
-	cEvictions *obs.Counter
-	cCorrupt   *obs.Counter
-	cRetargets *obs.Counter
+	cHits       *obs.CounterVec // by tier: mem | disk
+	cMisses     *obs.Counter
+	cCoalesced  *obs.Counter
+	cEvictions  *obs.Counter
+	cCorrupt    *obs.Counter
+	cRetargets  *obs.Counter
+	cOrphans    *obs.Counter
+	cDiskErrors *obs.Counter
+	gDegraded   *obs.Gauge
 }
 
-// New creates a cache; when opts.Dir is set the directory is created.
+// New creates a cache; when opts.Dir is set the directory is created and
+// scanned for crash debris: temp files orphaned by a process killed
+// mid-store are deleted so a crash during a cache write never leaks disk
+// or confuses a later scan.
 func New(opts Options) (*Cache, error) {
 	if opts.MaxEntries <= 0 {
 		opts.MaxEntries = DefaultMaxEntries
@@ -157,7 +175,45 @@ func New(opts Options) (*Cache, error) {
 		"disk artifacts dropped as corrupt")
 	c.cRetargets = reg.Counter("record_rcache_retargets_total",
 		"underlying retarget invocations")
+	c.cOrphans = reg.Counter("record_rcache_orphans_recovered_total",
+		"crash-orphaned temp files removed by the startup recovery scan")
+	c.cDiskErrors = reg.Counter("record_rcache_disk_errors_total",
+		"disk-tier write failures")
+	c.gDegraded = reg.Gauge("record_rcache_disk_degraded",
+		"1 when the disk tier is disabled after an unusable-disk error")
+	if opts.Dir != "" {
+		c.recoverOrphans()
+	}
 	return c, nil
+}
+
+// recoverOrphans deletes temp files left behind by a crash mid-store.
+// Completed artifacts are never touched: store renames atomically, so any
+// ".*.tmp*" file is by construction a torn write.
+func (c *Cache) recoverOrphans() {
+	entries, err := os.ReadDir(c.opts.Dir)
+	if err != nil {
+		c.opts.Reporter.Warnf("rcache", diag.Pos{}, "recovery scan failed: %v", err)
+		return
+	}
+	removed := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, ".") || !strings.Contains(name, ".tmp") {
+			continue
+		}
+		if err := os.Remove(filepath.Join(c.opts.Dir, name)); err == nil {
+			removed++
+		}
+	}
+	if removed > 0 {
+		c.mu.Lock()
+		c.stats.Orphans += uint64(removed)
+		c.mu.Unlock()
+		c.cOrphans.Add(removed)
+		c.opts.Reporter.Warnf("rcache", diag.Pos{},
+			"recovered %d orphan temp file(s) from a previous crash", removed)
+	}
 }
 
 // markHit records a zero-length cache.hit span so the trace of a cached
@@ -321,9 +377,9 @@ func (c *Cache) fill(ctx context.Context, key, mdlSource string, ropts core.Reta
 		return nil, Miss, err
 	}
 	entry := &Entry{Key: key, target: t}
-	if c.opts.Dir != "" && artifact.Cacheable(t) {
+	if c.opts.Dir != "" && !c.diskOff.Load() && artifact.Cacheable(t) {
 		if err := c.store(key, t, mdlSource, ropts); err != nil {
-			c.opts.Reporter.Warnf("rcache", diag.Pos{}, "cannot persist artifact %s: %v", key, err)
+			c.diskFail(key, err)
 		}
 	}
 	return entry, Miss, nil
@@ -331,7 +387,7 @@ func (c *Cache) fill(ctx context.Context, key, mdlSource string, ropts core.Reta
 
 // loadDisk decodes the artifact for key, dropping corrupt files as misses.
 func (c *Cache) loadDisk(key string) *Entry {
-	if c.opts.Dir == "" {
+	if c.opts.Dir == "" || c.diskOff.Load() {
 		return nil
 	}
 	data, err := os.ReadFile(c.path(key))
@@ -362,9 +418,14 @@ func (c *Cache) loadDisk(key string) *Entry {
 	return &Entry{Key: key, target: t}
 }
 
-// store writes the artifact atomically (temp file + rename) so readers
-// never observe a torn write.
+// store writes the artifact crash-safely: temp file, fsync of the data,
+// atomic rename, fsync of the directory.  Readers never observe a torn
+// write, and a write the caller saw succeed survives a machine crash.  On
+// any failure the temp file is removed so failed writes cannot leak.
 func (c *Cache) store(key string, t *core.Target, mdlSource string, ropts core.RetargetOptions) error {
+	if err := faultpoint.Hit("rcache.disk.write", key); err != nil {
+		return err
+	}
 	a, err := artifact.New(t, mdlSource, ropts)
 	if err != nil {
 		return err
@@ -377,16 +438,79 @@ func (c *Cache) store(key string, t *core.Target, mdlSource string, ropts core.R
 	if err != nil {
 		return err
 	}
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		_ = os.Remove(tmp.Name())
-		if werr != nil {
-			return werr
-		}
-		return cerr
+	_, err = tmp.Write(data)
+	if err == nil {
+		err = tmp.Sync()
 	}
-	return os.Rename(tmp.Name(), c.path(key))
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), c.path(key))
+	}
+	if err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	// The rename is in the directory's metadata: fsync it so the entry —
+	// not just the bytes — is durable.
+	return syncDir(c.opts.Dir)
+}
+
+// syncDir fsyncs a directory so renames inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// diskFail handles a disk-tier write failure.  Unusable-disk conditions
+// (no space, read-only filesystem, permission loss) disable the tier for
+// the rest of the process with a single warning — the cache keeps serving
+// memory-only; anything else warns per-failure and leaves the tier on.
+func (c *Cache) diskFail(key string, err error) {
+	c.mu.Lock()
+	c.stats.DiskFails++
+	c.mu.Unlock()
+	c.cDiskErrors.Inc()
+	if !diskUnusable(err) {
+		c.opts.Reporter.Warnf("rcache", diag.Pos{}, "cannot persist artifact %s: %v", key, err)
+		return
+	}
+	if c.diskOff.CompareAndSwap(false, true) {
+		c.gDegraded.Set(1)
+		c.opts.Reporter.Warnf("rcache", diag.Pos{},
+			"disk tier disabled (%v): continuing memory-only", err)
+	}
+}
+
+// diskUnusable reports whether err means the store directory cannot be
+// written at all (as opposed to one artifact failing).
+func diskUnusable(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) ||
+		errors.Is(err, syscall.EROFS) ||
+		errors.Is(err, syscall.EDQUOT) ||
+		errors.Is(err, os.ErrPermission)
+}
+
+// Degraded reports whether the disk tier has been disabled.
+func (c *Cache) Degraded() bool { return c.diskOff.Load() }
+
+// Close flushes the disk tier: it fsyncs the store directory so every
+// completed artifact rename is durable before the process exits.  The
+// cache stays usable after Close (it holds no file handles open); recordd
+// calls this as the last step of a graceful drain.
+func (c *Cache) Close() error {
+	if c.opts.Dir == "" || c.diskOff.Load() {
+		return nil
+	}
+	return syncDir(c.opts.Dir)
 }
 
 // insert adds an entry to the memory tier, evicting from the LRU tail.

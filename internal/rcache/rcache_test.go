@@ -7,10 +7,12 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/faultpoint"
 	"repro/internal/models"
 )
 
@@ -277,4 +279,148 @@ func TestConcurrentCompilesOneEntry(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+func TestRecoveryScanRemovesOrphans(t *testing.T) {
+	dir := t.TempDir()
+	mdl := demoModel(t)
+
+	// Simulate a process killed mid-store: a torn temp file next to a
+	// valid artifact.
+	c1 := newCache(t, dir, 0)
+	if _, _, err := c1.Get(mdl, core.RetargetOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, ".deadbeef.tmp123456")
+	if err := os.WriteFile(orphan, []byte("torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := newCache(t, dir, 0)
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan survived the recovery scan: %v", err)
+	}
+	if got := c2.Stats().Orphans; got != 1 {
+		t.Fatalf("orphans recovered = %d, want 1", got)
+	}
+	// The valid artifact next to it is untouched.
+	if _, out, err := c2.Get(mdl, core.RetargetOptions{}); err != nil || out != Disk {
+		t.Fatalf("after recovery: %v %s, want disk hit", err, out)
+	}
+}
+
+func TestStoreFailureLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	mdl := demoModel(t)
+
+	faultpoint.Arm("rcache.disk.write", faultpoint.Action{Kind: faultpoint.KindError})
+	defer faultpoint.Reset()
+
+	rep := diag.NewReporter()
+	c, err := New(Options{Dir: dir, Reporter: rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, out, err := c.Get(mdl, core.RetargetOptions{}); err != nil || out != Miss {
+		t.Fatalf("get through store failure: %v %s", err, out)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Fatalf("failed store left %s behind", e.Name())
+	}
+	if rep.Warns() == 0 {
+		t.Fatal("store failure produced no warning")
+	}
+	if c.Degraded() {
+		t.Fatal("an injected one-off error must not disable the disk tier")
+	}
+	if got := c.Stats().DiskFails; got != 1 {
+		t.Fatalf("disk failures = %d, want 1", got)
+	}
+}
+
+func TestDiskDegradationToMemoryOnly(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("read-only directories do not bind as root")
+	}
+	dir := t.TempDir()
+	mdl := demoModel(t)
+
+	rep := diag.NewReporter()
+	c, err := New(Options{Dir: dir, Reporter: rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make the store unwritable after New succeeded, as if the disk went
+	// read-only under a running service.
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+
+	if _, out, err := c.Get(mdl, core.RetargetOptions{}); err != nil || out != Miss {
+		t.Fatalf("get on read-only disk: %v %s", err, out)
+	}
+	if !c.Degraded() {
+		t.Fatal("read-only store did not degrade the disk tier")
+	}
+	warns := rep.Warns()
+	if warns == 0 {
+		t.Fatal("degradation produced no warning")
+	}
+	// Further traffic works memory-only and does not warn again.
+	if _, out, err := c.Get(mdl, core.RetargetOptions{}); err != nil || out != Mem {
+		t.Fatalf("degraded get: %v %s, want memory hit", err, out)
+	}
+	if _, _, err := c.Get(mdl+" ", core.RetargetOptions{}); err != nil {
+		t.Fatalf("degraded miss: %v", err)
+	}
+	if got := rep.Warns(); got != warns {
+		t.Fatalf("degradation warned %d more times; want exactly one warning", got-warns)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close on degraded cache: %v", err)
+	}
+}
+
+func TestCloseFlushesDir(t *testing.T) {
+	dir := t.TempDir()
+	c := newCache(t, dir, 0)
+	if _, _, err := c.Get(demoModel(t), core.RetargetOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close holds no handles: the cache keeps working.
+	if _, out, err := c.Get(demoModel(t), core.RetargetOptions{}); err != nil || out != Mem {
+		t.Fatalf("get after Close: %v %s", err, out)
+	}
+}
+
+func TestDiskFailENOSPCDegrades(t *testing.T) {
+	rep := diag.NewReporter()
+	c, err := New(Options{Dir: t.TempDir(), Reporter: rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := &os.PathError{Op: "write", Path: "x", Err: syscall.ENOSPC}
+	c.diskFail("k1", full)
+	if !c.Degraded() {
+		t.Fatal("ENOSPC did not degrade the disk tier")
+	}
+	warns := rep.Warns()
+	c.diskFail("k2", full)
+	if rep.Warns() != warns {
+		t.Fatal("degradation warned more than once")
+	}
+	if got := c.Stats().DiskFails; got != 2 {
+		t.Fatalf("disk failures = %d, want 2", got)
+	}
+	if e := c.loadDisk("k1"); e != nil {
+		t.Fatal("degraded cache still reads disk")
+	}
 }

@@ -1,0 +1,259 @@
+// Package rclient is the HTTP client for the recordd compile service.
+//
+// It speaks the /v1/retarget and /v1/compile wire protocol and layers the
+// client half of the resilience model (internal/resilience) on top:
+// transient failures — 429 overload sheds, 503 drain/breaker refusals,
+// 5xx faults and transport errors — are retried with capped exponential
+// backoff and full jitter, honoring any Retry-After the server sent, and
+// a local per-model circuit breaker stops hammering a model the service
+// keeps failing on.  Compiles are pure functions of (model, source,
+// options), so retrying is always safe.
+package rclient
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// ModelRef selects the processor model a request targets: an artifact key
+// from a previous retarget, inline MDL source, or a bundled model name.
+// Exactly one field should be set; the server validates.
+type ModelRef struct {
+	Key       string // artifact key from Retarget
+	Model     string // inline MDL source
+	ModelName string // bundled model name
+}
+
+// fingerprint is the client-side circuit-breaker key: stable per model,
+// cheap to compute, and independent of the program being compiled.
+func (m ModelRef) fingerprint() string {
+	switch {
+	case m.Key != "":
+		return m.Key
+	case m.ModelName != "":
+		return "name:" + m.ModelName
+	}
+	sum := sha256.Sum256([]byte(m.Model))
+	return "mdl:" + hex.EncodeToString(sum[:8])
+}
+
+// CompileOptions mirrors the service's per-program options.
+type CompileOptions struct {
+	NoCompaction bool `json:"no_compaction,omitempty"`
+	NoPeephole   bool `json:"no_peephole,omitempty"`
+}
+
+// RetargetResult is the /v1/retarget response.
+type RetargetResult struct {
+	Key       string `json:"key"`
+	Name      string `json:"name"`
+	Templates int    `json:"templates"`
+	Rules     int    `json:"rules"`
+	Cache     string `json:"cache"`
+	Warnings  int    `json:"warnings"`
+}
+
+// CompileResult is the /v1/compile response.
+type CompileResult struct {
+	Key     string   `json:"key"`
+	Name    string   `json:"name"`
+	Cache   string   `json:"cache"`
+	SeqLen  int      `json:"seq_len"`
+	CodeLen int      `json:"code_len"`
+	Words   []uint64 `json:"words"`
+	Listing string   `json:"listing"`
+}
+
+// StatusError is a non-2xx service response.  Its transience follows the
+// resilience model: overload (429), unavailability (503) and server-side
+// faults (500/502/504) are retryable; everything else is the caller's
+// request and retrying cannot help.
+type StatusError struct {
+	Status int           // HTTP status
+	Msg    string        // server's error message
+	After  time.Duration // parsed Retry-After, 0 when absent
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("recordd: %d %s: %s", e.Status, http.StatusText(e.Status), e.Msg)
+}
+
+// Transient reports whether retrying the identical request can succeed.
+func (e *StatusError) Transient() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests,
+		http.StatusInternalServerError,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// RetryAfterHint surfaces the server's Retry-After to the retry policy.
+func (e *StatusError) RetryAfterHint() time.Duration { return e.After }
+
+// Client talks to one recordd instance.  The zero value is not usable;
+// construct with New.  Fields may be tuned before first use.
+type Client struct {
+	Base    string              // service base URL, e.g. http://127.0.0.1:8347
+	HTTP    *http.Client        // transport; New sets a sane timeout
+	Policy  resilience.Policy   // retry policy for transient failures
+	Breaker *resilience.Breaker // local per-model circuit; nil = always allow
+}
+
+// New returns a client with the default resilience posture: four attempts
+// with 250ms base / 5s cap full-jitter backoff, and a local breaker so a
+// model the service keeps failing on stops consuming round trips.
+func New(base string) *Client {
+	return &Client{
+		Base: strings.TrimRight(base, "/"),
+		HTTP: &http.Client{Timeout: 5 * time.Minute},
+		Policy: resilience.Policy{
+			MaxAttempts: 4,
+			Base:        250 * time.Millisecond,
+			Cap:         5 * time.Second,
+		},
+		Breaker: resilience.NewBreaker(resilience.BreakerConfig{}),
+	}
+}
+
+// Healthz reports service liveness; a draining or down service errors.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError(resp)
+	}
+	return nil
+}
+
+// Retarget asks the service to retarget to the model, returning the
+// artifact key for subsequent by-key compiles.
+func (c *Client) Retarget(ctx context.Context, ref ModelRef) (*RetargetResult, error) {
+	in := map[string]string{}
+	if ref.Model != "" {
+		in["model"] = ref.Model
+	}
+	if ref.ModelName != "" {
+		in["model_name"] = ref.ModelName
+	}
+	var out RetargetResult
+	if err := c.call(ctx, ref.fingerprint(), "/v1/retarget", in, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Compile compiles one RecC program against the model.
+func (c *Client) Compile(ctx context.Context, ref ModelRef, source string, opts CompileOptions) (*CompileResult, error) {
+	in := map[string]interface{}{"source": source, "options": opts}
+	if ref.Key != "" {
+		in["key"] = ref.Key
+	}
+	if ref.Model != "" {
+		in["model"] = ref.Model
+	}
+	if ref.ModelName != "" {
+		in["model_name"] = ref.ModelName
+	}
+	var out CompileResult
+	if err := c.call(ctx, ref.fingerprint(), "/v1/compile", in, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// call runs one POST under the retry policy and the model's circuit.
+// Breaker bookkeeping counts only service-fault outcomes: a 4xx is the
+// caller's problem and leaves the circuit alone.
+func (c *Client) call(ctx context.Context, bkey, path string, in, out interface{}) error {
+	return c.Policy.Do(ctx, func(ctx context.Context) error {
+		if err := c.Breaker.Allow(bkey); err != nil {
+			return err
+		}
+		err := c.post(ctx, path, in, out)
+		switch {
+		case err == nil:
+			c.Breaker.Record(bkey, true)
+		case serverFault(err):
+			c.Breaker.Record(bkey, false)
+		}
+		return err
+	})
+}
+
+// serverFault reports whether err indicates the service (not the request)
+// failed: transport errors and 5xx statuses.
+func serverFault(err error) bool {
+	if se, ok := err.(*StatusError); ok {
+		return se.Status >= http.StatusInternalServerError
+	}
+	return true // transport-level failure
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// statusError drains a non-2xx response into a StatusError, parsing the
+// JSON error body and the Retry-After header when present.
+func statusError(resp *http.Response) *StatusError {
+	se := &StatusError{Status: resp.StatusCode}
+	if b, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10)); err == nil {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(b, &e) == nil && e.Error != "" {
+			se.Msg = e.Error
+		} else {
+			se.Msg = strings.TrimSpace(string(b))
+		}
+	}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			se.After = time.Duration(secs) * time.Second
+		} else if t, err := http.ParseTime(v); err == nil {
+			if d := time.Until(t); d > 0 {
+				se.After = d
+			}
+		}
+	}
+	return se
+}

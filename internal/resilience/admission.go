@@ -1,0 +1,77 @@
+package resilience
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Admission is a queue-depth admission controller for a bounded worker
+// pool: it counts requests currently *waiting* for a pool slot and sheds
+// new arrivals once the backlog reaches its limit, so overload turns into
+// fast explicit 429s instead of an unbounded queue of doomed waiters.
+//
+// The controller does not own the pool; callers bracket their slot wait:
+//
+//	leave, err := adm.Enter()
+//	if err != nil { ... shed with 429 + Retry-After ... }
+//	defer leave()
+//	// block on the worker-pool semaphore
+//
+// A nil *Admission admits everything (unlimited queue).
+type Admission struct {
+	limit int
+	after time.Duration
+
+	waiting atomic.Int64
+	shed    atomic.Uint64
+}
+
+// NewAdmission bounds the waiter backlog at maxQueue; retryAfter is the
+// back-off hint attached to shed requests (0 means 1s).  maxQueue <= 0
+// returns nil: an unlimited, always-admitting controller.
+func NewAdmission(maxQueue int, retryAfter time.Duration) *Admission {
+	if maxQueue <= 0 {
+		return nil
+	}
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	return &Admission{limit: maxQueue, after: retryAfter}
+}
+
+// Enter admits the caller into the wait queue, returning the func that
+// leaves it (call once the pool slot is acquired or the wait abandoned).
+// When the queue is full it returns an *OverloadError and no func.
+func (a *Admission) Enter() (leave func(), err error) {
+	if a == nil {
+		return func() {}, nil
+	}
+	n := a.waiting.Add(1)
+	if int(n) > a.limit {
+		a.waiting.Add(-1)
+		a.shed.Add(1)
+		return nil, &OverloadError{Queue: int(n - 1), Limit: a.limit, After: a.after}
+	}
+	var done atomic.Bool
+	return func() {
+		if done.CompareAndSwap(false, true) {
+			a.waiting.Add(-1)
+		}
+	}, nil
+}
+
+// Depth returns the current number of admitted waiters.
+func (a *Admission) Depth() int {
+	if a == nil {
+		return 0
+	}
+	return int(a.waiting.Load())
+}
+
+// Shed returns how many requests have been refused so far.
+func (a *Admission) Shed() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.shed.Load()
+}
