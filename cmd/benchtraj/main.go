@@ -155,6 +155,25 @@ func appendEntry(path string, e Entry) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// countEntries returns the number of entries in a trajectory file; a
+// missing file counts as zero.  CI compares the count before and after
+// its bench append so a silently-empty bench run fails the job instead
+// of shipping a trajectory that stopped growing.
+func countEntries(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return 0, fmt.Errorf("benchtraj: %s is not a trajectory array: %w", path, err)
+	}
+	return len(entries), nil
+}
+
 func run(in io.Reader, outPath, label, tracePath string) error {
 	ns, server, err := parse(in)
 	if err != nil {
@@ -191,7 +210,18 @@ func main() {
 	outFile := flag.String("out", "bench/trajectory.json", "trajectory JSON to append to")
 	label := flag.String("label", "local", "label for this run (e.g. the commit SHA)")
 	phaseTrace := flag.String("phase-trace", "", "Chrome trace JSON from `record -trace`; per-phase durations are added to the entry")
+	entries := flag.String("entries", "", "print the entry count of this trajectory file and exit (missing file = 0)")
 	flag.Parse()
+
+	if *entries != "" {
+		n, err := countEntries(*entries)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(n)
+		return
+	}
 
 	in := io.Reader(os.Stdin)
 	if *inFile != "-" {

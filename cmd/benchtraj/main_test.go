@@ -146,3 +146,44 @@ func TestRunPhaseTraceWithoutBench(t *testing.T) {
 		t.Fatal("empty bench input accepted without a phase trace")
 	}
 }
+
+// TestCountEntriesGuardsGrowth covers the CI guard: the count is 0 for a
+// missing file, grows by exactly one per append, and a corrupt file is an
+// error rather than a silent zero.
+func TestCountEntriesGuardsGrowth(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trajectory.json")
+	if n, err := countEntries(out); err != nil || n != 0 {
+		t.Fatalf("countEntries(missing) = (%d, %v), want (0, nil)", n, err)
+	}
+	before, _ := countEntries(out)
+	if err := run(strings.NewReader(sample), out, "a", ""); err != nil {
+		t.Fatal(err)
+	}
+	after, err := countEntries(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before+1 {
+		t.Fatalf("append grew count %d -> %d, want +1", before, after)
+	}
+	if err := run(strings.NewReader(sample), out, "b", ""); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := countEntries(out); n != 2 {
+		t.Fatalf("second append: count = %d, want 2", n)
+	}
+	// A bench run that produced no usable output must NOT grow the file —
+	// that is exactly the condition the CI guard turns into a failure.
+	if err := run(strings.NewReader("PASS\nok repro 1s\n"), out, "empty", ""); err == nil {
+		t.Fatal("empty bench input did not error")
+	}
+	if n, _ := countEntries(out); n != 2 {
+		t.Fatalf("empty bench input changed the count to %d", n)
+	}
+	if err := os.WriteFile(out, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := countEntries(out); err == nil {
+		t.Fatal("corrupt trajectory file did not error")
+	}
+}

@@ -37,9 +37,12 @@
 //	-timeout d         wall-clock budget for the whole run (0 = unlimited)
 //	-max-bdd-nodes n   cap the BDD universe during extraction
 //	-max-routes n      cap route enumeration per traversal point
-//	-server url        compile remotely against a running recordd; the
-//	                   client retries transient failures (429/5xx,
-//	                   Retry-After-aware) and circuit-breaks per model
+//	-server urls       compile remotely against running recordd node(s);
+//	                   the client retries transient failures (429/5xx,
+//	                   Retry-After-aware) and circuit-breaks per model.
+//	                   A comma-separated list forms a fleet: requests
+//	                   shard by artifact content address and fail over
+//	                   to the next ring replica when a node is down
 //	-faultpoints s     arm fault-injection points (testing); "list"
 //	                   prints every planted site and exits
 //
@@ -134,7 +137,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&c.core.MaxRoutes, "max-routes", 0, "cap route enumeration per traversal point (0 = default)")
 	fs.IntVar(&c.core.Jobs, "jobs", 1, "parallel workers for positional source files")
 	fs.StringVar(&c.serverURL, "server", "",
-		"compile against a running recordd at this base URL instead of locally")
+		"compile against running recordd node(s) instead of locally; comma-separate base URLs for a fleet with sharding, failover and hedging")
 	fs.StringVar(&c.faultpoints, "faultpoints", "",
 		"comma-separated fault injection specs name[@match]=kind[:arg][*times] (testing); \"list\" prints sites")
 	if err := fs.Parse(args); err != nil {
@@ -355,7 +358,20 @@ func compileRemote(c *config, budget *diag.Budget, stdout io.Writer) error {
 	if budget != nil && budget.Ctx != nil {
 		ctx = budget.Ctx
 	}
-	cl := rclient.New(c.serverURL)
+	// One URL gets the plain client; a comma-separated list gets the
+	// fleet client: requests shard across nodes by artifact content
+	// address, fail over to the next ring replica when a node is down or
+	// draining, and hedge slow requests against a second replica.
+	var cl rclient.Service
+	if urls := strings.Split(c.serverURL, ","); len(urls) > 1 {
+		f, err := rclient.NewFleet(urls)
+		if err != nil {
+			return err
+		}
+		cl = f
+	} else {
+		cl = rclient.New(c.serverURL)
+	}
 	rt, err := cl.Retarget(ctx, ref)
 	if err != nil {
 		return err

@@ -12,12 +12,20 @@
 //	POST /v1/compile   {"key": "<artifact key>"} or a model selector, plus
 //	                   {"source": "<RecC program>", "options": {...}}
 //	                   → {"key", "cache", "words", "listing", "seq_len", "code_len"}
-//	GET  /healthz      liveness; 503 {"draining": true} during shutdown
+//	GET  /healthz      liveness; 503 {"draining": true} during shutdown;
+//	                   includes the node identity ("node")
 //	GET  /metrics      cache counters, in-flight compiles, per-phase latency
+//	GET  /v1/artifact/{key}  encoded artifact bytes for fleet peers; 404
+//	                   when the key is not in the local disk store
 //
 // Flags:
 //
 //	-addr host:port    listen address (default :8347)
+//	-node-id id        fleet node identity in /healthz and metrics
+//	                   (default: the bound listen address)
+//	-peers urls        comma-separated base URLs of the other fleet nodes;
+//	                   on a local cache miss the artifact is fetched from
+//	                   the key's rendezvous peer before retargeting
 //	-debug-addr h:p    profiling listener: net/http/pprof plus /metrics
 //	                   (default off; keep it off the public address)
 //	-cache-dir dir     artifact store directory (default: memory-only)
@@ -48,10 +56,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/faultpoint"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 )
 
@@ -61,8 +71,10 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "profiling listener (pprof + /metrics); empty = disabled")
 		drain     = flag.Duration("drain-timeout", 15*time.Second, "grace for in-flight requests on SIGTERM/SIGINT")
 		faults    = flag.String("faultpoints", "", "arm fault-injection points: name[@match]=kind[:arg][*times],...")
+		peers     = flag.String("peers", "", "comma-separated base URLs of the other fleet nodes (enables peer artifact replication)")
 		cfg       serverConfig
 	)
+	flag.StringVar(&cfg.nodeID, "node-id", "", "fleet node identity in /healthz and metrics (default: the listen address)")
 	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "artifact store directory (empty = memory-only)")
 	flag.IntVar(&cfg.cacheSize, "cache-size", 16, "in-memory target LRU capacity")
 	flag.IntVar(&cfg.workers, "workers", 4, "bounded worker pool size")
@@ -83,6 +95,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "recordd: armed faultpoints: %v\n", faultpoint.Armed())
 	}
 
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			cfg.peers = append(cfg.peers, p)
+		}
+	}
+
+	// Listen before building the server so an unset -node-id can default
+	// to the concrete bound address (":8347" resolves to host:port here).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "recordd: %v\n", err)
+		os.Exit(1)
+	}
+	if cfg.nodeID == "" {
+		cfg.nodeID = ln.Addr().String()
+	}
+
 	s, err := newServer(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "recordd: %v\n", err)
@@ -96,14 +125,39 @@ func main() {
 		}()
 		fmt.Printf("recordd debug listener on %s (pprof + /metrics)\n", *debugAddr)
 	}
+	fmt.Printf("recordd %s listening on %s (workers=%d, cache-dir=%q, peers=%d)\n",
+		s.cfg.nodeID, ln.Addr(), s.cfg.workers, s.cfg.cacheDir, len(s.cfg.peers))
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "recordd: %v\n", err)
-		os.Exit(1)
+	// Probe peers in the background so a dead peer is excluded from
+	// artifact fetches (and a revived one rejoins) without waiting for a
+	// cache miss to discover it.
+	proberCtx, stopProber := context.WithCancel(context.Background())
+	defer stopProber()
+	if len(s.cfg.peers) > 0 {
+		p := &fleet.Prober{
+			Tracker:   s.peerHealth,
+			Endpoints: s.cfg.peers,
+			Check: func(ctx context.Context, ep string) error {
+				ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+				defer cancel()
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+					strings.TrimRight(ep, "/")+"/healthz", nil)
+				if err != nil {
+					return err
+				}
+				resp, err := s.peerHTTP.Do(req)
+				if err != nil {
+					return err
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					return fmt.Errorf("peer %s: status %d", ep, resp.StatusCode)
+				}
+				return nil
+			},
+		}
+		go p.Run(proberCtx)
 	}
-	fmt.Printf("recordd listening on %s (workers=%d, cache-dir=%q)\n",
-		ln.Addr(), s.cfg.workers, s.cfg.cacheDir)
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)

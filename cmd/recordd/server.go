@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/faultpoint"
+	"repro/internal/fleet"
 	"repro/internal/models"
 	"repro/internal/obs"
 	"repro/internal/rcache"
@@ -36,6 +38,10 @@ type serverConfig struct {
 	brkRate     float64       // breaker failure-rate threshold
 	brkCooldown time.Duration // breaker open -> half-open cooldown
 
+	nodeID      string        // fleet identity: /healthz field + node metric label
+	peers       []string      // base URLs of fleet peers to fetch artifacts from
+	peerTimeout time.Duration // per-peer artifact fetch budget
+
 	brkClock func() time.Time // injectable breaker clock (tests); nil = time.Now
 }
 
@@ -48,6 +54,12 @@ func (c serverConfig) withDefaults() serverConfig {
 	}
 	if c.maxBody <= 0 {
 		c.maxBody = 4 << 20
+	}
+	if c.nodeID == "" {
+		c.nodeID = "recordd"
+	}
+	if c.peerTimeout <= 0 {
+		c.peerTimeout = 2 * time.Second
 	}
 	return c
 }
@@ -93,6 +105,14 @@ type server struct {
 	cErrors    *obs.CounterVec // error responses, by status
 	cAborts    *obs.Counter    // client disconnects before a response
 
+	// Fleet state: peer health drives which ring peer a cache miss
+	// consults first; peerHTTP is the transport for artifact fetches.
+	peerHealth *fleet.Tracker
+	peerHTTP   *http.Client
+
+	cPeerFetch      *obs.CounterVec // by node, peer, outcome: hit | miss | error
+	cArtifactServes *obs.CounterVec // by node, outcome: hit | miss
+
 	// targMu serializes the zero-check-then-delete on gTargInflight so a
 	// concurrent Inc cannot land between Dec and Delete.
 	targMu sync.Mutex
@@ -102,11 +122,20 @@ func newServer(cfg serverConfig) (*server, error) {
 	cfg = cfg.withDefaults()
 	reg := obs.NewRegistry()
 	scp := obs.NewScope(reg, nil)
-	cache, err := rcache.New(rcache.Options{Dir: cfg.cacheDir, MaxEntries: cfg.cacheSize, Obs: scp})
+	// The cache's peer hook closes over the server being built: peer
+	// fetches only run while serving requests, well after s is assigned.
+	var s *server
+	copts := rcache.Options{Dir: cfg.cacheDir, MaxEntries: cfg.cacheSize, Obs: scp}
+	if len(cfg.peers) > 0 {
+		copts.PeerFetch = func(ctx context.Context, key string) ([]byte, error) {
+			return s.peerFetch(ctx, key)
+		}
+	}
+	cache, err := rcache.New(copts)
 	if err != nil {
 		return nil, err
 	}
-	s := &server{
+	s = &server{
 		cfg:     cfg,
 		cache:   cache,
 		sem:     make(chan struct{}, cfg.workers),
@@ -134,7 +163,15 @@ func newServer(cfg serverConfig) (*server, error) {
 			"error responses, by HTTP status", "status"),
 		cAborts: reg.Counter("record_recordd_client_aborts_total",
 			"requests whose client disconnected before a response (499-style)"),
+		peerHealth: fleet.NewTracker(fleet.TrackerConfig{}),
+		peerHTTP:   &http.Client{Timeout: 30 * time.Second},
+		cPeerFetch: reg.CounterVec("record_recordd_peer_fetch_total",
+			"peer artifact fetch attempts, by node, peer and outcome", "node", "peer", "outcome"),
+		cArtifactServes: reg.CounterVec("record_recordd_artifact_serves_total",
+			"artifact store lookups served to fleet peers, by node and outcome", "node", "outcome"),
 	}
+	reg.GaugeVec("record_recordd_node_info",
+		"static node identity; always 1", "node").With(cfg.nodeID).Set(1)
 	if cfg.brkWindow > 0 {
 		s.brk = resilience.NewBreaker(resilience.BreakerConfig{
 			Window:      cfg.brkWindow,
@@ -159,6 +196,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/retarget", s.handleRetarget)
 	mux.HandleFunc("/v1/compile", s.handleCompile)
 	mux.HandleFunc("/v1/compile-batch", s.handleCompileBatch)
+	// GET-only, so peers can still replicate artifacts off a draining
+	// node — the drain gate below blocks new work, not reads.
+	mux.HandleFunc("/v1/artifact/", s.handleArtifact)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() && r.Method != http.MethodGet {
 			s.fail(w, r, http.StatusServiceUnavailable,
@@ -305,12 +345,15 @@ func (s *server) resolveEntry(ctx context.Context, key string, m modelRequest) (
 		if m.Model != "" || m.ModelName != "" {
 			return nil, rcache.Miss, http.StatusBadRequest, fmt.Errorf("use either key or a model, not both")
 		}
-		entry, ok := s.cache.Lookup(key)
+		// LookupContext consults fleet peers after the local tiers, so a
+		// by-key compile routed to a non-owner replicates the artifact
+		// instead of 404ing.
+		entry, outcome, ok := s.cache.LookupContext(ctx, key)
 		if !ok {
 			return nil, rcache.Miss, http.StatusNotFound,
 				fmt.Errorf("no artifact for key %s: retarget first or send the model inline", key)
 		}
-		return entry, rcache.Mem, 0, nil
+		return entry, outcome, 0, nil
 	}
 	mdl, err := m.source()
 	if err != nil {
@@ -436,6 +479,26 @@ type compileBatchResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"` // refusal class: "overload" | "open" | "draining"
+}
+
+// refusalKind classifies typed resilience refusals for the wire, so a
+// client can tell a draining node (fail over now, the hint is exact)
+// from overload or an open circuit (backing off harder is fine).
+func refusalKind(err error) string {
+	var ov *resilience.OverloadError
+	if errors.As(err, &ov) {
+		return "overload"
+	}
+	var oe *resilience.OpenError
+	if errors.As(err, &oe) {
+		return "open"
+	}
+	var de *resilience.DrainingError
+	if errors.As(err, &de) {
+		return "draining"
+	}
+	return ""
 }
 
 // ---- handlers -----------------------------------------------------------
@@ -447,10 +510,88 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable,
-			map[string]bool{"ok": false, "draining": true})
+			map[string]interface{}{"ok": false, "draining": true, "node": s.cfg.nodeID})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	writeJSON(w, http.StatusOK, map[string]interface{}{"ok": true, "node": s.cfg.nodeID})
+}
+
+// handleArtifact serves the encoded artifact for a content address to
+// fleet peers: a peer resolving a key its own cache misses fetches the
+// bytes here instead of re-running the retarget.  Memory-only nodes
+// (no -cache-dir) always answer 404 — peer replication serves from the
+// durable tier only.
+func (s *server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	key := strings.TrimPrefix(r.URL.Path, "/v1/artifact/")
+	data, err := s.cache.Encoded(key)
+	if err != nil {
+		s.cArtifactServes.With(s.cfg.nodeID, "miss").Inc()
+		s.fail(w, r, http.StatusNotFound, fmt.Errorf("no artifact for key %s", key))
+		return
+	}
+	s.cArtifactServes.With(s.cfg.nodeID, "hit").Inc()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// peerFetch is the cache's PeerFetch hook: on a local miss it walks the
+// configured peers in the key's rendezvous order (so every node agrees
+// which replica to ask first) and returns the first copy found.
+// (nil, nil) means no peer has one; the cache then retargets locally.
+// Failures degrade the peer's health so a dead peer stops being asked.
+func (s *server) peerFetch(ctx context.Context, key string) ([]byte, error) {
+	for _, peer := range fleet.Rendezvous(key, s.cfg.peers, len(s.cfg.peers)) {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if !s.peerHealth.Usable(peer) {
+			continue
+		}
+		data, err := s.fetchFrom(ctx, peer, key)
+		switch {
+		case err != nil:
+			s.peerHealth.Report(peer, false)
+			s.cPeerFetch.With(s.cfg.nodeID, peer, "error").Inc()
+		case data == nil: // peer alive, no copy
+			s.peerHealth.Report(peer, true)
+			s.cPeerFetch.With(s.cfg.nodeID, peer, "miss").Inc()
+		default:
+			s.peerHealth.Report(peer, true)
+			s.cPeerFetch.With(s.cfg.nodeID, peer, "hit").Inc()
+			return data, nil
+		}
+	}
+	return nil, nil
+}
+
+// fetchFrom performs one GET /v1/artifact/{key} against one peer under
+// the per-peer timeout.  (nil, nil) is the peer's 404.
+func (s *server) fetchFrom(ctx context.Context, peer, key string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.peerTimeout)
+	defer cancel()
+	url := strings.TrimRight(peer, "/") + "/v1/artifact/" + key
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.peerHTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	case http.StatusNotFound:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("peer %s: status %d", peer, resp.StatusCode)
+	}
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -721,7 +862,7 @@ func (s *server) fail(w http.ResponseWriter, r *http.Request, status int, err er
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
 	s.cErrors.With(strconv.Itoa(status)).Inc()
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	writeJSON(w, status, errorResponse{Error: err.Error(), Kind: refusalKind(err)})
 }
 
 // statusFor maps failures onto HTTP statuses: overload sheds as 429,

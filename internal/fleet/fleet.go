@@ -1,0 +1,26 @@
+// Package fleet is the distribution layer of the compile service: the
+// pieces that turn a set of independent recordd nodes into one fleet that
+// survives any single node dying mid-compile.
+//
+// It provides three mechanisms, all deterministic and all free of I/O so
+// both sides of the wire can share them:
+//
+//   - Ring: a consistent-hash ring with virtual nodes, keyed on the
+//     artifact SHA-256 content address (internal/artifact).  The ring
+//     decides which node owns a model's retarget product; removing a node
+//     remaps only that node's keys, so a node death never reshuffles the
+//     whole fleet's cache locality.
+//
+//   - Rendezvous: highest-random-weight replica selection.  Given a key
+//     and a candidate set it yields a deterministic preference order that
+//     every node computes identically without coordination — used to pick
+//     which peers to consult for artifact replication.
+//
+//   - Tracker: a per-endpoint health state machine
+//     (healthy → suspect → down → probing) driven by request outcomes and
+//     periodic /healthz probes (Prober), with an injectable clock so the
+//     full lifecycle is unit-testable without wall time.
+//
+// Everything here is safe for concurrent use and stdlib-only, in the
+// style of internal/resilience.
+package fleet

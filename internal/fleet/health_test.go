@@ -1,0 +1,207 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// clock is an adjustable tracker clock.
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *clock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestTracker() (*Tracker, *clock) {
+	clk := &clock{t: time.Unix(1000, 0)}
+	return NewTracker(TrackerConfig{DownAfter: 3, ProbeAfter: 2 * time.Second, Now: clk.now}), clk
+}
+
+func TestTrackerLifecycle(t *testing.T) {
+	tr, clk := newTestTracker()
+
+	if tr.State("a") != Healthy || !tr.Usable("a") {
+		t.Fatal("unknown endpoint not healthy")
+	}
+
+	// One failure: suspect, still usable.
+	tr.Report("a", false)
+	if tr.State("a") != Suspect || !tr.Usable("a") {
+		t.Fatalf("after 1 failure: %v usable=%v", tr.State("a"), tr.Usable("a"))
+	}
+
+	// Success heals a suspect fully (failure streak resets).
+	tr.Report("a", true)
+	if tr.State("a") != Healthy {
+		t.Fatalf("suspect did not heal: %v", tr.State("a"))
+	}
+
+	// DownAfter consecutive failures: down, not usable.
+	for i := 0; i < 3; i++ {
+		tr.Report("a", false)
+	}
+	if tr.State("a") != Down || tr.Usable("a") {
+		t.Fatalf("after 3 failures: %v usable=%v", tr.State("a"), tr.Usable("a"))
+	}
+
+	// Before the cooldown nobody gets through.
+	clk.advance(time.Second)
+	if tr.Usable("a") {
+		t.Fatal("down endpoint usable before ProbeAfter")
+	}
+
+	// After the cooldown exactly one caller claims the probe slot.
+	clk.advance(2 * time.Second)
+	if !tr.Usable("a") {
+		t.Fatal("probe slot not granted after cooldown")
+	}
+	if tr.State("a") != Probing {
+		t.Fatalf("state %v, want Probing", tr.State("a"))
+	}
+	if tr.Usable("a") {
+		t.Fatal("second caller admitted while probe in flight")
+	}
+
+	// Probe failure: down again for another full cooldown.
+	tr.Report("a", false)
+	if tr.State("a") != Down || tr.Usable("a") {
+		t.Fatalf("failed probe: %v usable=%v", tr.State("a"), tr.Usable("a"))
+	}
+
+	// Probe success after the next cooldown: healthy again.
+	clk.advance(3 * time.Second)
+	if !tr.Usable("a") {
+		t.Fatal("second probe slot not granted")
+	}
+	tr.Report("a", true)
+	if tr.State("a") != Healthy || !tr.Usable("a") {
+		t.Fatalf("recovery: %v", tr.State("a"))
+	}
+}
+
+func TestTrackerAbandonedProbeExpires(t *testing.T) {
+	tr, clk := newTestTracker()
+	for i := 0; i < 3; i++ {
+		tr.Report("a", false)
+	}
+	clk.advance(2 * time.Second)
+	if !tr.Usable("a") {
+		t.Fatal("probe slot not granted")
+	}
+	// The probe's outcome never arrives (hedged away, caller died).
+	clk.advance(2 * time.Second)
+	if !tr.Usable("a") {
+		t.Fatal("abandoned probe slot never expired")
+	}
+}
+
+func TestTrackerDownRecoversOnStragglerSuccess(t *testing.T) {
+	tr, _ := newTestTracker()
+	for i := 0; i < 3; i++ {
+		tr.Report("a", false)
+	}
+	// A request that was in flight when the endpoint went down comes back
+	// fine: that is direct evidence of life.
+	tr.Report("a", true)
+	if tr.State("a") != Healthy {
+		t.Fatalf("straggler success ignored: %v", tr.State("a"))
+	}
+}
+
+func TestTrackerIndependentEndpoints(t *testing.T) {
+	tr, _ := newTestTracker()
+	for i := 0; i < 3; i++ {
+		tr.Report("a", false)
+	}
+	if tr.Usable("a") || !tr.Usable("b") {
+		t.Fatal("endpoint states not independent")
+	}
+	snap := tr.Snapshot()
+	if snap["a"] != Down {
+		t.Fatalf("snapshot %v", snap)
+	}
+}
+
+func TestTrackerNilSafe(t *testing.T) {
+	var tr *Tracker
+	tr.Report("a", false)
+	if !tr.Usable("a") || tr.State("a") != Healthy || tr.Snapshot() != nil {
+		t.Fatal("nil tracker has opinions")
+	}
+}
+
+func TestProberDrivesTracker(t *testing.T) {
+	tr, clk := newTestTracker()
+	alive := map[string]bool{"a": true, "b": false}
+	var mu sync.Mutex
+	p := &Prober{
+		Tracker:   tr,
+		Endpoints: []string{"a", "b"},
+		Check: func(_ context.Context, ep string) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if alive[ep] {
+				return nil
+			}
+			return errors.New("connection refused")
+		},
+	}
+	for i := 0; i < 3; i++ {
+		p.Once(context.Background())
+	}
+	if tr.State("a") != Healthy || tr.State("b") != Down {
+		t.Fatalf("a=%v b=%v", tr.State("a"), tr.State("b"))
+	}
+
+	// b comes back: the next probe after the cooldown revives it.
+	mu.Lock()
+	alive["b"] = true
+	mu.Unlock()
+	clk.advance(2 * time.Second)
+	p.Once(context.Background())
+	if tr.State("b") != Healthy {
+		t.Fatalf("revived endpoint not healthy after probe: %v", tr.State("b"))
+	}
+}
+
+func TestProberRunStopsOnContext(t *testing.T) {
+	tick := make(chan time.Time)
+	tr, _ := newTestTracker()
+	probed := make(chan string, 8)
+	p := &Prober{
+		Tracker:   tr,
+		Endpoints: []string{"a"},
+		Check: func(_ context.Context, ep string) error {
+			probed <- ep
+			return nil
+		},
+		Tick: tick,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { p.Run(ctx); close(done) }()
+	tick <- time.Now()
+	if ep := <-probed; ep != "a" {
+		t.Fatalf("probed %q", ep)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not stop on context cancel")
+	}
+}

@@ -43,6 +43,7 @@ type Outcome string
 const (
 	Mem       Outcome = "hit"       // memory tier
 	Disk      Outcome = "hit-disk"  // decoded from the artifact store
+	Peer      Outcome = "hit-peer"  // fetched encoded from a fleet peer
 	Miss      Outcome = "miss"      // full retarget ran
 	Coalesced Outcome = "coalesced" // waited on another request's retarget
 )
@@ -62,6 +63,8 @@ type Stats struct {
 	Retargets uint64 // underlying core.Retarget invocations
 	Orphans   uint64 // crash-orphaned temp files removed by the recovery scan
 	DiskFails uint64 // disk-tier write failures (any cause)
+	PeerHits  uint64 // artifacts fetched from a fleet peer
+	PeerFails uint64 // peer fetches that failed (degraded to local retarget)
 }
 
 // Options configures a cache.
@@ -76,6 +79,11 @@ type Options struct {
 	// (record_rcache_*); per-request spans come from the RetargetOptions
 	// passed to GetContext instead.  nil is safe.
 	Obs *obs.Scope
+	// PeerFetch, when set, is consulted on a local miss before a full
+	// retarget: it should return the encoded artifact bytes for key from
+	// a fleet peer, (nil, nil) when no peer has a copy, or an error.
+	// Failures degrade to a local retarget, never to a request failure.
+	PeerFetch func(ctx context.Context, key string) ([]byte, error)
 }
 
 // DefaultMaxEntries is the memory-tier capacity when Options.MaxEntries
@@ -140,6 +148,7 @@ type Cache struct {
 	cRetargets  *obs.Counter
 	cOrphans    *obs.Counter
 	cDiskErrors *obs.Counter
+	cPeerErrors *obs.Counter
 	gDegraded   *obs.Gauge
 }
 
@@ -179,6 +188,8 @@ func New(opts Options) (*Cache, error) {
 		"crash-orphaned temp files removed by the startup recovery scan")
 	c.cDiskErrors = reg.Counter("record_rcache_disk_errors_total",
 		"disk-tier write failures")
+	c.cPeerErrors = reg.Counter("record_rcache_peer_errors_total",
+		"peer artifact fetches that failed (degraded to local retarget)")
 	c.gDegraded = reg.Gauge("record_rcache_disk_degraded",
 		"1 when the disk tier is disabled after an unusable-disk error")
 	if opts.Dir != "" {
@@ -328,10 +339,19 @@ func (c *Cache) GetContext(ctx context.Context, mdlSource string, ropts core.Ret
 	return entry, outcome, err
 }
 
-// Lookup returns the entry for a content address without being able to
-// retarget: memory tier, then disk tier.  ok is false when the key is in
-// neither (or its disk artifact is corrupt).
+// Lookup is LookupContext with a background context, for callers that
+// have no request context to thread through a peer fetch.
 func (c *Cache) Lookup(key string) (*Entry, bool) {
+	e, _, ok := c.LookupContext(context.Background(), key)
+	return e, ok
+}
+
+// LookupContext returns the entry for a content address without being
+// able to retarget: memory tier, then disk tier, then — when a PeerFetch
+// hook is configured — the fleet's peers.  ok is false when the key is
+// in none of them (or its disk artifact is corrupt).  The outcome says
+// which tier answered, Miss when none did.
+func (c *Cache) LookupContext(ctx context.Context, key string) (*Entry, Outcome, bool) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.lru.MoveToFront(el)
@@ -339,13 +359,16 @@ func (c *Cache) Lookup(key string) (*Entry, bool) {
 		e := el.Value.(*Entry)
 		c.mu.Unlock()
 		c.cHits.With("mem").Inc()
-		return e, true
+		return e, Mem, true
 	}
 	c.mu.Unlock()
 
-	entry := c.loadDisk(key)
+	entry, outcome := c.loadDisk(key), Disk
 	if entry == nil {
-		return nil, false
+		entry, outcome = c.fetchPeer(ctx, key), Peer
+		if entry == nil {
+			return nil, Miss, false
+		}
 	}
 	c.mu.Lock()
 	// Another goroutine may have inserted meanwhile; prefer its entry.
@@ -354,18 +377,27 @@ func (c *Cache) Lookup(key string) (*Entry, bool) {
 	} else {
 		c.insert(key, entry)
 	}
-	c.stats.DiskHits++
+	if outcome == Disk {
+		c.stats.DiskHits++
+	}
 	c.mu.Unlock()
-	c.cHits.With("disk").Inc()
-	return entry, true
+	if outcome == Disk {
+		c.cHits.With("disk").Inc()
+	}
+	return entry, outcome, true
 }
 
 // fill resolves a key the memory tier does not have: disk first, then a
-// full retarget (persisting the fresh artifact for the next process).
+// fleet peer's copy, then a full retarget (persisting the fresh artifact
+// for the next process).
 func (c *Cache) fill(ctx context.Context, key, mdlSource string, ropts core.RetargetOptions) (*Entry, Outcome, error) {
 	if entry := c.loadDisk(key); entry != nil {
 		markHit(ropts.Obs, "disk")
 		return entry, Disk, nil
+	}
+	if entry := c.fetchPeer(ctx, key); entry != nil {
+		markHit(ropts.Obs, "peer")
+		return entry, Peer, nil
 	}
 
 	c.mu.Lock()
@@ -418,10 +450,91 @@ func (c *Cache) loadDisk(key string) *Entry {
 	return &Entry{Key: key, target: t}
 }
 
-// store writes the artifact crash-safely: temp file, fsync of the data,
-// atomic rename, fsync of the directory.  Readers never observe a torn
-// write, and a write the caller saw succeed survives a machine crash.  On
-// any failure the temp file is removed so failed writes cannot leak.
+// fetchPeer asks the PeerFetch hook for another node's encoded artifact
+// on a local miss.  Any failure — peer miss, transport error, corrupt or
+// mismatched bytes — returns nil and the caller falls back to a local
+// retarget: peer replication can only ever save work, never fail a
+// request.  Fetched bytes are persisted to the local disk tier so the
+// copy survives restarts and is servable onward to other peers.
+func (c *Cache) fetchPeer(ctx context.Context, key string) *Entry {
+	if c.opts.PeerFetch == nil {
+		return nil
+	}
+	data, err := c.opts.PeerFetch(ctx, key)
+	if err != nil {
+		c.peerFail(key, err)
+		return nil
+	}
+	if data == nil {
+		return nil // no peer has a copy: plain miss, not a failure
+	}
+	a, err := artifact.Decode(data)
+	if err != nil {
+		c.peerFail(key, err)
+		return nil
+	}
+	if a.Key != key {
+		c.peerFail(key, fmt.Errorf("peer artifact self-identifies as %s", a.Key))
+		return nil
+	}
+	t, err := a.Target()
+	if err != nil {
+		c.peerFail(key, err)
+		return nil
+	}
+	c.mu.Lock()
+	c.stats.PeerHits++
+	c.mu.Unlock()
+	c.cHits.With("peer").Inc()
+	if c.opts.Dir != "" && !c.diskOff.Load() {
+		if err := c.storeBytes(key, data); err != nil {
+			c.diskFail(key, err)
+		}
+	}
+	return &Entry{Key: key, target: t}
+}
+
+// peerFail records one failed peer fetch; the request continues locally.
+func (c *Cache) peerFail(key string, err error) {
+	c.mu.Lock()
+	c.stats.PeerFails++
+	c.mu.Unlock()
+	c.cPeerErrors.Inc()
+	c.opts.Reporter.Warnf("rcache", diag.Pos{},
+		"peer fetch for %s failed, retargeting locally: %v", key, err)
+}
+
+// Encoded returns the on-disk encoded artifact for key, for serving to
+// fleet peers.  Only the disk tier is served: a memory-only cache (no
+// store directory, or a degraded disk) reports os.ErrNotExist — entries
+// in RAM no longer carry their model source, so the artifact cannot be
+// re-encoded.  The key is validated as a content address first, so a
+// peer-supplied key can never escape the store directory.
+func (c *Cache) Encoded(key string) ([]byte, error) {
+	if !validKey(key) {
+		return nil, fmt.Errorf("rcache: malformed artifact key %q", key)
+	}
+	if c.opts.Dir == "" || c.diskOff.Load() {
+		return nil, os.ErrNotExist
+	}
+	return os.ReadFile(c.path(key))
+}
+
+// validKey reports whether key has the exact shape of a content address
+// (64 lowercase hex digits).
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		if ch := key[i]; (ch < '0' || ch > '9') && (ch < 'a' || ch > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// store encodes the artifact and writes it crash-safely.
 func (c *Cache) store(key string, t *core.Target, mdlSource string, ropts core.RetargetOptions) error {
 	if err := faultpoint.Hit("rcache.disk.write", key); err != nil {
 		return err
@@ -434,6 +547,15 @@ func (c *Cache) store(key string, t *core.Target, mdlSource string, ropts core.R
 	if err != nil {
 		return err
 	}
+	return c.storeBytes(key, data)
+}
+
+// storeBytes writes encoded artifact bytes crash-safely: temp file, fsync
+// of the data, atomic rename, fsync of the directory.  Readers never
+// observe a torn write, and a write the caller saw succeed survives a
+// machine crash.  On any failure the temp file is removed so failed
+// writes cannot leak.
+func (c *Cache) storeBytes(key string, data []byte) error {
 	tmp, err := os.CreateTemp(c.opts.Dir, "."+key+".tmp*")
 	if err != nil {
 		return err

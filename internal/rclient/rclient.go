@@ -82,8 +82,18 @@ type CompileResult struct {
 type StatusError struct {
 	Status int           // HTTP status
 	Msg    string        // server's error message
+	Kind   string        // machine-readable refusal class: "overload" | "open" | "draining"
 	After  time.Duration // parsed Retry-After, 0 when absent
+
+	// wrapped is the typed resilience error reconstructed from Kind, so
+	// errors.As / resilience.IsDraining see through the HTTP hop: a 503
+	// from a draining node unwraps to a *resilience.DrainingError exactly
+	// as if the refusal had happened in-process.
+	wrapped error
 }
+
+// Unwrap exposes the reconstructed resilience error, if any.
+func (e *StatusError) Unwrap() error { return e.wrapped }
 
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("recordd: %d %s: %s", e.Status, http.StatusText(e.Status), e.Msg)
@@ -212,36 +222,50 @@ func serverFault(err error) bool {
 }
 
 func (c *Client) post(ctx context.Context, path string, in, out interface{}) error {
-	body, err := json.Marshal(in)
+	raw, err := c.postRaw(ctx, path, in)
 	if err != nil {
 		return err
 	}
+	return json.Unmarshal(raw, out)
+}
+
+// postRaw runs one POST and returns the raw 200-response body.  The fleet
+// client builds on this rather than post so hedged request legs can each
+// hold their own undecoded body and only the winner is unmarshalled.
+func (c *Client) postRaw(ctx context.Context, path string, in interface{}) ([]byte, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return nil, err
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return statusError(resp)
+		return nil, statusError(resp)
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return io.ReadAll(resp.Body)
 }
 
 // statusError drains a non-2xx response into a StatusError, parsing the
-// JSON error body and the Retry-After header when present.
+// JSON error body (message + refusal kind) and the Retry-After header
+// when present.
 func statusError(resp *http.Response) *StatusError {
 	se := &StatusError{Status: resp.StatusCode}
 	if b, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10)); err == nil {
 		var e struct {
 			Error string `json:"error"`
+			Kind  string `json:"kind"`
 		}
 		if json.Unmarshal(b, &e) == nil && e.Error != "" {
 			se.Msg = e.Error
+			se.Kind = e.Kind
 		} else {
 			se.Msg = strings.TrimSpace(string(b))
 		}
@@ -254,6 +278,9 @@ func statusError(resp *http.Response) *StatusError {
 				se.After = d
 			}
 		}
+	}
+	if se.Kind == "draining" {
+		se.wrapped = &resilience.DrainingError{After: se.After}
 	}
 	return se
 }

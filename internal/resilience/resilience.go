@@ -80,6 +80,18 @@ func (e *DrainingError) Transient() bool { return true }
 // RetryAfterHint returns how long the caller should back off.
 func (e *DrainingError) RetryAfterHint() time.Duration { return e.After }
 
+// IsDraining reports whether err (or anything it wraps) is a
+// DrainingError.  Draining is a different kind of transient than overload
+// or an open circuit: the node is going away, so its Retry-After hint is
+// authoritative in both directions — retrying sooner lands in the drain,
+// and waiting longer than the hint just idles when another replica (or
+// the restarted node) could already serve.  Policy and the multi-endpoint
+// client both branch on this.
+func IsDraining(err error) bool {
+	var de *DrainingError
+	return errors.As(err, &de)
+}
+
 // IsTransient reports whether err (or anything it wraps) marks itself as
 // worth retrying via a `Transient() bool` method.
 func IsTransient(err error) bool {

@@ -328,6 +328,48 @@ func TestRetryExhaustsAttempts(t *testing.T) {
 	}
 }
 
+// TestRetryDrainingHintAuthoritative is the failover regression test: a
+// draining node's Retry-After must be honored exactly, even when the
+// computed backoff is longer.  Before the fix the hint could only raise
+// the wait, so a client whose backoff had grown past the hint slept on —
+// retrying into the drain instead of failing over when the node said it
+// was safe to.
+func TestRetryDrainingHintAuthoritative(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{
+		MaxAttempts: 2,
+		Base:        10 * time.Second, // computed backoff far above the hint
+		Cap:         10 * time.Second,
+		Rand:        func(max time.Duration) time.Duration { return max },
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	_ = p.Do(context.Background(), func(context.Context) error {
+		return &DrainingError{After: 50 * time.Millisecond}
+	})
+	if len(slept) != 1 || slept[0] != 50*time.Millisecond {
+		t.Fatalf("slept %v, want exactly the 50ms drain hint", slept)
+	}
+
+	// Overload keeps the old contract: the hint only raises the wait.
+	slept = nil
+	_ = p.Do(context.Background(), func(context.Context) error {
+		return &OverloadError{Queue: 1, Limit: 1, After: 50 * time.Millisecond}
+	})
+	if len(slept) != 1 || slept[0] != 10*time.Second {
+		t.Fatalf("overload slept %v, want the full 10s backoff", slept)
+	}
+
+	if !IsDraining(fmt.Errorf("wrapped: %w", &DrainingError{})) {
+		t.Fatal("IsDraining does not unwrap")
+	}
+	if IsDraining(&OverloadError{}) {
+		t.Fatal("IsDraining misfires on overload")
+	}
+}
+
 func TestDrainingError(t *testing.T) {
 	err := error(&DrainingError{After: 2 * time.Second})
 	if !IsTransient(err) {

@@ -92,8 +92,17 @@ func (p Policy) Do(ctx context.Context, f func(ctx context.Context) error) error
 			return err
 		}
 		wait := p.backoff(attempt)
-		if hint, ok := RetryAfterOf(err); ok && hint > wait {
-			wait = hint
+		if hint, ok := RetryAfterOf(err); ok {
+			// A draining node's hint is authoritative: the exponential
+			// backoff would sleep PAST the hint and keep the caller
+			// pinned to a node that is going away, when the next attempt
+			// (routed to another replica, or the restarted node) could
+			// already succeed.  Overload and open-circuit hints only
+			// raise the wait — backing off harder than asked is safe
+			// there because the same node will answer.
+			if IsDraining(err) || hint > wait {
+				wait = hint
+			}
 			if wait > p.Cap {
 				wait = p.Cap
 			}
