@@ -62,7 +62,7 @@ var (
 )
 
 // serverKeys maps BenchmarkServerCompile<Suffix> onto trajectory keys.
-var serverKeys = map[string]string{"": "base", "Shed": "shed"}
+var serverKeys = map[string]string{"": "base", "Shed": "shed", "QoS": "qos"}
 
 // parse extracts worker-count → ns/op (parallel-compile lines) and
 // scenario → ns/op (server-latency lines) from `go test -bench` output.

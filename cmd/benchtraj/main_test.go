@@ -18,6 +18,7 @@ BenchmarkParallelCompile4 	     870	   1268698 ns/op	  291604 B/op	    3947 allo
 BenchmarkParallelCompile8-4 	     894	   1493683 ns/op	  291576 B/op	    3944 allocs/op
 BenchmarkServerCompile-4     	      50	    353216 ns/op	  107867 B/op	    1517 allocs/op
 BenchmarkServerCompileShed-4 	      50	    137470 ns/op	  107898 B/op	    1518 allocs/op
+BenchmarkServerCompileQoS-4 	      50	    221133 ns/op	  107902 B/op	    1519 allocs/op
 PASS
 ok  	repro	5.234s
 `
@@ -30,7 +31,7 @@ func TestParse(t *testing.T) {
 	if len(ns) != 4 || ns["1"] != 527672 || ns["8"] != 1493683 {
 		t.Fatalf("parsed %v", ns)
 	}
-	if len(server) != 2 || server["base"] != 353216 || server["shed"] != 137470 {
+	if len(server) != 3 || server["base"] != 353216 || server["shed"] != 137470 || server["qos"] != 221133 {
 		t.Fatalf("server latencies %v", server)
 	}
 }

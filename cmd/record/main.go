@@ -103,6 +103,7 @@ type config struct {
 	traceFile   string
 	faultpoints string
 	serverURL   string   // remote compile against a recordd instance
+	priority    string   // QoS class declared to the service
 	srcFiles    []string // positional: parallel multi-source mode
 
 	core core.Config
@@ -138,6 +139,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&c.core.Jobs, "jobs", 1, "parallel workers for positional source files")
 	fs.StringVar(&c.serverURL, "server", "",
 		"compile against running recordd node(s) instead of locally; comma-separate base URLs for a fleet with sharding, failover and hedging")
+	fs.StringVar(&c.priority, "priority", "",
+		"QoS class declared to the service: interactive or batch (default: the server's per-route default)")
 	fs.StringVar(&c.faultpoints, "faultpoints", "",
 		"comma-separated fault injection specs name[@match]=kind[:arg][*times] (testing); \"list\" prints sites")
 	if err := fs.Parse(args); err != nil {
@@ -341,6 +344,8 @@ func compileRemote(c *config, budget *diag.Budget, stdout io.Writer) error {
 		return usagef("-seq is local-only; it cannot be combined with -server")
 	case c.cacheDir != "":
 		return usagef("-cache-dir is local-only; the server has its own artifact cache")
+	case c.priority != "" && c.priority != "interactive" && c.priority != "batch":
+		return usagef("-priority must be interactive or batch, not %q", c.priority)
 	}
 
 	// Bundled models go by name (the server has them); file-based models
@@ -368,9 +373,12 @@ func compileRemote(c *config, budget *diag.Budget, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		f.SetPriority(c.priority)
 		cl = f
 	} else {
-		cl = rclient.New(c.serverURL)
+		sc := rclient.New(c.serverURL)
+		sc.Priority = c.priority
+		cl = sc
 	}
 	rt, err := cl.Retarget(ctx, ref)
 	if err != nil {

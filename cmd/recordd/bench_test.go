@@ -81,3 +81,35 @@ func BenchmarkServerCompileShed(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkServerCompileQoS measures mixed-priority traffic through the
+// weighted QoS scheduler: alternating interactive and batch requests for
+// the same (model, program), so the run exercises class parsing, the
+// multi-queue dispatch path and duplicate-compile coalescing together.
+func BenchmarkServerCompileQoS(b *testing.B) {
+	url, body := benchServer(b, serverConfig{
+		workers: 8, maxQueue: 64, brkWindow: 8, brkRate: 0.5,
+	})
+	classes := []string{"interactive", "batch"}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("X-Record-Priority", classes[i%len(classes)])
+			i++
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+			_ = resp.Body.Close()
+		}
+	})
+}

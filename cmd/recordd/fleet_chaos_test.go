@@ -286,7 +286,8 @@ func TestFleetChaosNodeKillFailover(t *testing.T) {
 		}
 		for _, want := range []string{
 			"record_recordd_inflight_compiles 0",
-			"record_recordd_queue_depth 0",
+			`record_recordd_queue_depth{class="batch"} 0`,
+			`record_recordd_queue_depth{class="interactive"} 0`,
 		} {
 			if !strings.Contains(body, want) {
 				t.Errorf("node %s not quiesced: missing %q", n.id, want)

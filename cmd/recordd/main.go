@@ -35,6 +35,11 @@
 //	-max-bdd-nodes n   per-request BDD universe cap (0 = unlimited)
 //	-max-routes n      per-request route enumeration cap (0 = default)
 //	-max-queue n       pool-slot waiters admitted before shedding 429 (0 = unlimited)
+//	-qos-weights spec  per-class dispatch weights, "interactive=8,batch=1";
+//	                   clients declare a class with X-Record-Priority
+//	-prewarm d         speculative pre-warm sweep interval (0 = off);
+//	                   idle capacity retargets hot models back into memory
+//	-prewarm-top n     hot models considered per pre-warm sweep
 //	-drain-timeout d   grace for in-flight requests after SIGTERM/SIGINT
 //	-breaker-window n  per-model circuit-breaker outcome window (0 = off)
 //	-breaker-rate f    failure rate that opens a model's circuit
@@ -63,6 +68,7 @@ import (
 	"repro/internal/faultpoint"
 	"repro/internal/fleet"
 	"repro/internal/obs"
+	"repro/internal/qos"
 )
 
 func main() {
@@ -82,6 +88,9 @@ func main() {
 	flag.IntVar(&cfg.maxBDDNodes, "max-bdd-nodes", 0, "per-request BDD universe cap (0 = unlimited)")
 	flag.IntVar(&cfg.maxRoutes, "max-routes", 0, "per-request route enumeration cap (0 = default)")
 	flag.IntVar(&cfg.maxQueue, "max-queue", 64, "pool-slot waiters admitted before shedding with 429 (0 = unlimited)")
+	qosWeights := flag.String("qos-weights", "", `per-class dispatch weights, e.g. "interactive=8,batch=1"`)
+	flag.DurationVar(&cfg.prewarmEvery, "prewarm", 0, "speculative pre-warm sweep interval (0 = off)")
+	flag.IntVar(&cfg.prewarmTop, "prewarm-top", 4, "hot models considered per pre-warm sweep")
 	flag.IntVar(&cfg.brkWindow, "breaker-window", 8, "per-model circuit-breaker outcome window (0 = breaker off)")
 	flag.Float64Var(&cfg.brkRate, "breaker-rate", 0.5, "failure rate that opens a model's circuit")
 	flag.DurationVar(&cfg.brkCooldown, "breaker-cooldown", 10*time.Second, "circuit open -> half-open probe cooldown")
@@ -93,6 +102,15 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Fprintf(os.Stderr, "recordd: armed faultpoints: %v\n", faultpoint.Armed())
+	}
+
+	if *qosWeights != "" {
+		w, err := qos.ParseWeights(*qosWeights)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "recordd: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.qosWeights = w
 	}
 
 	for _, p := range strings.Split(*peers, ",") {
@@ -133,6 +151,10 @@ func main() {
 	// cache miss to discover it.
 	proberCtx, stopProber := context.WithCancel(context.Background())
 	defer stopProber()
+	if s.cfg.prewarmEvery > 0 {
+		go s.prewarmLoop(proberCtx)
+		fmt.Printf("recordd pre-warm every %v (top %d hot models)\n", s.cfg.prewarmEvery, s.cfg.prewarmTop)
+	}
 	if len(s.cfg.peers) > 0 {
 		p := &fleet.Prober{
 			Tracker:   s.peerHealth,

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/models"
 	"repro/internal/obs"
+	"repro/internal/qos"
 	"repro/internal/rcache"
 	"repro/internal/resilience"
 )
@@ -37,6 +39,10 @@ type serverConfig struct {
 	brkWindow   int           // breaker outcome window per model (0 = breaker off)
 	brkRate     float64       // breaker failure-rate threshold
 	brkCooldown time.Duration // breaker open -> half-open cooldown
+
+	qosWeights   [qos.NumClasses]int // per-class dispatch weights (0 = qos defaults)
+	prewarmEvery time.Duration       // speculative pre-warm sweep interval (0 = off)
+	prewarmTop   int                 // hot models considered per sweep
 
 	nodeID      string        // fleet identity: /healthz field + node metric label
 	peers       []string      // base URLs of fleet peers to fetch artifacts from
@@ -61,6 +67,9 @@ func (c serverConfig) withDefaults() serverConfig {
 	if c.peerTimeout <= 0 {
 		c.peerTimeout = 2 * time.Second
 	}
+	if c.prewarmTop <= 0 {
+		c.prewarmTop = 4
+	}
 	return c
 }
 
@@ -69,12 +78,16 @@ func (c serverConfig) withDefaults() serverConfig {
 // metrics endpoints.  Targets are frozen, so compiles against one entry
 // run genuinely in parallel — the worker pool bounds CPU, not correctness.
 //
-// The service protects itself (internal/resilience): admission control
-// sheds with 429 + Retry-After once the pool backlog exceeds -max-queue, a
-// per-model circuit breaker turns a repeatedly failing model into fast
-// 503s instead of burnt retarget workers, and beginDrain flips the whole
-// surface into refusal mode so shutdown finishes in-flight work and
-// nothing is dropped without an explicit status.
+// The service protects itself (internal/resilience + internal/qos): the
+// QoS scheduler owns the worker slots — weighted multi-queue admission
+// over interactive/batch priority classes sheds with 429 + Retry-After
+// once the backlog exceeds -max-queue (batch first, always), duplicate
+// /v1/compile requests coalesce into one execution, and idle capacity
+// speculatively pre-warms hot models.  A per-model circuit breaker turns
+// a repeatedly failing model into fast 503s instead of burnt retarget
+// workers, and beginDrain flips the whole surface into refusal mode so
+// shutdown finishes in-flight work and nothing is dropped without an
+// explicit status.
 //
 // All counters and gauges live in one obs.Registry: the cache and the
 // compile pipeline register their own instruments against it, the
@@ -83,9 +96,12 @@ func (c serverConfig) withDefaults() serverConfig {
 type server struct {
 	cfg   serverConfig
 	cache *rcache.Cache
-	sem   chan struct{} // worker pool slots
 
-	adm      *resilience.Admission
+	sched     *qos.Scheduler // worker slots + per-class admission
+	coal      *qos.Coalescer // duplicate /v1/compile merging
+	pop       *qos.Popularity
+	prewarmer *qos.Prewarmer
+
 	brk      *resilience.Breaker
 	drainCh  chan struct{} // closed when draining starts
 	draining atomic.Bool
@@ -97,13 +113,19 @@ type server struct {
 	gTargInflight *obs.GaugeVec     // by artifact key; series dropped at zero
 	hPhase        *obs.HistogramVec // request-handling latency by phase
 
-	gQueue     *obs.Gauge      // requests waiting for a pool slot
-	gDraining  *obs.Gauge      // 1 while draining
-	cShed      *obs.Counter    // requests shed by admission control
-	cBrkOpens  *obs.Counter    // breaker trips to open
-	cBrkReject *obs.Counter    // requests refused by an open circuit
-	cErrors    *obs.CounterVec // error responses, by status
-	cAborts    *obs.Counter    // client disconnects before a response
+	gQueue        *obs.GaugeVec   // queued waiters, by priority class
+	gDraining     *obs.Gauge      // 1 while draining
+	cShed         *obs.CounterVec // requests shed by admission, by class
+	cDispatched   *obs.CounterVec // pool slots granted, by class
+	cCoalesced    *obs.Counter    // duplicate compiles answered from a leader's run
+	cPrewarmSweep *obs.Counter    // pre-warm sweeps run
+	cBrkOpens     *obs.Counter    // breaker trips to open
+	cBrkReject    *obs.Counter    // requests refused by an open circuit
+	cErrors       *obs.CounterVec // error responses, by status
+	cAborts       *obs.Counter    // client disconnects before a response
+
+	ring     *fleet.Ring   // fleet membership, for rebalancing gauges
+	gRingKey *obs.GaugeVec // disk-store keys owned, by ring member
 
 	// Fleet state: peer health drives which ring peer a cache miss
 	// consults first; peerHTTP is the transport for artifact fetches.
@@ -138,8 +160,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	s = &server{
 		cfg:     cfg,
 		cache:   cache,
-		sem:     make(chan struct{}, cfg.workers),
-		adm:     resilience.NewAdmission(cfg.maxQueue, time.Second),
+		coal:    &qos.Coalescer{},
 		drainCh: make(chan struct{}),
 		reg:     reg,
 		scp:     scp,
@@ -149,12 +170,18 @@ func newServer(cfg serverConfig) (*server, error) {
 			"compiles currently executing, by artifact key", "key"),
 		hPhase: reg.HistogramVec("record_recordd_phase_seconds",
 			"request-handling latency by phase", nil, "phase"),
-		gQueue: reg.Gauge("record_recordd_queue_depth",
-			"requests waiting for a worker-pool slot"),
+		gQueue: reg.GaugeVec("record_recordd_queue_depth",
+			"requests waiting for a worker-pool slot, by priority class", "class"),
 		gDraining: reg.Gauge("record_recordd_draining",
 			"1 while the service is draining"),
-		cShed: reg.Counter("record_recordd_shed_total",
-			"requests shed by admission control (429)"),
+		cShed: reg.CounterVec("record_recordd_shed_total",
+			"requests shed by admission control (429), by priority class", "class"),
+		cDispatched: reg.CounterVec("record_recordd_dispatched_total",
+			"worker-pool slots granted, by priority class", "class"),
+		cCoalesced: reg.Counter("record_recordd_qos_coalesced_total",
+			"duplicate compile requests answered from another request's execution"),
+		cPrewarmSweep: reg.Counter("record_recordd_prewarm_sweeps_total",
+			"speculative pre-warm sweeps run"),
 		cBrkOpens: reg.Counter("record_recordd_breaker_opens_total",
 			"circuit-breaker trips to open, across all models"),
 		cBrkReject: reg.Counter("record_recordd_breaker_rejections_total",
@@ -170,8 +197,43 @@ func newServer(cfg serverConfig) (*server, error) {
 		cArtifactServes: reg.CounterVec("record_recordd_artifact_serves_total",
 			"artifact store lookups served to fleet peers, by node and outcome", "node", "outcome"),
 	}
+	s.sched = qos.NewScheduler(qos.Config{
+		Capacity: cfg.workers,
+		MaxQueue: cfg.maxQueue,
+		Weights:  cfg.qosWeights,
+		Drain:    s.drainCh,
+		OnDepth:  func(cl qos.Class, depth int) { s.gQueue.With(cl.String()).Set(int64(depth)) },
+	})
+	// Pre-create the per-class series so a scrape of an idle server shows
+	// explicit zeros instead of absent lines.
+	for _, cl := range qos.Classes {
+		s.gQueue.With(cl.String()).Set(0)
+		s.cShed.With(cl.String()).Add(0)
+		s.cDispatched.With(cl.String()).Add(0)
+	}
+	if cfg.prewarmEvery > 0 {
+		s.pop = qos.NewPopularity(0, 0, nil)
+		s.prewarmer = &qos.Prewarmer{
+			Sched:  s.sched,
+			Pop:    s.pop,
+			Top:    cfg.prewarmTop,
+			IsWarm: s.cache.InMemory,
+			Warm:   s.prewarmOne,
+		}
+	}
 	reg.GaugeVec("record_recordd_node_info",
 		"static node identity; always 1", "node").With(cfg.nodeID).Set(1)
+	if len(cfg.peers) > 0 {
+		members := append([]string{cfg.nodeID}, cfg.peers...)
+		s.ring = fleet.NewRing(0, members...)
+		gArc := reg.GaugeVec("record_recordd_ring_arc_ppm",
+			"consistent-hash arc share per fleet member, parts per million", "member")
+		for member, frac := range s.ring.Arcs() {
+			gArc.With(member).Set(int64(frac * 1e6))
+		}
+		s.gRingKey = reg.GaugeVec("record_recordd_ring_owned_keys",
+			"local disk-store artifacts owned by each ring member", "member")
+	}
 	if cfg.brkWindow > 0 {
 		s.brk = resilience.NewBreaker(resilience.BreakerConfig{
 			Window:      cfg.brkWindow,
@@ -184,6 +246,42 @@ func newServer(cfg serverConfig) (*server, error) {
 	reg.Gauge("record_recordd_worker_pool_size",
 		"configured worker pool capacity").Set(int64(cfg.workers))
 	return s, nil
+}
+
+// prewarmOne is the Prewarmer's Warm hook: it loads one hot model into
+// the memory tier under pre-warm attribution.  The budget mirrors
+// resolveEntry's so a pre-warm retarget computes the same content
+// address a real request would.
+func (s *server) prewarmOne(ctx context.Context, key, mdlSource string) error {
+	if err := faultpoint.Hit("recordd.prewarm.retarget", key); err != nil {
+		return err
+	}
+	budget, cancel := s.budget(ctx)
+	defer cancel()
+	_, err := s.cache.Prewarm(ctx, key, mdlSource, core.RetargetOptions{Budget: budget, Obs: s.scp})
+	return err
+}
+
+// prewarmLoop drives pre-warm sweeps until ctx ends or the drain starts.
+// Sweeps only ever use idle capacity: the scheduler refuses the lease
+// when any real work is queued, and revokes it when real work arrives.
+func (s *server) prewarmLoop(ctx context.Context) {
+	if s.prewarmer == nil {
+		return
+	}
+	t := time.NewTicker(s.cfg.prewarmEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.drainCh:
+			return
+		case <-t.C:
+			s.cPrewarmSweep.Inc()
+			s.prewarmer.Sweep(ctx)
+		}
+	}
 }
 
 // handler wraps the route mux in the drain gate: once draining, every
@@ -244,36 +342,35 @@ func (s *server) observePhase(phase string, d time.Duration) {
 	s.hPhase.With(phase).Observe(d.Seconds())
 }
 
-// acquire takes a worker-pool slot.  Admission control sheds immediately
-// (429) when the waiter backlog is at -max-queue; an admitted waiter can
-// still fail with 503 when the drain starts or the client goes away
-// before a slot frees up.
-func (s *server) acquire(ctx context.Context) error {
-	leave, err := s.adm.Enter()
-	if err != nil {
-		s.cShed.Inc()
-		return err
-	}
-	s.gQueue.Inc()
-	defer func() {
-		s.gQueue.Dec()
-		leave()
-	}()
-	select {
-	case s.sem <- struct{}{}:
-		if err := faultpoint.Hit("recordd.worker.spawn", ""); err != nil {
-			s.release()
-			return err
-		}
-		return nil
-	case <-s.drainCh:
-		return &resilience.DrainingError{After: time.Second}
-	case <-ctx.Done():
-		return fmt.Errorf("worker pool saturated: %w", ctx.Err())
-	}
+// classOf reads the client-declared X-Record-Priority header; unknown,
+// empty or garbage values degrade to the route's default class — a bad
+// header can never fail a request.
+func classOf(r *http.Request, def qos.Class) qos.Class {
+	return qos.ParseClass(r.Header.Get("X-Record-Priority"), def)
 }
 
-func (s *server) release() { <-s.sem }
+// acquire takes a worker-pool slot through the QoS scheduler.  Weighted
+// admission sheds immediately (429) when the waiter backlog is at
+// -max-queue — batch first, interactive only when the queue holds
+// nothing else; an admitted waiter can still fail with 503 when the
+// drain starts or the client goes away before a slot frees up.  The
+// returned release is idempotent and must be called when the work ends.
+func (s *server) acquire(ctx context.Context, cl qos.Class) (func(), error) {
+	release, err := s.sched.Acquire(ctx, cl)
+	if err != nil {
+		var ov *resilience.OverloadError
+		if errors.As(err, &ov) {
+			s.cShed.With(cl.String()).Inc()
+		}
+		return nil, err
+	}
+	if err := faultpoint.Hit("recordd.worker.spawn", ""); err != nil {
+		release()
+		return nil, err
+	}
+	s.cDispatched.With(cl.String()).Inc()
+	return release, nil
+}
 
 // budget builds the per-request resource budget, mirroring the record CLI:
 // wall-clock timeout, BDD-node cap, route cap.
@@ -599,6 +696,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
+	// Ring ownership is a property of the disk store, not of request
+	// traffic, so the gauges refresh at scrape time.
+	if s.ring != nil && s.gRingKey != nil {
+		for member, n := range s.ring.OwnerCounts(s.cache.Keys()) {
+			s.gRingKey.With(member).Set(int64(n))
+		}
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WritePrometheus(w)
 }
@@ -617,11 +721,12 @@ func (s *server) handleRetarget(w http.ResponseWriter, r *http.Request) {
 	if !s.allow(w, r, bkey) {
 		return
 	}
-	if err := s.acquire(r.Context()); err != nil {
+	release, err := s.acquire(r.Context(), classOf(r, qos.Interactive))
+	if err != nil {
 		s.fail(w, r, statusFor(err), err)
 		return
 	}
-	defer s.release()
+	defer release()
 
 	rep := diag.NewReporter()
 	budget, cancel := s.budget(r.Context())
@@ -635,6 +740,7 @@ func (s *server) handleRetarget(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, statusFor(err), fmt.Errorf("retarget: %w", err))
 		return
 	}
+	s.touch(entry.Key, req.modelRequest)
 	t := entry.Target()
 	if outcome == rcache.Miss {
 		s.observePhase("freeze", t.Stats.Freeze)
@@ -666,25 +772,48 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if !s.allow(w, r, bkey) {
 		return
 	}
-	if err := s.acquire(r.Context()); err != nil {
+	// Identical compiles queued at the same time collapse onto one
+	// execution: the first request becomes the leader and runs the work,
+	// duplicates wait and replay the leader's byte-identical response.
+	cl := classOf(r, qos.Interactive)
+	v, shared, err := s.coal.Do(r.Context(), coalesceKey(bkey, req), func() (interface{}, error) {
+		return s.compileWire(r.Context(), req, bkey, cl), nil
+	})
+	if err != nil {
+		// This request's own context ended while waiting on the leader.
 		s.fail(w, r, statusFor(err), err)
 		return
 	}
-	defer s.release()
+	if shared {
+		s.cCoalesced.Inc()
+	}
+	s.writeWire(w, r, v.(*wireResult))
+}
 
-	entry, outcome, status, err := s.resolveEntry(r.Context(), req.Key, req.modelRequest)
+// compileWire runs one /v1/compile request end to end — admission,
+// target resolution, compile — and returns the response as wire bytes so
+// coalesced duplicates can replay it verbatim.  Failures are encoded
+// too: a shed or broken-circuit refusal is shared exactly like a result.
+func (s *server) compileWire(ctx context.Context, req compileRequest, bkey string, cl qos.Class) *wireResult {
+	release, err := s.acquire(ctx, cl)
+	if err != nil {
+		return errWire(err)
+	}
+	defer release()
+
+	entry, outcome, status, err := s.resolveEntry(ctx, req.Key, req.modelRequest)
 	if err != nil {
 		s.recordOutcome(bkey, err)
-		s.fail(w, r, status, err)
-		return
+		return errWireStatus(status, err)
 	}
+	s.touch(entry.Key, req.modelRequest)
 	done := s.trackCompile(entry.Key)
 	defer done()
 
-	ctx, cancel := s.compileCtx(r.Context())
+	cctx, cancel := s.compileCtx(ctx)
 	defer cancel()
 	start := time.Now()
-	res, err := entry.Compile(ctx, req.Source, core.CompileOptions{
+	res, err := entry.Compile(cctx, req.Source, core.CompileOptions{
 		NoCompaction: req.Options.NoCompaction,
 		NoPeephole:   req.Options.NoPeephole,
 		Obs:          s.scp,
@@ -692,12 +821,11 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.observePhase("compile", time.Since(start))
 	s.recordOutcome(bkey, err)
 	if err != nil {
-		s.fail(w, r, statusFor(err), fmt.Errorf("compile: %w", err))
-		return
+		return errWire(fmt.Errorf("compile: %w", err))
 	}
 
 	start = time.Now()
-	resp := compileResponse{
+	wr := marshalWire(http.StatusOK, compileResponse{
 		Key:     entry.Key,
 		Name:    entry.Target().Name,
 		Cache:   string(outcome),
@@ -705,9 +833,9 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		CodeLen: res.CodeLen(),
 		Words:   res.Words(),
 		Listing: entry.Listing(res),
-	}
+	})
 	s.observePhase("encode", time.Since(start))
-	writeJSON(w, http.StatusOK, resp)
+	return wr
 }
 
 // handleCompileBatch resolves the target once, then fans the programs
@@ -740,18 +868,24 @@ func (s *server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
 	batchStart := time.Now()
 	defer func() { s.observePhase("batch", time.Since(batchStart)) }()
 
+	// Batch work defaults to the batch class: it is dispatched after
+	// queued interactive requests and shed first under pressure.
+	cl := classOf(r, qos.Batch)
+
 	// Resolving the model may retarget: that runs under a pool slot too.
-	if err := s.acquire(r.Context()); err != nil {
+	release, err := s.acquire(r.Context(), cl)
+	if err != nil {
 		s.fail(w, r, statusFor(err), err)
 		return
 	}
 	entry, outcome, status, err := s.resolveEntry(r.Context(), req.Key, req.modelRequest)
-	s.release()
+	release()
 	if err != nil {
 		s.recordOutcome(bkey, err)
 		s.fail(w, r, status, err)
 		return
 	}
+	s.touch(entry.Key, req.modelRequest)
 
 	results := make([]batchResult, len(req.Programs))
 	var wg sync.WaitGroup
@@ -764,7 +898,7 @@ func (s *server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
 			if id == "" {
 				id = fmt.Sprintf("%d", i)
 			}
-			results[i] = s.compileOne(r.Context(), entry, id, p, req.Options)
+			results[i] = s.compileOne(r.Context(), cl, entry, id, p, req.Options)
 		}(i)
 	}
 	wg.Wait()
@@ -786,11 +920,12 @@ func (s *server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // compileOne runs a single batch program under a worker-pool slot.
-func (s *server) compileOne(ctx context.Context, entry *rcache.Entry, id string, p batchProgram, def compileOptions) batchResult {
-	if err := s.acquire(ctx); err != nil {
+func (s *server) compileOne(ctx context.Context, cl qos.Class, entry *rcache.Entry, id string, p batchProgram, def compileOptions) batchResult {
+	release, err := s.acquire(ctx, cl)
+	if err != nil {
 		return batchResult{ID: id, Status: statusFor(err), Error: err.Error()}
 	}
-	defer s.release()
+	defer release()
 	done := s.trackCompile(entry.Key)
 	defer done()
 
@@ -822,6 +957,93 @@ func (s *server) compileOne(ctx context.Context, entry *rcache.Entry, id string,
 }
 
 // ---- plumbing -----------------------------------------------------------
+
+// touch records one unit of demand against an artifact key for the
+// pre-warm popularity tracker.  The model source rides along so an
+// evicted entry can be re-retargeted speculatively; by-key requests have
+// no source and contribute demand only.
+func (s *server) touch(key string, m modelRequest) {
+	if s.pop == nil {
+		return
+	}
+	src, err := m.source()
+	if err != nil {
+		src = ""
+	}
+	s.pop.Touch(key, src)
+}
+
+// coalesceKey fingerprints everything that determines a /v1/compile
+// response: the model's breaker key (its content address), the program
+// source and the compile options.  Two requests with equal keys are
+// interchangeable and safe to answer with one execution.
+func coalesceKey(bkey string, req compileRequest) string {
+	h := sha256.New()
+	io.WriteString(h, bkey)
+	h.Write([]byte{0})
+	io.WriteString(h, req.Source)
+	fmt.Fprintf(h, "\x00%v\x00%v", req.Options.NoCompaction, req.Options.NoPeephole)
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// wireResult is a fully rendered HTTP response — status, Retry-After
+// hint, marshaled JSON body — so a coalesced duplicate can write exactly
+// the bytes its leader produced.
+type wireResult struct {
+	status int
+	after  time.Duration // Retry-After hint; 0 = none
+	body   []byte        // JSON body, newline-framed like writeJSON
+}
+
+func errWire(err error) *wireResult { return errWireStatus(statusFor(err), err) }
+
+func errWireStatus(status int, err error) *wireResult {
+	wr := &wireResult{status: status}
+	if after, ok := resilience.RetryAfterOf(err); ok {
+		wr.after = after
+	}
+	body, _ := json.Marshal(errorResponse{Error: err.Error(), Kind: refusalKind(err)})
+	wr.body = append(body, '\n')
+	return wr
+}
+
+func marshalWire(status int, v interface{}) *wireResult {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return errWireStatus(http.StatusInternalServerError, err)
+	}
+	return &wireResult{status: status, body: append(body, '\n')}
+}
+
+// writeWire writes a pre-rendered response.  Per-request concerns stay
+// per-request even when the result was shared: a disconnected client is
+// a silent abort, every error response is counted against its own
+// request, and the encode faultpoint fires once per response written.
+func (s *server) writeWire(w http.ResponseWriter, r *http.Request, wr *wireResult) {
+	if r.Context().Err() == context.Canceled {
+		s.cAborts.Inc()
+		return
+	}
+	if wr.after > 0 {
+		secs := int((wr.after + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	if wr.status >= 400 {
+		s.cErrors.With(strconv.Itoa(wr.status)).Inc()
+	}
+	if err := faultpoint.Hit("recordd.response.encode", ""); err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(wr.status)
+	_, _ = w.Write(wr.body)
+}
 
 func (s *server) readJSON(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
 	if r.Method != http.MethodPost {

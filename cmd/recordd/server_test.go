@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/dspstone"
+	"repro/internal/qos"
 )
 
 func newTestServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
@@ -408,7 +409,11 @@ func TestPoolSaturationSheds(t *testing.T) {
 		t.Fatalf("warm retarget: %d %s", code, raw)
 	}
 
-	s.sem <- struct{}{} // occupy the only worker slot
+	// Occupy the only worker slot.
+	hold, err := s.sched.Acquire(context.Background(), qos.Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// One request is allowed to queue for the slot...
 	queued := make(chan int, 1)
@@ -418,17 +423,19 @@ func TestPoolSaturationSheds(t *testing.T) {
 		queued <- code
 	}()
 	deadline := time.Now().Add(5 * time.Second)
-	for s.adm.Depth() == 0 {
+	for s.sched.Queued() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("request never queued")
 		}
 		time.Sleep(time.Millisecond)
 	}
 
-	// ...and the one after that is shed, fast and with a retry hint.
+	// ...and the one after that is shed, fast and with a retry hint.  The
+	// program differs from the queued one so the coalescer cannot merge it
+	// into the waiting leader — it must face the full queue on its own.
 	start := time.Now()
 	code, hdr, raw, err := rawPost(ts.URL+"/v1/compile",
-		map[string]string{"model_name": "demo", "source": "int a = 2; int y; y = a + 1;"})
+		map[string]string{"model_name": "demo", "source": "int a = 3; int y; y = a + 2;"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -441,12 +448,12 @@ func TestPoolSaturationSheds(t *testing.T) {
 	if d := time.Since(start); d > 2*time.Second {
 		t.Fatalf("shed took %v, want a fast rejection", d)
 	}
-	if s.adm.Shed() != 1 {
-		t.Fatalf("shed counter = %d, want 1", s.adm.Shed())
+	if got := s.sched.Shed(qos.Interactive); got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
 	}
 
 	// Freeing the slot lets the queued request finish normally.
-	<-s.sem
+	hold()
 	select {
 	case code := <-queued:
 		if code != http.StatusOK {
@@ -462,8 +469,12 @@ func TestPoolSaturationSheds(t *testing.T) {
 // counted as an abort, not a server error.
 func TestClientDisconnectIsSilentAbort(t *testing.T) {
 	s, ts := newTestServer(t, serverConfig{workers: 1})
-	s.sem <- struct{}{} // make the request queue so cancellation lands first
-	defer func() { <-s.sem }()
+	// Hold the only slot so the request queues and cancellation lands first.
+	hold, err := s.sched.Acquire(context.Background(), qos.Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	body, _ := json.Marshal(map[string]string{"model_name": "demo", "source": "int y; y = 1;"})

@@ -145,3 +145,80 @@ func TestRendezvousDeterministicAndStable(t *testing.T) {
 		}
 	}
 }
+
+func TestRingArcsNearUniform(t *testing.T) {
+	// With the default 128-vnode split, every member's share of the hash
+	// space stays near 1/n — the property the rebalancing gauges exist
+	// to watch.  sha256 point placement is deterministic, so the bounds
+	// here are exact for these member names, with headroom for growth.
+	for _, n := range []int{2, 3, 5, 8} {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("node-%d", i)
+		}
+		r := NewRing(0, members...)
+		arcs := r.Arcs()
+		if len(arcs) != n {
+			t.Fatalf("n=%d: %d arcs", n, len(arcs))
+		}
+		total := 0.0
+		uniform := 1.0 / float64(n)
+		for node, frac := range arcs {
+			total += frac
+			if frac < uniform/2 || frac > uniform*2 {
+				t.Errorf("n=%d: %s owns %.4f of the ring (uniform %.4f)", n, node, frac, uniform)
+			}
+		}
+		if total < 0.9999 || total > 1.0001 {
+			t.Fatalf("n=%d: arcs sum to %.6f", n, total)
+		}
+	}
+}
+
+func TestRingArcsEdgeCases(t *testing.T) {
+	if got := NewRing(0).Arcs(); len(got) != 0 {
+		t.Fatalf("empty ring arcs: %v", got)
+	}
+	one := NewRing(1, "solo").Arcs()
+	if one["solo"] != 1 {
+		t.Fatalf("single-point ring arc = %v", one["solo"])
+	}
+}
+
+func TestRingOwnerCounts(t *testing.T) {
+	r := NewRing(0, "a", "b", "c")
+	ks := keys(300)
+	counts := r.OwnerCounts(ks)
+	if len(counts) != 3 {
+		t.Fatalf("counts for %d nodes", len(counts))
+	}
+	total := 0
+	for node, c := range counts {
+		total += c
+		if c == 0 {
+			t.Errorf("node %s owns zero of %d keys", node, len(ks))
+		}
+	}
+	if total != len(ks) {
+		t.Fatalf("counts sum to %d, want %d", total, len(ks))
+	}
+	// Counts agree with Owner, and absent members report zero.
+	for node, c := range counts {
+		manual := 0
+		for _, k := range ks {
+			if r.Owner(k) == node {
+				manual++
+			}
+		}
+		if manual != c {
+			t.Fatalf("node %s: OwnerCounts %d vs manual %d", node, c, manual)
+		}
+	}
+	r2 := NewRing(0, "a", "b", "lonely-node-that-owns-nothing-maybe")
+	counts2 := r2.OwnerCounts(nil)
+	for node, c := range counts2 {
+		if c != 0 {
+			t.Fatalf("no keys but node %s counts %d", node, c)
+		}
+	}
+}

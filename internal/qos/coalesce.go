@@ -1,0 +1,76 @@
+package qos
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// flight is one in-progress leader call; followers wait on done.
+type cflight struct {
+	done chan struct{}
+	val  interface{}
+	err  error
+}
+
+// Coalescer merges concurrent duplicate requests: the first caller for
+// a key (the leader) runs fn; every caller that arrives while the
+// leader is still working (a follower) waits and receives the leader's
+// exact result.  Unlike the retarget singleflight in internal/rcache,
+// the coalesced value here is the full response — recordd uses it to
+// collapse a thundering herd of identical (model, program) compiles
+// into one compile whose bytes fan out to every waiter.
+//
+// Followers are released by their own context: a follower whose client
+// disconnects stops waiting without affecting the leader.  A nil
+// *Coalescer runs every call itself (coalescing off).
+type Coalescer struct {
+	mu      sync.Mutex
+	flights map[string]*cflight
+	merged  atomic.Uint64
+}
+
+// Do runs fn for key, or joins an in-progress call for the same key.
+// shared reports whether the result came from another caller's run —
+// the caller's own fn never executed.  On a follower whose ctx ends
+// first, Do returns (nil, true, ctx.Err()).
+func (c *Coalescer) Do(ctx context.Context, key string, fn func() (interface{}, error)) (v interface{}, shared bool, err error) {
+	if c == nil {
+		v, err = fn()
+		return v, false, err
+	}
+	c.mu.Lock()
+	if c.flights == nil {
+		c.flights = make(map[string]*cflight)
+	}
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		c.merged.Add(1)
+		select {
+		case <-f.done:
+			return f.val, true, f.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	f := &cflight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, false, f.err
+}
+
+// Merged reports how many calls were answered from another caller's
+// run (followers, whether or not their wait completed).
+func (c *Coalescer) Merged() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.merged.Load()
+}

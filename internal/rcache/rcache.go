@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -65,6 +66,12 @@ type Stats struct {
 	DiskFails uint64 // disk-tier write failures (any cause)
 	PeerHits  uint64 // artifacts fetched from a fleet peer
 	PeerFails uint64 // peer fetches that failed (degraded to local retarget)
+
+	// Speculative pre-warm is attributed apart from serving traffic so
+	// the hit-rate computed from the counters above is what real
+	// requests experienced, not what background loading manufactured.
+	PrewarmLoads     uint64 // keys brought into the memory tier by Prewarm
+	PrewarmRetargets uint64 // retargets run by Prewarm (not counted in Retargets)
 }
 
 // Options configures a cache.
@@ -149,6 +156,7 @@ type Cache struct {
 	cOrphans    *obs.Counter
 	cDiskErrors *obs.Counter
 	cPeerErrors *obs.Counter
+	cPrewarm    *obs.CounterVec // by outcome; kept apart from cHits/cMisses
 	gDegraded   *obs.Gauge
 }
 
@@ -190,6 +198,8 @@ func New(opts Options) (*Cache, error) {
 		"disk-tier write failures")
 	c.cPeerErrors = reg.Counter("record_rcache_peer_errors_total",
 		"peer artifact fetches that failed (degraded to local retarget)")
+	c.cPrewarm = reg.CounterVec("record_rcache_prewarm_total",
+		"speculative pre-warm attempts, by outcome; attributed apart from the serving hit/miss counters", "outcome")
 	c.gDegraded = reg.Gauge("record_rcache_disk_degraded",
 		"1 when the disk tier is disabled after an unusable-disk error")
 	if opts.Dir != "" {
@@ -451,12 +461,27 @@ func (c *Cache) loadDisk(key string) *Entry {
 }
 
 // fetchPeer asks the PeerFetch hook for another node's encoded artifact
-// on a local miss.  Any failure — peer miss, transport error, corrupt or
-// mismatched bytes — returns nil and the caller falls back to a local
-// retarget: peer replication can only ever save work, never fail a
-// request.  Fetched bytes are persisted to the local disk tier so the
-// copy survives restarts and is servable onward to other peers.
+// on a local miss, counting a success as a serving peer hit.  Any
+// failure — peer miss, transport error, corrupt or mismatched bytes —
+// returns nil and the caller falls back to a local retarget: peer
+// replication can only ever save work, never fail a request.
 func (c *Cache) fetchPeer(ctx context.Context, key string) *Entry {
+	entry := c.peerEntry(ctx, key)
+	if entry == nil {
+		return nil
+	}
+	c.mu.Lock()
+	c.stats.PeerHits++
+	c.mu.Unlock()
+	c.cHits.With("peer").Inc()
+	return entry
+}
+
+// peerEntry is the fetch itself, without the serving-hit attribution:
+// Prewarm uses it directly so background replication does not inflate
+// the hit counters.  Fetched bytes are persisted to the local disk tier
+// so the copy survives restarts and is servable onward to other peers.
+func (c *Cache) peerEntry(ctx context.Context, key string) *Entry {
 	if c.opts.PeerFetch == nil {
 		return nil
 	}
@@ -482,10 +507,6 @@ func (c *Cache) fetchPeer(ctx context.Context, key string) *Entry {
 		c.peerFail(key, err)
 		return nil
 	}
-	c.mu.Lock()
-	c.stats.PeerHits++
-	c.mu.Unlock()
-	c.cHits.With("peer").Inc()
 	if c.opts.Dir != "" && !c.diskOff.Load() {
 		if err := c.storeBytes(key, data); err != nil {
 			c.diskFail(key, err)
@@ -633,6 +654,148 @@ func (c *Cache) Close() error {
 		return nil
 	}
 	return syncDir(c.opts.Dir)
+}
+
+// ---- speculative pre-warm ----------------------------------------------
+
+// InMemory reports whether key already sits in the memory tier, without
+// touching its LRU position or any counter.
+func (c *Cache) InMemory(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.byKey[key]
+	return ok
+}
+
+// Keys lists the content addresses present in the disk store, sorted.
+// A memory-only or degraded cache lists nothing.
+func (c *Cache) Keys() []string {
+	if c.opts.Dir == "" || c.diskOff.Load() {
+		return nil
+	}
+	entries, err := os.ReadDir(c.opts.Dir)
+	if err != nil {
+		return nil
+	}
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		if k := strings.TrimSuffix(name, ".rart"); k != name && validKey(k) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Prewarm brings the artifact for key into the memory tier ahead of
+// demand: disk first, then a fleet peer, then — when mdlSource is known
+// — a fresh retarget.  The next real request for the key is then a
+// memory hit.
+//
+// Attribution is the point of having a separate entry point: everything
+// Prewarm does lands in record_rcache_prewarm_total{outcome} and the
+// Stats.Prewarm* counters, never in the serving hit/miss/retarget
+// counters, so the externally observed hit rate reflects real traffic
+// only.  A retargeting Prewarm registers the same in-flight marker as
+// GetContext, so a real request arriving mid-warm coalesces onto the
+// background work instead of duplicating it.
+//
+// The returned outcome mirrors GetContext's tiers: Mem (already warm),
+// Coalesced (someone else is filling it), Disk/Peer (decoded into
+// memory), Miss with nil error (retargeted, or nothing to warm from
+// when mdlSource is empty and no tier has a copy).
+func (c *Cache) Prewarm(ctx context.Context, key, mdlSource string, ropts core.RetargetOptions) (Outcome, error) {
+	if !validKey(key) {
+		return Miss, fmt.Errorf("rcache: malformed artifact key %q", key)
+	}
+	c.mu.Lock()
+	if _, ok := c.byKey[key]; ok {
+		c.mu.Unlock()
+		c.cPrewarm.With("warm").Inc()
+		return Mem, nil
+	}
+	if _, ok := c.flight[key]; ok {
+		c.mu.Unlock()
+		c.cPrewarm.With("inflight").Inc()
+		return Coalesced, nil
+	}
+	c.mu.Unlock()
+
+	// Cheap tiers first, without an in-flight marker: a decode failure
+	// here degrades to the next tier and can never poison a concurrent
+	// real request.
+	if entry := c.loadDisk(key); entry != nil {
+		c.adoptPrewarmed(key, entry, "hit-disk")
+		return Disk, nil
+	}
+	if entry := c.peerEntry(ctx, key); entry != nil {
+		c.adoptPrewarmed(key, entry, "hit-peer")
+		return Peer, nil
+	}
+	if mdlSource == "" {
+		// Known only by key (the clients always sent "key"): with no
+		// tier holding a copy there is nothing to rebuild it from.
+		c.cPrewarm.With("skipped").Inc()
+		return Miss, nil
+	}
+	if got := artifact.Key(mdlSource, ropts); got != key {
+		return Miss, fmt.Errorf("rcache: prewarm source addresses %s, not %s", got, key)
+	}
+
+	c.mu.Lock()
+	if _, ok := c.byKey[key]; ok { // raced a real fill
+		c.mu.Unlock()
+		c.cPrewarm.With("warm").Inc()
+		return Mem, nil
+	}
+	if _, ok := c.flight[key]; ok {
+		c.mu.Unlock()
+		c.cPrewarm.With("inflight").Inc()
+		return Coalesced, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flight[key] = f
+	c.stats.PrewarmRetargets++
+	c.mu.Unlock()
+
+	t, err := core.RetargetContext(ctx, mdlSource, ropts)
+	var entry *Entry
+	if err == nil {
+		entry = &Entry{Key: key, target: t}
+		if c.opts.Dir != "" && !c.diskOff.Load() && artifact.Cacheable(t) {
+			if serr := c.store(key, t, mdlSource, ropts); serr != nil {
+				c.diskFail(key, serr)
+			}
+		}
+	}
+	c.mu.Lock()
+	delete(c.flight, key)
+	if err == nil && artifact.Cacheable(entry.target) {
+		c.insert(key, entry)
+		c.stats.PrewarmLoads++
+	}
+	c.mu.Unlock()
+	f.entry, f.err = entry, err
+	close(f.done)
+	if err != nil {
+		c.cPrewarm.With("error").Inc()
+		return Miss, err
+	}
+	c.cPrewarm.With("retargeted").Inc()
+	return Miss, nil
+}
+
+// adoptPrewarmed inserts a tier-decoded entry under pre-warm
+// attribution, preferring a concurrently inserted one.
+func (c *Cache) adoptPrewarmed(key string, entry *Entry, outcome string) {
+	c.mu.Lock()
+	if _, ok := c.byKey[key]; !ok {
+		c.insert(key, entry)
+		c.stats.PrewarmLoads++
+	}
+	c.mu.Unlock()
+	c.cPrewarm.With(outcome).Inc()
 }
 
 // insert adds an entry to the memory tier, evicting from the LRU tail.

@@ -123,6 +123,15 @@ func NewFleet(bases []string) (*Fleet, error) {
 // Endpoints returns the fleet's endpoints in ring-independent order.
 func (f *Fleet) Endpoints() []string { return append([]string(nil), f.endpoints...) }
 
+// SetPriority declares the QoS class ("interactive" or "batch") sent
+// with every request from every endpoint client; "" restores the
+// server's per-route defaults.  Call before issuing requests.
+func (f *Fleet) SetPriority(p string) {
+	for _, c := range f.clients {
+		c.Priority = p
+	}
+}
+
 // States snapshots per-endpoint health, every endpoint present.
 func (f *Fleet) States() map[string]fleet.State {
 	out := make(map[string]fleet.State, len(f.endpoints))

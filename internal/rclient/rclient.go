@@ -122,6 +122,12 @@ type Client struct {
 	HTTP    *http.Client        // transport; New sets a sane timeout
 	Policy  resilience.Policy   // retry policy for transient failures
 	Breaker *resilience.Breaker // local per-model circuit; nil = always allow
+
+	// Priority is the declared QoS class sent as X-Record-Priority
+	// ("interactive" or "batch"); empty keeps the server's per-route
+	// default.  The server treats unknown values as the default, so this
+	// is a hint, never a way to fail a request.
+	Priority string
 }
 
 // New returns a client with the default resilience posture: four attempts
@@ -242,6 +248,9 @@ func (c *Client) postRaw(ctx context.Context, path string, in interface{}) ([]by
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.Priority != "" {
+		req.Header.Set("X-Record-Priority", c.Priority)
+	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return nil, err
