@@ -37,7 +37,7 @@ func benchRetarget(b *testing.B, model string) {
 	b.ReportAllocs()
 	var templates int
 	for i := 0; i < b.N; i++ {
-		tg, err := core.Retarget(mdl, core.RetargetOptions{EmitParserSource: true})
+		tg, err := core.RetargetContext(context.Background(), mdl, core.RetargetOptions{EmitParserSource: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -68,14 +68,14 @@ func BenchmarkRetargetCached(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, _, err := warm.Get(mdl, core.RetargetOptions{}); err != nil {
+	if _, _, err := warm.GetContext(context.Background(), mdl, core.RetargetOptions{}); err != nil {
 		b.Fatal(err)
 	}
 
 	b.Run("Cold", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := core.Retarget(mdl, core.RetargetOptions{}); err != nil {
+			if _, err := core.RetargetContext(context.Background(), mdl, core.RetargetOptions{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -87,7 +87,7 @@ func BenchmarkRetargetCached(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			_, out, err := c.Get(mdl, core.RetargetOptions{})
+			_, out, err := c.GetContext(context.Background(), mdl, core.RetargetOptions{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -99,7 +99,7 @@ func BenchmarkRetargetCached(b *testing.B) {
 	b.Run("WarmMem", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			_, out, err := warm.Get(mdl, core.RetargetOptions{})
+			_, out, err := warm.GetContext(context.Background(), mdl, core.RetargetOptions{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -121,7 +121,7 @@ var (
 func c25(b *testing.B) *core.Target {
 	c25Once.Do(func() {
 		mdl, _ := models.Get("tms320c25")
-		c25Tg, c25Err = core.Retarget(mdl, core.RetargetOptions{})
+		c25Tg, c25Err = core.RetargetContext(context.Background(), mdl, core.RetargetOptions{})
 	})
 	if c25Err != nil {
 		b.Fatal(c25Err)
@@ -138,7 +138,7 @@ func benchKernel(b *testing.B, name string) {
 	b.ReportAllocs()
 	var words int
 	for i := 0; i < b.N; i++ {
-		res, err := tg.CompileSource(k.Source, core.CompileOptions{})
+		res, err := tg.CompileSourceContext(context.Background(), k.Source, core.CompileOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -162,12 +162,16 @@ func BenchmarkFigure2_Convolution(b *testing.B)     { benchKernel(b, "convolutio
 // ---- Parallel compilation throughput on the frozen target --------------
 
 // benchParallelCompile measures DSPStone kernel compilation throughput at
-// a fixed worker count against one shared frozen TMS320C25 target: the
-// lock-free scaling claim of the frozen-target design.  ns/op is per
-// compiled kernel, so near-linear scaling shows as ns/op dropping with
-// the worker count.
+// a fixed worker count through one shared core.Compiler over the frozen
+// TMS320C25 target: the contention-free scaling claim of the frozen-target
+// design plus the pooled-session hot path.  ns/op is per compiled kernel,
+// so near-linear scaling shows as ns/op dropping with the worker count.
 func benchParallelCompile(b *testing.B, workers int) {
 	tg := c25(b)
+	comp, err := core.NewCompiler(tg, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
 	kernels := []string{"real_update", "dot_product", "fir", "biquad_one"}
 	srcs := make([]string, len(kernels))
 	for i, name := range kernels {
@@ -187,17 +191,19 @@ func benchParallelCompile(b *testing.B, workers int) {
 		for pb.Next() {
 			src := srcs[i%len(srcs)]
 			i++
-			if _, err := tg.CompileSourceContext(context.Background(), src, core.CompileOptions{}); err != nil {
+			if _, err := comp.CompileSource(context.Background(), src); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 }
 
-func BenchmarkParallelCompile1(b *testing.B) { benchParallelCompile(b, 1) }
-func BenchmarkParallelCompile2(b *testing.B) { benchParallelCompile(b, 2) }
-func BenchmarkParallelCompile4(b *testing.B) { benchParallelCompile(b, 4) }
-func BenchmarkParallelCompile8(b *testing.B) { benchParallelCompile(b, 8) }
+func BenchmarkParallelCompile1(b *testing.B)  { benchParallelCompile(b, 1) }
+func BenchmarkParallelCompile2(b *testing.B)  { benchParallelCompile(b, 2) }
+func BenchmarkParallelCompile4(b *testing.B)  { benchParallelCompile(b, 4) }
+func BenchmarkParallelCompile8(b *testing.B)  { benchParallelCompile(b, 8) }
+func BenchmarkParallelCompile16(b *testing.B) { benchParallelCompile(b, 16) }
+func BenchmarkParallelCompile32(b *testing.B) { benchParallelCompile(b, 32) }
 
 // BenchmarkFigure2_NaiveBaseline measures the baseline compiler on the
 // dot-product kernel (its worst case, 527% of hand-written).
@@ -235,13 +241,13 @@ y = b*a + d*c;
 			name = "plain"
 		}
 		b.Run(name, func(b *testing.B) {
-			tg, err := core.Retarget(mdl, core.RetargetOptions{NoExtension: !ext})
+			tg, err := core.RetargetContext(context.Background(), mdl, core.RetargetOptions{NoExtension: !ext})
 			if err != nil {
 				b.Fatal(err)
 			}
 			var words int
 			for i := 0; i < b.N; i++ {
-				res, err := tg.CompileSource(src, core.CompileOptions{})
+				res, err := tg.CompileSourceContext(context.Background(), src, core.CompileOptions{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -266,7 +272,7 @@ func BenchmarkAblationCompaction(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var words int
 			for i := 0; i < b.N; i++ {
-				res, err := tg.CompileSource(k.Source,
+				res, err := tg.CompileSourceContext(context.Background(), k.Source,
 					core.CompileOptions{NoCompaction: !on})
 				if err != nil {
 					b.Fatal(err)
@@ -291,7 +297,7 @@ func BenchmarkAblationPeephole(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var words int
 			for i := 0; i < b.N; i++ {
-				res, err := tg.CompileSource(k.Source,
+				res, err := tg.CompileSourceContext(context.Background(), k.Source,
 					core.CompileOptions{NoPeephole: !on})
 				if err != nil {
 					b.Fatal(err)
@@ -315,7 +321,7 @@ func BenchmarkAblationBDDOrder(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				tg, err := core.Retarget(mdl, core.RetargetOptions{
+				tg, err := core.RetargetContext(context.Background(), mdl, core.RetargetOptions{
 					ISE: iseOptions(msb),
 				})
 				if err != nil {
@@ -338,7 +344,7 @@ func BenchmarkCodeSelection(b *testing.B) {
 	b.ResetTimer()
 	var rts int
 	for i := 0; i < b.N; i++ {
-		res, err := tg.CompileSource(k.Source, core.CompileOptions{NoCompaction: true})
+		res, err := tg.CompileSourceContext(context.Background(), k.Source, core.CompileOptions{NoCompaction: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -351,7 +357,7 @@ func BenchmarkCodeSelection(b *testing.B) {
 func BenchmarkSimulation(b *testing.B) {
 	tg := c25(b)
 	k, _ := dspstone.Get("fir")
-	res, err := tg.CompileSource(k.Source, core.CompileOptions{})
+	res, err := tg.CompileSourceContext(context.Background(), k.Source, core.CompileOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}

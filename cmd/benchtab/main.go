@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -81,7 +82,7 @@ func printTable3() error {
 		"processor", "extracted", "templates", "retarget time", "ISE", "grammar", "parser gen")
 	fmt.Println(strings.Repeat("-", 88))
 	for _, e := range models.All() {
-		tg, err := core.Retarget(e.MDL, core.RetargetOptions{EmitParserSource: true})
+		tg, err := core.RetargetContext(context.Background(), e.MDL, core.RetargetOptions{EmitParserSource: true})
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.Name, err)
 		}
@@ -98,7 +99,7 @@ func printFig2() error {
 	fmt.Println("(the naive macro-expansion baseline plays the vendor C compiler's role)")
 	fmt.Println()
 	mdl, _ := models.Get("tms320c25")
-	tg, err := core.Retarget(mdl, core.RetargetOptions{})
+	tg, err := core.RetargetContext(context.Background(), mdl, core.RetargetOptions{})
 	if err != nil {
 		return err
 	}
@@ -106,7 +107,7 @@ func printFig2() error {
 		"kernel", "hand", "record", "naive", "record%", "naive%")
 	fmt.Println(strings.Repeat("-", 66))
 	for _, k := range dspstone.Suite() {
-		rec, err := tg.CompileSource(k.Source, core.CompileOptions{})
+		rec, err := tg.CompileSourceContext(context.Background(), k.Source, core.CompileOptions{})
 		if err != nil {
 			return fmt.Errorf("%s (record): %w", k.Name, err)
 		}

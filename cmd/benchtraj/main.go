@@ -48,6 +48,7 @@ type Entry struct {
 	Label         string             `json:"label"`
 	NsPerOp       map[string]float64 `json:"ns_per_op,omitempty"`
 	SpeedupAt4    float64            `json:"speedup_at_4,omitempty"`
+	SpeedupAt16   float64            `json:"speedup_at_16,omitempty"`
 	ServerNsPerOp map[string]float64 `json:"server_ns_per_op,omitempty"`
 	PhaseSeconds  map[string]float64 `json:"phase_seconds,omitempty"`
 }
@@ -174,6 +175,55 @@ func countEntries(path string) (int, error) {
 	return len(entries), nil
 }
 
+// prevSlack is the tolerance the "prev" gate grants against run-to-run
+// benchmark noise: the new entry may be up to 10% below the previous
+// entry's speedup before the gate fails.
+const prevSlack = 0.9
+
+// gateSpeedup fails when the trajectory's newest entry regresses in
+// parallel-compile speedup.  spec is either an absolute floor ("1.5") or
+// "prev", which floors the new entry at prevSlack times the most recent
+// earlier entry that recorded a speedup (nothing to compare against =
+// pass: the gate bites from the second measured entry onward).
+func gateSpeedup(path, spec string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return fmt.Errorf("benchtraj: %s is not a trajectory array: %w", path, err)
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("benchtraj: %s has no entries to gate", path)
+	}
+	last := entries[len(entries)-1]
+	if last.SpeedupAt4 == 0 {
+		return fmt.Errorf("benchtraj: entry %q has no speedup_at_4; cannot gate", last.Label)
+	}
+	var min float64
+	if spec == "prev" {
+		for i := len(entries) - 2; i >= 0; i-- {
+			if entries[i].SpeedupAt4 > 0 {
+				min = entries[i].SpeedupAt4 * prevSlack
+				break
+			}
+		}
+		if min == 0 {
+			return nil // first measured entry: nothing to regress from
+		}
+	} else {
+		if min, err = strconv.ParseFloat(spec, 64); err != nil {
+			return fmt.Errorf("benchtraj: -min-speedup-at-4 wants a number or \"prev\", got %q", spec)
+		}
+	}
+	if last.SpeedupAt4 < min {
+		return fmt.Errorf("benchtraj: speedup_at_4 regression: entry %q has %.3f, below the floor %.3f",
+			last.Label, last.SpeedupAt4, min)
+	}
+	return nil
+}
+
 func run(in io.Reader, outPath, label, tracePath string) error {
 	ns, server, err := parse(in)
 	if err != nil {
@@ -194,6 +244,9 @@ func run(in io.Reader, outPath, label, tracePath string) error {
 		if n4, ok4 := ns["4"]; ok4 && n4 > 0 {
 			e.SpeedupAt4 = n1 / n4
 		}
+		if n16, ok16 := ns["16"]; ok16 && n16 > 0 {
+			e.SpeedupAt16 = n1 / n16
+		}
 	}
 	if tracePath != "" {
 		phases, err := parsePhaseTrace(tracePath)
@@ -211,6 +264,7 @@ func main() {
 	label := flag.String("label", "local", "label for this run (e.g. the commit SHA)")
 	phaseTrace := flag.String("phase-trace", "", "Chrome trace JSON from `record -trace`; per-phase durations are added to the entry")
 	entries := flag.String("entries", "", "print the entry count of this trajectory file and exit (missing file = 0)")
+	minSpeedup := flag.String("min-speedup-at-4", "", "after appending, fail unless the new entry's speedup_at_4 meets this floor (a number, or \"prev\" for 90% of the previous entry)")
 	flag.Parse()
 
 	if *entries != "" {
@@ -236,5 +290,11 @@ func main() {
 	if err := run(in, *outFile, *label, *phaseTrace); err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(1)
+	}
+	if *minSpeedup != "" {
+		if err := gateSpeedup(*outFile, *minSpeedup); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -16,6 +16,8 @@ BenchmarkParallelCompile1 	    2138	    527672 ns/op	  291766 B/op	    3951 allo
 BenchmarkParallelCompile2 	    2103	    603139 ns/op	  291934 B/op	    3953 allocs/op
 BenchmarkParallelCompile4 	     870	   1268698 ns/op	  291604 B/op	    3947 allocs/op
 BenchmarkParallelCompile8-4 	     894	   1493683 ns/op	  291576 B/op	    3944 allocs/op
+BenchmarkParallelCompile16-4 	     612	   1655133 ns/op	  291580 B/op	    3944 allocs/op
+BenchmarkParallelCompile32-4 	     433	   1892411 ns/op	  291587 B/op	    3945 allocs/op
 BenchmarkServerCompile-4     	      50	    353216 ns/op	  107867 B/op	    1517 allocs/op
 BenchmarkServerCompileShed-4 	      50	    137470 ns/op	  107898 B/op	    1518 allocs/op
 BenchmarkServerCompileQoS-4 	      50	    221133 ns/op	  107902 B/op	    1519 allocs/op
@@ -28,7 +30,7 @@ func TestParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ns) != 4 || ns["1"] != 527672 || ns["8"] != 1493683 {
+	if len(ns) != 6 || ns["1"] != 527672 || ns["8"] != 1493683 || ns["32"] != 1892411 {
 		t.Fatalf("parsed %v", ns)
 	}
 	if len(server) != 3 || server["base"] != 353216 || server["shed"] != 137470 || server["qos"] != 221133 {
@@ -74,6 +76,10 @@ func TestRunAppends(t *testing.T) {
 	want := 527672.0 / 1268698.0
 	if got := entries[0].SpeedupAt4; got < want-1e-9 || got > want+1e-9 {
 		t.Fatalf("speedup_at_4 = %v, want %v", got, want)
+	}
+	want16 := 527672.0 / 1655133.0
+	if got := entries[0].SpeedupAt16; got < want16-1e-9 || got > want16+1e-9 {
+		t.Fatalf("speedup_at_16 = %v, want %v", got, want16)
 	}
 	if entries[0].ServerNsPerOp["shed"] != 137470 {
 		t.Fatalf("server_ns_per_op not persisted: %+v", entries[0])
@@ -145,6 +151,66 @@ func TestRunPhaseTraceWithoutBench(t *testing.T) {
 	// ...but not without one.
 	if err := run(strings.NewReader(""), path, "none", ""); err == nil {
 		t.Fatal("empty bench input accepted without a phase trace")
+	}
+}
+
+// writeTrajectory writes a trajectory of entries with the given
+// speedup_at_4 values (0 = entry without a measured speedup).
+func writeTrajectory(t *testing.T, speedups ...float64) string {
+	t.Helper()
+	entries := make([]Entry, len(speedups))
+	for i, s := range speedups {
+		entries[i] = Entry{Label: "e", SpeedupAt4: s}
+	}
+	data, err := json.Marshal(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trajectory.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGateSpeedup covers the CI regression gate on speedup_at_4.
+func TestGateSpeedup(t *testing.T) {
+	cases := []struct {
+		name     string
+		speedups []float64
+		spec     string
+		wantErr  bool
+	}{
+		{"absolute-pass", []float64{0.80}, "0.5", false},
+		{"absolute-fail", []float64{0.40}, "0.5", true},
+		{"prev-pass-equal", []float64{0.80, 0.80}, "prev", false},
+		{"prev-pass-within-slack", []float64{0.80, 0.75}, "prev", false},
+		{"prev-fail-regression", []float64{0.80, 0.60}, "prev", true},
+		{"prev-first-entry", []float64{0.80}, "prev", false},
+		{"prev-skips-unmeasured", []float64{0.80, 0, 0.60}, "prev", true},
+		{"bad-spec", []float64{0.80}, "fast", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeTrajectory(t, tc.speedups...)
+			err := gateSpeedup(path, tc.spec)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("gateSpeedup(%v, %q) = %v, wantErr=%v", tc.speedups, tc.spec, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestGateSpeedupRejectsUnmeasuredHead fails the gate when the entry it is
+// supposed to protect carries no speedup at all — a bench run that silently
+// dropped its parallel lines must not pass.
+func TestGateSpeedupRejectsUnmeasuredHead(t *testing.T) {
+	path := writeTrajectory(t, 0.80, 0)
+	if err := gateSpeedup(path, "prev"); err == nil {
+		t.Fatal("entry without speedup_at_4 passed the gate")
+	}
+	if err := gateSpeedup(writeTrajectory(t), "0.5"); err == nil {
+		t.Fatal("empty trajectory passed the gate")
 	}
 }
 

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -56,7 +57,7 @@ func run() error {
 		return fmt.Errorf("no processor model: use -model or -mdl")
 	}
 
-	target, err := core.Retarget(mdl, core.RetargetOptions{NoExtension: *noExtension})
+	target, err := core.RetargetContext(context.Background(), mdl, core.RetargetOptions{NoExtension: *noExtension})
 	if err != nil {
 		return err
 	}

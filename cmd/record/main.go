@@ -290,6 +290,7 @@ func compile(c *config, rep *diag.Reporter, budget *diag.Budget, stdout, stderr 
 
 	ropts := c.core.Retarget(rep, budget)
 	var target *core.Target
+	var comp *core.Compiler
 	if c.cacheDir != "" {
 		cache, err := rcache.New(rcache.Options{Dir: c.cacheDir, MaxEntries: 1, Reporter: rep, Obs: c.core.Obs})
 		if err != nil {
@@ -304,6 +305,7 @@ func compile(c *config, rep *diag.Reporter, budget *diag.Budget, stdout, stderr 
 			return err
 		}
 		target = entry.Target()
+		comp = entry.Compiler()
 		if c.showStats {
 			state := "miss"
 			if outcome.Hit() {
@@ -313,7 +315,7 @@ func compile(c *config, rep *diag.Reporter, budget *diag.Budget, stdout, stderr 
 		}
 	} else {
 		var err error
-		target, err = core.Retarget(mdl, ropts)
+		target, err = core.RetargetContext(context.Background(), mdl, ropts)
 		if err != nil {
 			return err
 		}
@@ -322,10 +324,18 @@ func compile(c *config, rep *diag.Reporter, budget *diag.Budget, stdout, stderr 
 		printRetargetStats(stdout, target)
 	}
 
-	if len(c.srcFiles) > 0 {
-		return compileMany(c, target, budget, stdout, stderr)
+	// One Compiler for the whole run: every file, worker goroutine and
+	// control-flow block compiles through its pooled sessions.
+	if comp == nil {
+		if comp, err = core.NewCompiler(target, c.core); err != nil {
+			return err
+		}
 	}
-	return compileOne(c, target, src, rep, budget, stdout)
+
+	if len(c.srcFiles) > 0 {
+		return compileMany(c, comp, budget, stdout, stderr)
+	}
+	return compileOne(c, comp, src, rep, budget, stdout)
 }
 
 // compileRemote compiles against a running recordd instead of the local
@@ -363,22 +373,13 @@ func compileRemote(c *config, budget *diag.Budget, stdout io.Writer) error {
 	if budget != nil && budget.Ctx != nil {
 		ctx = budget.Ctx
 	}
-	// One URL gets the plain client; a comma-separated list gets the
-	// fleet client: requests shard across nodes by artifact content
-	// address, fail over to the next ring replica when a node is down or
-	// draining, and hedge slow requests against a second replica.
-	var cl rclient.Service
-	if urls := strings.Split(c.serverURL, ","); len(urls) > 1 {
-		f, err := rclient.NewFleet(urls)
-		if err != nil {
-			return err
-		}
-		f.SetPriority(c.priority)
-		cl = f
-	} else {
-		sc := rclient.New(c.serverURL)
-		sc.Priority = c.priority
-		cl = sc
+	// -server takes 1..N comma-separated URLs through one constructor: a
+	// single endpoint gets the plain client, more get the fleet client
+	// (content-address sharding, failover, hedging) — same Service either
+	// way, no branching here.
+	cl, err := rclient.New(strings.Split(c.serverURL, ","), rclient.Options{Priority: c.priority})
+	if err != nil {
+		return err
 	}
 	rt, err := cl.Retarget(ctx, ref)
 	if err != nil {
@@ -449,7 +450,7 @@ func printRemoteResult(stdout io.Writer, res *rclient.CompileResult) {
 // target, fanning files across -jobs workers.  Per-file output and
 // diagnostics are buffered and replayed in argument order, so parallel
 // runs are byte-identical to serial ones.
-func compileMany(c *config, target *core.Target, budget *diag.Budget, stdout, stderr io.Writer) error {
+func compileMany(c *config, comp *core.Compiler, budget *diag.Budget, stdout, stderr io.Writer) error {
 	type job struct {
 		out, diags bytes.Buffer
 		err        error
@@ -470,7 +471,7 @@ func compileMany(c *config, target *core.Target, budget *diag.Budget, stdout, st
 				j.err = err
 				return
 			}
-			j.err = compileOne(c, target, string(src), rep, budget, &j.out)
+			j.err = compileOne(c, comp, string(src), rep, budget, &j.out)
 			listDiagnostics(&j.diags, rep, file)
 			if j.err == nil && rep.Errors() > 0 {
 				j.err = fmt.Errorf("failing due to %s", rep.Summary())
@@ -504,7 +505,8 @@ func compileMany(c *config, target *core.Target, budget *diag.Budget, stdout, st
 
 // compileOne compiles a single RecC source against the target, writing
 // listings and statistics to stdout.
-func compileOne(c *config, target *core.Target, src string, rep *diag.Reporter, budget *diag.Budget, stdout io.Writer) error {
+func compileOne(c *config, comp *core.Compiler, src string, rep *diag.Reporter, budget *diag.Budget, stdout io.Writer) error {
+	target := comp.Target()
 	prog, err := cfront.Parse(src)
 	if err != nil {
 		rep.Errorf("recc", diag.Pos{}, "%v", err)
@@ -514,7 +516,7 @@ func compileOne(c *config, target *core.Target, src string, rep *diag.Reporter, 
 		if c.useNaive {
 			return usagef("the naive baseline does not support control flow")
 		}
-		return runControlFlow(target, prog, c, rep, budget, stdout)
+		return runControlFlow(comp, prog, c, rep, budget, stdout)
 	}
 
 	var res *core.CompileResult
@@ -527,7 +529,7 @@ func compileOne(c *config, target *core.Target, src string, rep *diag.Reporter, 
 			if budget != nil && budget.Ctx != nil {
 				ctx = budget.Ctx
 			}
-			res, err = target.CompileProgramContext(ctx, prog, c.core.Compile())
+			res, err = comp.CompileProgramOpts(ctx, prog, c.core.Compile())
 		}
 		return err
 	})
@@ -573,12 +575,16 @@ func compileOne(c *config, target *core.Target, src string, rep *diag.Reporter, 
 
 // runControlFlow compiles and optionally executes a program with branches
 // through the control-flow extension.
-func runControlFlow(target *core.Target, prog *ir.Program, c *config, rep *diag.Reporter, budget *diag.Budget, stdout io.Writer) error {
+func runControlFlow(comp *core.Compiler, prog *ir.Program, c *config, rep *diag.Reporter, budget *diag.Budget, stdout io.Writer) error {
+	target := comp.Target()
+	sess := comp.AcquireSession()
+	defer comp.ReleaseSession(sess)
 	opts := cflow.Options{
 		NoCompaction: c.core.NoCompaction,
 		Reporter:     rep,
 		Budget:       budget,
 		Obs:          c.core.Obs,
+		Session:      sess,
 	}
 	var res *cflow.Result
 	err := diag.Guard(rep, "cflow", func() error {

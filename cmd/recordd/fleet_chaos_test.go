@@ -231,7 +231,7 @@ func TestFleetChaosNodeKillFailover(t *testing.T) {
 	// peer, and the transfer must be visible in node-labelled metrics on
 	// both ends.
 	nonOwner := byURL[order[1]]
-	direct := rclient.New(nonOwner.url)
+	direct := rclient.NewClient(nonOwner.url)
 	res, err := direct.Compile(ctx, byKey, prog, rclient.CompileOptions{})
 	if err != nil {
 		t.Fatalf("by-key compile on non-owner %s: %v", nonOwner.id, err)
@@ -299,7 +299,7 @@ func TestFleetChaosNodeKillFailover(t *testing.T) {
 	// crash-safe cache must still hold the artifact, and the fleet
 	// client's ring must route to it again after a probe.
 	owner.start(t)
-	revived := rclient.New(owner.url)
+	revived := rclient.NewClient(owner.url)
 	res, err = revived.Compile(ctx, byKey, prog, rclient.CompileOptions{})
 	if err != nil {
 		t.Fatalf("compile on revived %s: %v", owner.id, err)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -73,11 +74,11 @@ func run() error {
 		return fmt.Errorf("no source: use -src or -kernel")
 	}
 
-	target, err := core.Retarget(mdl, core.RetargetOptions{})
+	target, err := core.RetargetContext(context.Background(), mdl, core.RetargetOptions{})
 	if err != nil {
 		return err
 	}
-	res, err := target.CompileSource(src, core.CompileOptions{})
+	res, err := target.CompileSourceContext(context.Background(), src, core.CompileOptions{})
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -46,11 +47,11 @@ func main() {
 	var rows []row
 	best := 1 << 30
 	for _, e := range models.All() {
-		target, err := core.Retarget(e.MDL, core.RetargetOptions{})
+		target, err := core.RetargetContext(context.Background(), e.MDL, core.RetargetOptions{})
 		if err != nil {
 			log.Fatalf("%s: %v", e.Name, err)
 		}
-		res, err := target.CompileSource(kernel, core.CompileOptions{})
+		res, err := target.CompileSourceContext(context.Background(), kernel, core.CompileOptions{})
 		if err != nil {
 			// An architecture that cannot run the kernel is itself a
 			// codesign data point.

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ void main() {
 `
 
 func main() {
-	target, err := core.Retarget(models.BrancherMDL, core.RetargetOptions{})
+	target, err := core.RetargetContext(context.Background(), models.BrancherMDL, core.RetargetOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,7 @@ import (
 
 func main() {
 	mdl, _ := models.Get("tms320c25")
-	target, err := core.Retarget(mdl, core.RetargetOptions{})
+	target, err := core.RetargetContext(context.Background(), mdl, core.RetargetOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func main() {
 	fmt.Printf("kernel %s (N=%d), hand-written reference: %d words\n\n",
 		kernel.Name, kernel.N, kernel.HandWords)
 
-	res, err := target.CompileSource(kernel.Source, core.CompileOptions{})
+	res, err := target.CompileSourceContext(context.Background(), kernel.Source, core.CompileOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

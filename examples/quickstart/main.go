@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -103,7 +104,7 @@ void main() {
 func main() {
 	// 1. Retarget: HDL model -> netlist -> instruction-set extraction ->
 	//    tree grammar -> code selector.
-	target, err := core.Retarget(processor, core.RetargetOptions{})
+	target, err := core.RetargetContext(context.Background(), processor, core.RetargetOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func main() {
 		target.Name, target.Stats.Total, target.Stats.Extracted, target.Stats.Templates)
 
 	// 2. Compile.
-	res, err := target.CompileSource(program, core.CompileOptions{})
+	res, err := target.CompileSourceContext(context.Background(), program, core.CompileOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

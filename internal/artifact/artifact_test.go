@@ -2,6 +2,7 @@ package artifact
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -15,7 +16,7 @@ func retarget(t testing.TB, model string) (*core.Target, string) {
 	if !ok {
 		t.Fatalf("model %s missing", model)
 	}
-	tg, err := core.Retarget(mdl, core.RetargetOptions{})
+	tg, err := core.RetargetContext(context.Background(), mdl, core.RetargetOptions{})
 	if err != nil {
 		t.Fatalf("retarget %s: %v", model, err)
 	}
@@ -32,7 +33,7 @@ func TestRoundTripGolden(t *testing.T) {
 		t.Fatal("kernel dot_product missing")
 	}
 
-	fresh, err := tg.CompileSource(k.Source, core.CompileOptions{})
+	fresh, err := tg.CompileSourceContext(context.Background(), k.Source, core.CompileOptions{})
 	if err != nil {
 		t.Fatalf("fresh compile: %v", err)
 	}
@@ -63,7 +64,7 @@ func TestRoundTripGolden(t *testing.T) {
 		t.Fatalf("rule count %d -> %d", len(tg.Grammar.Rules), len(tg2.Grammar.Rules))
 	}
 
-	decoded, err := tg2.CompileSource(k.Source, core.CompileOptions{})
+	decoded, err := tg2.CompileSourceContext(context.Background(), k.Source, core.CompileOptions{})
 	if err != nil {
 		t.Fatalf("decoded compile: %v", err)
 	}

@@ -187,16 +187,25 @@ type condOps interface {
 	And(...*bdd.Node) *bdd.Node
 	Not(*bdd.Node) *bdd.Node
 	Cube(map[int]bool) *bdd.Node
+	CubeLits([]bdd.Lit) *bdd.Node
+	AnySatWalk(*bdd.Node, func(v int, val bool)) bool
 }
 
 // Session is one encoding session against the (usually frozen) encoder.
 // Sessions of a frozen Encoder are independent and may run concurrently;
 // one Session must not be shared between goroutines.  The session's view
 // accumulates operation memos across words, so one compilation should use
-// one session.
+// one session.  Sessions of a frozen encoder may also be pooled and reused
+// across sequential compilations: results stay byte-identical because BDD
+// canonicity makes every condition independent of what the view memoized
+// earlier, and OverlaySize bounds how much memory a pooled session retains.
 type Session struct {
 	e   *Encoder
 	ops condOps
+
+	// lits is scratch for operand-field literal collection, reused across
+	// words so the per-word cube costs no map and no fresh slice.
+	lits []bdd.Lit
 
 	// Session-local instruments (see NewSessionObs); nil discards.
 	cFeas  *obs.Counter
@@ -255,11 +264,11 @@ func (s *Session) WordCond(instrs []*code.Instr) (*bdd.Node, error) {
 		if c == s.ops.False() {
 			return nil, fmt.Errorf("asm: conflicting execution conditions (instruction encoding conflict)")
 		}
-		bits, err := e.fieldBits(instrs)
+		lits, err := s.fieldLits(instrs)
 		if err != nil {
 			return nil, err
 		}
-		c = s.ops.And(c, s.ops.Cube(bits))
+		c = s.ops.And(c, s.ops.CubeLits(lits))
 		if c == s.ops.False() {
 			return nil, fmt.Errorf("asm: operand fields contradict execution conditions")
 		}
@@ -276,20 +285,24 @@ func (s *Session) WordCond(instrs []*code.Instr) (*bdd.Node, error) {
 		return c, nil
 	}
 	// Fast path: solo condition plus the operand-field cube.
-	bits, err := e.fieldBits(instrs)
+	lits, err := s.fieldLits(instrs)
 	if err != nil {
 		return nil, err
 	}
-	cond = s.ops.And(cond, s.ops.Cube(bits))
+	cond = s.ops.And(cond, s.ops.CubeLits(lits))
 	if cond == s.ops.False() {
 		return nil, fmt.Errorf("asm: operand fields contradict execution conditions")
 	}
 	return cond, nil
 }
 
-// fieldBits collects the instruction bits pinned by operand fields.
-func (e *Encoder) fieldBits(instrs []*code.Instr) (map[int]bool, error) {
-	bits := make(map[int]bool) // var index -> value
+// fieldLits collects the instruction bits pinned by operand fields as a
+// sorted, deduplicated literal slice.  The result aliases the session's
+// scratch buffer and is valid until the next fieldLits call; this keeps
+// the hottest per-word allocation (formerly a map) off the compile path.
+func (s *Session) fieldLits(instrs []*code.Instr) ([]bdd.Lit, error) {
+	e := s.e
+	lits := s.lits[:0]
 	for _, in := range instrs {
 		for _, f := range in.Fields {
 			w := f.Hi - f.Lo + 1
@@ -298,16 +311,28 @@ func (e *Encoder) fieldBits(instrs []*code.Instr) (map[int]bool, error) {
 				if pos >= e.Vars.InsnWidth() {
 					return nil, fmt.Errorf("asm: field %s exceeds instruction width %d", f, e.Vars.InsnWidth())
 				}
-				v := f.Val&(1<<uint(b)) != 0
-				varIdx := e.Vars.InsnVars[pos]
-				if prev, ok := bits[varIdx]; ok && prev != v {
-					return nil, fmt.Errorf("asm: operand fields conflict at instruction bit %d", pos)
-				}
-				bits[varIdx] = v
+				lits = append(lits, bdd.Lit{
+					Var: e.Vars.InsnVars[pos],
+					Val: f.Val&(1<<uint(b)) != 0,
+				})
 			}
 		}
 	}
-	return bits, nil
+	sort.Slice(lits, func(i, j int) bool { return lits[i].Var < lits[j].Var })
+	// Collapse duplicate pins of one variable; disagreeing pins conflict.
+	out := lits[:0]
+	for i, l := range lits {
+		if i > 0 && l.Var == out[len(out)-1].Var {
+			if l.Val != out[len(out)-1].Val {
+				bit, _ := e.Vars.IsInsnVar(l.Var)
+				return nil, fmt.Errorf("asm: operand fields conflict at instruction bit %d", bit)
+			}
+			continue
+		}
+		out = append(out, l)
+	}
+	s.lits = lits
+	return out, nil
 }
 
 // quiesceOrder returns the suppressible storages in sorted order, baked
@@ -336,28 +361,29 @@ func (s *Session) Encode(instrs []*code.Instr) (word uint64, mode ModeReq, err e
 		return 0, nil, err
 	}
 	e := s.e
-	assign, ok := e.m.AnySat(cond)
-	if !ok {
-		return 0, nil, fmt.Errorf("asm: unsatisfiable word condition")
-	}
-	mode = make(ModeReq)
-	for v, val := range assign {
+	// Walk the satisfying path directly: no assignment map, and the mode
+	// map (empty for almost every word) is allocated only when a mode
+	// variable actually appears on the path.
+	ok := s.ops.AnySatWalk(cond, func(v int, val bool) {
 		if bit, isInsn := e.Vars.IsInsnVar(v); isInsn {
 			if val {
 				word |= 1 << uint(bit)
 			}
-			continue
+			return
 		}
 		if storage, bit := e.Vars.ModeVarOwner(v); storage != "" {
+			if mode == nil {
+				mode = make(ModeReq)
+			}
 			if val {
 				mode[storage] |= 1 << uint(bit)
 			} else {
 				mode[storage] |= 0
 			}
 		}
-	}
-	if len(mode) == 0 {
-		mode = nil
+	})
+	if !ok {
+		return 0, nil, fmt.Errorf("asm: unsatisfiable word condition")
 	}
 	s.cWords.Inc()
 	return word, mode, nil
@@ -398,8 +424,7 @@ func (e *Encoder) nopWord() (uint64, error) {
 // needs two different states of one mode register without an intervening
 // mode change, which this straight-line encoder does not insert).
 func (s *Session) EncodeProgram(p *code.Program) (ModeReq, error) {
-	required := make(ModeReq)
-	seen := make(map[string]bool)
+	var required ModeReq // lazily allocated: most programs need no mode state
 	for i, w := range p.Words {
 		bits, mode, err := s.Encode(w.Instrs)
 		if err != nil {
@@ -408,57 +433,28 @@ func (s *Session) EncodeProgram(p *code.Program) (ModeReq, error) {
 		w.Bits = bits
 		w.Encoded = true
 		for st, v := range mode {
-			if seen[st] && required[st] != v {
+			if prev, ok := required[st]; ok && prev != v {
 				return nil, fmt.Errorf("asm: word %d needs mode %s=%d but an earlier word needs %d",
-					i, st, v, required[st])
+					i, st, v, prev)
 			}
-			seen[st] = true
+			if required == nil {
+				required = make(ModeReq)
+			}
 			required[st] = v
 		}
-	}
-	if len(required) == 0 {
-		return nil, nil
 	}
 	return required, nil
 }
 
-// ---- deprecated single-call wrappers ------------------------------------
-//
-// Each opens a throwaway Session; callers compiling whole programs should
-// open one Session per compilation instead so the operation memo is shared
-// across words.
-
-// WordCond computes the encoding condition of a parallel word.
-//
-// Deprecated: use NewSession().WordCond.
-func (e *Encoder) WordCond(instrs []*code.Instr) (*bdd.Node, error) {
-	return e.NewSession().WordCond(instrs)
-}
-
-// Encode picks a concrete instruction word for a parallel word.
-//
-// Deprecated: use NewSession().Encode.
-func (e *Encoder) Encode(instrs []*code.Instr) (uint64, ModeReq, error) {
-	return e.NewSession().Encode(instrs)
-}
-
-// Feasible reports whether the instructions can execute in one word.
-//
-// Deprecated: use NewSession().Feasible.
-func (e *Encoder) Feasible(instrs []*code.Instr) bool {
-	return e.NewSession().Feasible(instrs)
-}
-
-// NOP returns a quiescent instruction word.
-//
-// Deprecated: use NewSession().NOP.
-func (e *Encoder) NOP() (uint64, error) { return e.NewSession().NOP() }
-
-// EncodeProgram encodes every word of p.
-//
-// Deprecated: use NewSession().EncodeProgram.
-func (e *Encoder) EncodeProgram(p *code.Program) (ModeReq, error) {
-	return e.NewSession().EncodeProgram(p)
+// OverlaySize returns the number of private BDD nodes the session's view
+// has accumulated, or 0 for a pre-freeze session operating on the shared
+// manager.  Session pools use it to decide whether a returned session is
+// still cheap enough to reuse.
+func (s *Session) OverlaySize() int {
+	if v, ok := s.ops.(*bdd.View); ok {
+		return v.OverlaySize()
+	}
+	return 0
 }
 
 // Listing renders an encoded program as an annotated listing.

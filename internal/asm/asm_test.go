@@ -1,6 +1,7 @@
 package asm_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -72,7 +73,7 @@ END.
 
 func target(t *testing.T) *core.Target {
 	t.Helper()
-	tg, err := core.Retarget(micro16t, core.RetargetOptions{})
+	tg, err := core.RetargetContext(context.Background(), micro16t, core.RetargetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func findInstr(t *testing.T, tg *core.Target, frag string, fields ...code.Field)
 
 func TestNOPEncodable(t *testing.T) {
 	tg := target(t)
-	nop, err := tg.Encoder.NOP()
+	nop, err := tg.Encoder.NewSession().NOP()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestEncodeSingle(t *testing.T) {
 	tg := target(t)
 	// Load immediate: acc := IW[15:0] with value 42.
 	in := findInstr(t, tg, "acc.r := IW[15:0]", code.Field{Hi: 15, Lo: 0, Val: 42})
-	word, mode, err := tg.Encoder.Encode([]*code.Instr{in})
+	word, mode, err := tg.Encoder.NewSession().Encode([]*code.Instr{in})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,12 +135,12 @@ func TestEncodeConflictingFields(t *testing.T) {
 	// take two values and acc written twice).
 	a := findInstr(t, tg, "acc.r := IW[15:0]", code.Field{Hi: 15, Lo: 0, Val: 1})
 	b := findInstr(t, tg, "acc.r := (acc.r + ram.m[IW[7:0]])", code.Field{Hi: 7, Lo: 0, Val: 3})
-	if tg.Encoder.Feasible([]*code.Instr{a, b}) {
+	if tg.Encoder.NewSession().Feasible([]*code.Instr{a, b}) {
 		t.Error("two simultaneous acc writes encoded")
 	}
 	// Same instruction with two different immediate values.
 	c := findInstr(t, tg, "acc.r := IW[15:0]", code.Field{Hi: 15, Lo: 0, Val: 2})
-	if tg.Encoder.Feasible([]*code.Instr{a, c}) {
+	if tg.Encoder.NewSession().Feasible([]*code.Instr{a, c}) {
 		t.Error("conflicting operand fields encoded")
 	}
 }
@@ -153,7 +154,7 @@ func TestEncodeFieldContradictsCondition(t *testing.T) {
 	in := findInstr(t, tg, "acc.r := IW[15:0]",
 		code.Field{Hi: 15, Lo: 0, Val: 1},
 		code.Field{Hi: 28, Lo: 28, Val: 0})
-	if _, _, err := tg.Encoder.Encode([]*code.Instr{in}); err == nil {
+	if _, _, err := tg.Encoder.NewSession().Encode([]*code.Instr{in}); err == nil {
 		t.Error("field contradicting the execution condition encoded")
 	}
 }
@@ -161,7 +162,7 @@ func TestEncodeFieldContradictsCondition(t *testing.T) {
 func TestFieldBeyondWidthRejected(t *testing.T) {
 	tg := target(t)
 	in := findInstr(t, tg, "acc.r := IW[15:0]", code.Field{Hi: 99, Lo: 90, Val: 1})
-	if _, _, err := tg.Encoder.Encode([]*code.Instr{in}); err == nil {
+	if _, _, err := tg.Encoder.NewSession().Encode([]*code.Instr{in}); err == nil {
 		t.Error("field beyond instruction width accepted")
 	}
 }
@@ -175,18 +176,18 @@ func TestParallelStoreAndUnrelatedFieldSharing(t *testing.T) {
 	add := findInstr(t, tg, "acc.r := (acc.r + IW[15:0])", code.Field{Hi: 15, Lo: 0, Val: 5})
 	// Immediate 5 == address 5: the shared low bits agree, so this *is*
 	// encodable.
-	if !tg.Encoder.Feasible([]*code.Instr{st, add}) {
+	if !tg.Encoder.NewSession().Feasible([]*code.Instr{st, add}) {
 		t.Error("compatible store+add rejected")
 	}
 	add2 := findInstr(t, tg, "acc.r := (acc.r + IW[15:0])", code.Field{Hi: 15, Lo: 0, Val: 9})
-	if tg.Encoder.Feasible([]*code.Instr{st, add2}) {
+	if tg.Encoder.NewSession().Feasible([]*code.Instr{st, add2}) {
 		t.Error("store+add with clashing low bits accepted")
 	}
 }
 
 func TestEncodeProgramAndListing(t *testing.T) {
 	tg := target(t)
-	res, err := tg.CompileSource(`int x; int y; x = 7; y = x + 1;`, core.CompileOptions{})
+	res, err := tg.CompileSourceContext(context.Background(), `int x; int y; x = 7; y = x + 1;`, core.CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -449,6 +449,51 @@ func (m *Manager) Cube(assign map[int]bool) *Node {
 	return r
 }
 
+// Lit is one literal of a cube: variable Var with value Val.  Slices of
+// literals replace map[int]bool on hot paths so one scratch slice can be
+// reused across many cube constructions.
+type Lit struct {
+	Var int
+	Val bool
+}
+
+// CubeLits builds the conjunction of the given literals.  lits must be
+// sorted by Var ascending with no duplicate variables; unlike Cube this
+// allocates nothing beyond the canonical nodes themselves.
+func (m *Manager) CubeLits(lits []Lit) *Node {
+	r := m.trueN
+	// Build bottom-up for linear-size construction.
+	for i := len(lits) - 1; i >= 0; i-- {
+		l := lits[i]
+		if l.Val {
+			r = m.mk(l.Var, m.falseN, r)
+		} else {
+			r = m.mk(l.Var, r, m.falseN)
+		}
+	}
+	return r
+}
+
+// AnySatWalk visits one satisfying assignment of f literal by literal
+// (variables absent from the path are don't-cares), avoiding the map
+// allocation of AnySat.  It reports whether f is satisfiable; fn is never
+// called when it is not.
+func (m *Manager) AnySatWalk(f *Node, fn func(v int, val bool)) bool {
+	if f == m.falseN {
+		return false
+	}
+	for !f.IsLeaf() {
+		if f.Low != m.falseN {
+			fn(f.Var, false)
+			f = f.Low
+		} else {
+			fn(f.Var, true)
+			f = f.High
+		}
+	}
+	return true
+}
+
 // String renders f as a sum of cubes over variable names (for diagnostics;
 // exponential in the worst case, so callers should keep f small).
 func (m *Manager) String(f *Node) string {

@@ -163,9 +163,36 @@ func (v *View) Cube(assign map[int]bool) *Node {
 	return r
 }
 
+// CubeLits builds the conjunction of the given literals through the
+// overlay; lits must be sorted by Var ascending with no duplicates (see
+// Manager.CubeLits).
+func (v *View) CubeLits(lits []Lit) *Node {
+	r := v.base.trueN
+	for i := len(lits) - 1; i >= 0; i-- {
+		l := lits[i]
+		if l.Val {
+			r = v.mk(l.Var, v.base.falseN, r)
+		} else {
+			r = v.mk(l.Var, r, v.base.falseN)
+		}
+	}
+	return r
+}
+
 // AnySat returns one satisfying assignment of f (which may contain overlay
 // nodes); semantics match Manager.AnySat.
 func (v *View) AnySat(f *Node) (map[int]bool, bool) { return v.base.AnySat(f) }
+
+// AnySatWalk visits one satisfying assignment of f without allocating;
+// semantics match Manager.AnySatWalk.
+func (v *View) AnySatWalk(f *Node, fn func(va int, val bool)) bool {
+	return v.base.AnySatWalk(f, fn)
+}
+
+// OverlaySize returns the number of private nodes this view has created —
+// the memory it retains beyond the frozen base.  Session pools use it to
+// decide when a recycled view has grown too large to be worth keeping.
+func (v *View) OverlaySize() int { return len(v.unique) }
 
 // Sat reports whether f is satisfiable.
 func (v *View) Sat(f *Node) bool { return f != v.base.falseN }

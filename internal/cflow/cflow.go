@@ -43,6 +43,11 @@ type Options struct {
 	Budget *diag.Budget
 	// Obs receives per-block spans and block/word counters.  nil is safe.
 	Obs *obs.Scope
+	// Session, when set, is a caller-provided (typically pooled) encoding
+	// session used for the whole program instead of allocating a fresh
+	// one; the caller keeps ownership and must not use it concurrently.
+	// core.Compiler.AcquireSession is the intended source.
+	Session *asm.Session
 }
 
 // Result is a compiled control-flow program.
@@ -147,8 +152,12 @@ func Compile(t *core.Target, prog *ir.Program, opts Options) (*Result, error) {
 	}
 	gen := codegen.New(t.Grammar, t.Parser, b)
 	// One encoding session for the whole program keeps cflow reentrant on
-	// frozen targets (feasibility tests and encoding share a private view).
-	sess := t.Encoder.NewSessionObs(opts.Obs)
+	// frozen targets (feasibility tests and encoding share a private view);
+	// a caller-supplied pooled session skips the per-program allocation.
+	sess := opts.Session
+	if sess == nil {
+		sess = t.Encoder.NewSessionObs(opts.Obs)
+	}
 	cfSpan, scope := opts.Obs.Start("cflow.compile", obs.KV("blocks", len(cfg.Blocks)))
 	defer cfSpan.End()
 	cBlocks := scope.Registry().Counter("record_cflow_blocks_total",

@@ -1,6 +1,7 @@
 package cflow_test
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -21,7 +22,7 @@ var (
 func brancher(t *testing.T) *core.Target {
 	t.Helper()
 	once.Do(func() {
-		tg, tgE = core.Retarget(models.BrancherMDL, core.RetargetOptions{})
+		tg, tgE = core.RetargetContext(context.Background(), models.BrancherMDL, core.RetargetOptions{})
 	})
 	if tgE != nil {
 		t.Fatal(tgE)
@@ -287,7 +288,7 @@ func TestNoJumpTemplatesDiagnostic(t *testing.T) {
 	// The micro16-family machines have a plain incrementing PC: cflow must
 	// refuse with a clear error.
 	mdl, _ := models.Get("tms320c25")
-	c25, err := core.Retarget(mdl, core.RetargetOptions{})
+	c25, err := core.RetargetContext(context.Background(), mdl, core.RetargetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,11 +28,23 @@ func (f Field) String() string {
 
 // Instr is one selected RT instance: the template to execute with concrete
 // operand fields.
+//
+// Dependence queries (Def, Uses) are memoized on first call, because
+// compaction and verification ask them O(n²) times per block while the
+// answer is a pure function of Template and Fields.  The memo assumes
+// Fields do not change after the first dependence query; instructions
+// whose fields are patched late (jump targets in cflow) never take part
+// in dependence analysis.  An Instr belongs to one compilation and its
+// first dependence query is not safe for concurrent use.
 type Instr struct {
 	Template *rtl.Template
 	Fields   []Field
 	// Comment carries provenance for listings (e.g. the source statement).
 	Comment string
+
+	depCached bool
+	defCache  Loc
+	usesCache []Loc
 }
 
 // String renders the instruction with its operand fields.
@@ -86,26 +98,43 @@ func (l Loc) Overlaps(o Loc) bool {
 }
 
 // Def returns the location written by the instruction (not meaningful for
-// primary-output templates, which return a port pseudo-location).
+// primary-output templates, which return a port pseudo-location).  The
+// result is memoized; see the Instr doc comment for the caveats.
 func (i *Instr) Def() Loc {
-	t := i.Template
-	if t.DestPort {
-		return Loc{Storage: "port:" + t.Dest, AddrKnown: true}
+	if !i.depCached {
+		i.fillDeps()
 	}
-	if t.DestAddr == nil {
-		return Loc{Storage: t.Dest, AddrKnown: true}
-	}
-	if a, ok := i.ResolveAddr(t.DestAddr); ok {
-		return Loc{Storage: t.Dest, Addr: a, AddrKnown: true}
-	}
-	return Loc{Storage: t.Dest}
+	return i.defCache
 }
 
 // Uses returns the locations read by the instruction (storage reads in the
 // source pattern and in the destination-address pattern), plus reads
-// implied by dynamic guards.
+// implied by dynamic guards.  The returned slice is memoized and must not
+// be mutated.
 func (i *Instr) Uses() []Loc {
-	var uses []Loc
+	if !i.depCached {
+		i.fillDeps()
+	}
+	return i.usesCache
+}
+
+// fillDeps computes the dependence memo: the written location and every
+// read location, both pure functions of the template and field values.
+func (i *Instr) fillDeps() {
+	t := i.Template
+	switch {
+	case t.DestPort:
+		i.defCache = Loc{Storage: "port:" + t.Dest, AddrKnown: true}
+	case t.DestAddr == nil:
+		i.defCache = Loc{Storage: t.Dest, AddrKnown: true}
+	default:
+		if a, ok := i.ResolveAddr(t.DestAddr); ok {
+			i.defCache = Loc{Storage: t.Dest, Addr: a, AddrKnown: true}
+		} else {
+			i.defCache = Loc{Storage: t.Dest}
+		}
+	}
+
 	add := func(e *rtl.Expr) {
 		e.Walk(func(n *rtl.Expr) {
 			if n.Kind != rtl.Read {
@@ -119,17 +148,17 @@ func (i *Instr) Uses() []Loc {
 					loc.AddrKnown = false
 				}
 			}
-			uses = append(uses, loc)
+			i.usesCache = append(i.usesCache, loc)
 		})
 	}
-	add(i.Template.Src)
-	if i.Template.DestAddr != nil {
-		add(i.Template.DestAddr)
+	add(t.Src)
+	if t.DestAddr != nil {
+		add(t.DestAddr)
 	}
-	for _, g := range i.Template.Cond.Dynamic {
+	for _, g := range t.Cond.Dynamic {
 		add(g)
 	}
-	return uses
+	i.depCached = true
 }
 
 // ResolveAddr resolves an address pattern to a concrete value using the

@@ -1,6 +1,7 @@
 package codegen_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -74,7 +75,7 @@ END.
 
 func retarget(t *testing.T, mdl string) *core.Target {
 	t.Helper()
-	tg, err := core.Retarget(mdl, core.RetargetOptions{})
+	tg, err := core.RetargetContext(context.Background(), mdl, core.RetargetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestSpillThroughMemory(t *testing.T) {
 	tg := retarget(t, oneAcc)
 	// Both multiplier operands are computed: the ET must split through a
 	// scratch cell.
-	res, err := tg.CompileSource(`
+	res, err := tg.CompileSourceContext(context.Background(), `
 int a = 3; int b = 4; int c = 5; int d = 6;
 int x;
 x = (a + b) * (c + d);
@@ -114,7 +115,7 @@ x = (a + b) * (c + d);
 
 func TestDeepNestingStaysCorrect(t *testing.T) {
 	tg := retarget(t, oneAcc)
-	res, err := tg.CompileSource(`
+	res, err := tg.CompileSourceContext(context.Background(), `
 int a = 1; int b = 2; int c = 3; int d = 4;
 int e = 5; int f = 6; int g = 7; int h = 8;
 int x;
@@ -135,7 +136,7 @@ func TestEvaluationOrderAvoidsSpill(t *testing.T) {
 	tg := retarget(t, oneAcc)
 	// (a+b) + c: right operand is a leaf, so evaluating left-first into
 	// the accumulator needs no spill at all.
-	res, err := tg.CompileSource(`
+	res, err := tg.CompileSourceContext(context.Background(), `
 int a = 1; int b = 2; int c = 3;
 int x;
 x = (a + b) + c;
@@ -156,7 +157,7 @@ func TestSharedSubtreeElision(t *testing.T) {
 	tg := retarget(t, mdl)
 	// t*t: both multiplier operands are the same subtree; on the c25 the
 	// square needs t loaded once.
-	res, err := tg.CompileSource(`
+	res, err := tg.CompileSourceContext(context.Background(), `
 int v = 9;
 int sq;
 sq = v * v;
@@ -182,7 +183,7 @@ func TestFieldConsistencyForcesSplit(t *testing.T) {
 	tg := retarget(t, oneAcc)
 	// a & (a+1) with a nonlinear immediate would be wrong; here we check
 	// two DIFFERENT immediates sharing the field force separate words.
-	res, err := tg.CompileSource(`
+	res, err := tg.CompileSourceContext(context.Background(), `
 int x;
 x = 100 + 200;
 `, core.CompileOptions{})
@@ -200,7 +201,7 @@ x = 100 + 200;
 
 func TestCommentsCarrySource(t *testing.T) {
 	tg := retarget(t, oneAcc)
-	res, err := tg.CompileSource(`int x; x = 5;`, core.CompileOptions{})
+	res, err := tg.CompileSourceContext(context.Background(), `int x; x = 5;`, core.CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestTwosComplementFallbackWidths(t *testing.T) {
 	// the result is numerically right across sign boundaries.
 	mdl, _ := models.Get("manocpu")
 	tg := retarget(t, mdl)
-	res, err := tg.CompileSource(`
+	res, err := tg.CompileSourceContext(context.Background(), `
 int a = 5; int b = 12;
 int x; int y;
 x = a - b;

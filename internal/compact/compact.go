@@ -67,6 +67,7 @@ func Compact(seq *code.Seq, enc Feasibility, opts Options) (*code.Program, error
 	}
 
 	wordOf := make([]int, len(seq.Instrs))
+	var trial []*code.Instr // placement-probe scratch, reused across trials
 	for idx, in := range seq.Instrs {
 		earliest := 0
 		for j := 0; j < idx; j++ {
@@ -83,7 +84,8 @@ func Compact(seq *code.Seq, enc Feasibility, opts Options) (*code.Program, error
 		}
 		placed := false
 		for w := earliest; w < len(p.Words); w++ {
-			trial := append(append([]*code.Instr(nil), p.Words[w].Instrs...), in)
+			trial = append(trial[:0], p.Words[w].Instrs...)
+			trial = append(trial, in)
 			if enc.Feasible(trial) {
 				p.Words[w].Instrs = append(p.Words[w].Instrs, in)
 				wordOf[idx] = w

@@ -1,6 +1,7 @@
 package compact_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/compact"
@@ -11,7 +12,7 @@ import (
 func c25(t *testing.T) *core.Target {
 	t.Helper()
 	mdl, _ := models.Get("tms320c25")
-	tg, err := core.Retarget(mdl, core.RetargetOptions{})
+	tg, err := core.RetargetContext(context.Background(), mdl, core.RetargetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ void main() {
 
 func TestCompactShortensAndVerifies(t *testing.T) {
 	tg := c25(t)
-	res, err := tg.CompileSource(macSrc, core.CompileOptions{})
+	res, err := tg.CompileSourceContext(context.Background(), macSrc, core.CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestCompactShortensAndVerifies(t *testing.T) {
 		t.Errorf("compaction did not shorten: %d words vs %d RTs",
 			res.CodeLen(), res.SeqLen())
 	}
-	if err := compact.Verify(res.Seq, res.Code, tg.Encoder); err != nil {
+	if err := compact.Verify(res.Seq, res.Code, tg.Encoder.NewSession()); err != nil {
 		t.Fatalf("verify: %v", err)
 	}
 	// Every instruction appears exactly once.
@@ -55,7 +56,7 @@ func TestCompactShortensAndVerifies(t *testing.T) {
 
 func TestDisableKeepsOrder(t *testing.T) {
 	tg := c25(t)
-	res, err := tg.CompileSource(macSrc, core.CompileOptions{NoCompaction: true})
+	res, err := tg.CompileSourceContext(context.Background(), macSrc, core.CompileOptions{NoCompaction: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestDisableKeepsOrder(t *testing.T) {
 
 func TestVerifyCatchesReorderedDependence(t *testing.T) {
 	tg := c25(t)
-	res, err := tg.CompileSource(`int x; int y; x = 5; y = x + 1;`,
+	res, err := tg.CompileSourceContext(context.Background(), `int x; int y; x = 5; y = x + 1;`,
 		core.CompileOptions{NoCompaction: true})
 	if err != nil {
 		t.Fatal(err)
@@ -82,27 +83,27 @@ func TestVerifyCatchesReorderedDependence(t *testing.T) {
 	}
 	// Swap two words: some dependence must break.
 	prg.Words[0], prg.Words[len(prg.Words)-1] = prg.Words[len(prg.Words)-1], prg.Words[0]
-	if err := compact.Verify(res.Seq, prg, tg.Encoder); err == nil {
+	if err := compact.Verify(res.Seq, prg, tg.Encoder.NewSession()); err == nil {
 		t.Error("corrupted schedule passed verification")
 	}
 }
 
 func TestVerifyCatchesMissingInstr(t *testing.T) {
 	tg := c25(t)
-	res, err := tg.CompileSource(`int x; x = 5;`, core.CompileOptions{})
+	res, err := tg.CompileSourceContext(context.Background(), `int x; x = 5;`, core.CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	prg := res.Code
 	prg.Words = prg.Words[:len(prg.Words)-1]
-	if err := compact.Verify(res.Seq, prg, tg.Encoder); err == nil {
+	if err := compact.Verify(res.Seq, prg, tg.Encoder.NewSession()); err == nil {
 		t.Error("dropped instruction passed verification")
 	}
 }
 
 func TestParallelWordsEncodable(t *testing.T) {
 	tg := c25(t)
-	res, err := tg.CompileSource(macSrc, core.CompileOptions{})
+	res, err := tg.CompileSourceContext(context.Background(), macSrc, core.CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestParallelWordsEncodable(t *testing.T) {
 	for _, w := range res.Code.Words {
 		if len(w.Instrs) > 1 {
 			parallel++
-			if !tg.Encoder.Feasible(w.Instrs) {
+			if !tg.Encoder.NewSession().Feasible(w.Instrs) {
 				t.Errorf("parallel word not encodable: %s", w)
 			}
 		}

@@ -108,13 +108,6 @@ type Target struct {
 	Stats        RetargetStats
 }
 
-// Retarget builds a compiler for the processor described by MDL source.
-//
-// Deprecated: use RetargetContext, which makes cancellation explicit.
-func Retarget(mdlSource string, opts RetargetOptions) (*Target, error) {
-	return RetargetContext(context.Background(), mdlSource, opts)
-}
-
 // RetargetContext builds a compiler for the processor described by MDL
 // source.  ctx bounds the run: cancellation or deadline expiry is observed
 // at phase boundaries and inside route enumeration (it becomes the
@@ -374,13 +367,6 @@ func (r *CompileResult) CodeLen() int { return r.Code.Len() }
 // BDD manager read-only (always true for Retarget-built targets).
 func (t *Target) Frozen() bool { return t.Encoder != nil && t.Encoder.Frozen() }
 
-// CompileSource compiles RecC source text for the target.
-//
-// Deprecated: use CompileSourceContext.
-func (t *Target) CompileSource(src string, opts CompileOptions) (*CompileResult, error) {
-	return t.CompileSourceContext(context.Background(), src, opts)
-}
-
 // CompileSourceContext compiles RecC source text for the target,
 // observing ctx cancellation between pipeline stages.  Safe for concurrent
 // use on a frozen target.
@@ -390,13 +376,6 @@ func (t *Target) CompileSourceContext(ctx context.Context, src string, opts Comp
 		return nil, fmt.Errorf("core: RecC frontend: %w", err)
 	}
 	return t.CompileProgramContext(ctx, prog, opts)
-}
-
-// CompileProgram compiles an IR program for the target.
-//
-// Deprecated: use CompileProgramContext.
-func (t *Target) CompileProgram(prog *ir.Program, opts CompileOptions) (*CompileResult, error) {
-	return t.CompileProgramContext(context.Background(), prog, opts)
 }
 
 // CompileProgramContext compiles an IR program for the target.  ctx
@@ -409,6 +388,23 @@ func (t *Target) CompileProgram(prog *ir.Program, opts CompileOptions) (*Compile
 // copy-on-write BDD view, so concurrent compiles need no locking and the
 // produced words are byte-identical to a serial run's.
 func (t *Target) CompileProgramContext(ctx context.Context, prog *ir.Program, opts CompileOptions) (*CompileResult, error) {
+	opts.Obs.Registry().Counter("record_core_compiles_total",
+		"program compilations started").Inc()
+	phaseSec := phaseSeconds(opts.Obs.Registry())
+	// One throwaway encoding session per compilation; long-lived callers
+	// should hold a Compiler, whose pooled sessions and pre-resolved
+	// instruments avoid the per-call registry lookups and view allocation.
+	sess := t.Encoder.NewSessionObs(opts.Obs)
+	return t.compile(ctx, prog, opts, sess, opts.Obs, func(stage string, seconds float64) {
+		phaseSec.With(stage).Observe(seconds)
+	})
+}
+
+// compile is the shared per-program pipeline behind CompileProgramContext
+// and Compiler: bind → select → peephole → compact → encode, using the
+// caller-provided encoding session (owned by the caller; never retained)
+// and reporting each stage's wall clock through observe.
+func (t *Target) compile(ctx context.Context, prog *ir.Program, opts CompileOptions, sess *asm.Session, parent *obs.Scope, observe func(stage string, seconds float64)) (*CompileResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -418,10 +414,7 @@ func (t *Target) CompileProgramContext(ctx context.Context, prog *ir.Program, op
 		}
 		return nil
 	}
-	opts.Obs.Registry().Counter("record_core_compiles_total",
-		"program compilations started").Inc()
-	phaseSec := phaseSeconds(opts.Obs.Registry())
-	cSpan, scope := opts.Obs.Start("compile")
+	cSpan, scope := parent.Start("compile")
 	defer cSpan.End()
 	// stage wraps one pipeline stage in a span and the phase histogram;
 	// the returned func must run exactly once, error path included.
@@ -430,7 +423,7 @@ func (t *Target) CompileProgramContext(ctx context.Context, prog *ir.Program, op
 		from := time.Now()
 		return func() {
 			sp.End()
-			phaseSec.With(name).Observe(time.Since(from).Seconds())
+			observe(name, time.Since(from).Seconds())
 		}
 	}
 	done := stage("bind")
@@ -464,10 +457,6 @@ func (t *Target) CompileProgramContext(ctx context.Context, prog *ir.Program, op
 	if err := check("compaction"); err != nil {
 		return nil, err
 	}
-	// One encoding session per compilation: against a frozen encoder it
-	// owns a private BDD view shared by compaction feasibility tests and
-	// final encoding.
-	sess := t.Encoder.NewSessionObs(opts.Obs)
 	done = stage("compact")
 	prg, err := compact.Compact(seq, sess, compact.Options{Disable: opts.NoCompaction, Obs: scope})
 	if err != nil {

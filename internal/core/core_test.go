@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -86,7 +87,7 @@ END.
 
 func retargetMicro16(t *testing.T) *Target {
 	t.Helper()
-	tg, err := Retarget(micro16, RetargetOptions{})
+	tg, err := RetargetContext(context.Background(), micro16, RetargetOptions{})
 	if err != nil {
 		t.Fatalf("retarget: %v", err)
 	}
@@ -114,7 +115,7 @@ func TestRetargetMicro16(t *testing.T) {
 }
 
 func TestParserSourceEmission(t *testing.T) {
-	tg, err := Retarget(micro16, RetargetOptions{EmitParserSource: true})
+	tg, err := RetargetContext(context.Background(), micro16, RetargetOptions{EmitParserSource: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestParserSourceEmission(t *testing.T) {
 // netlist simulator, and compares every variable with the IR oracle.
 func compileAndCheck(t *testing.T, tg *Target, src string, opts CompileOptions) *CompileResult {
 	t.Helper()
-	res, err := tg.CompileSource(src, opts)
+	res, err := tg.CompileSourceContext(context.Background(), src, opts)
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}
@@ -235,16 +236,16 @@ y = b + 20;
 func TestCompileErrors(t *testing.T) {
 	tg := retargetMicro16(t)
 	// Unsupported operator (no divider in micro16).
-	if _, err := tg.CompileSource(`int a = 8; int b = 2; int x; x = a / b;`,
+	if _, err := tg.CompileSourceContext(context.Background(), `int a = 8; int b = 2; int x; x = a / b;`,
 		CompileOptions{}); err == nil {
 		t.Error("division should be uncoverable on micro16")
 	}
 	// Frontend error propagates.
-	if _, err := tg.CompileSource(`int x; x = ;`, CompileOptions{}); err == nil {
+	if _, err := tg.CompileSourceContext(context.Background(), `int x; x = ;`, CompileOptions{}); err == nil {
 		t.Error("syntax error not reported")
 	}
 	// Memory overflow.
-	if _, err := tg.CompileSource(`int big[1000]; big[0] = 1;`, CompileOptions{}); err == nil {
+	if _, err := tg.CompileSourceContext(context.Background(), `int big[1000]; big[0] = 1;`, CompileOptions{}); err == nil {
 		t.Error("oversized frame not reported")
 	}
 }
@@ -279,16 +280,16 @@ func TestWordsEncoded(t *testing.T) {
 }
 
 func TestRetargetBadModel(t *testing.T) {
-	if _, err := Retarget("PROCESSOR x;", RetargetOptions{}); err == nil {
+	if _, err := RetargetContext(context.Background(), "PROCESSOR x;", RetargetOptions{}); err == nil {
 		t.Error("model without instruction part accepted")
 	}
-	if _, err := Retarget("garbage", RetargetOptions{}); err == nil {
+	if _, err := RetargetContext(context.Background(), "garbage", RetargetOptions{}); err == nil {
 		t.Error("unparsable model accepted")
 	}
 }
 
 func TestNoExtensionOption(t *testing.T) {
-	tg, err := Retarget(micro16, RetargetOptions{NoExtension: true})
+	tg, err := RetargetContext(context.Background(), micro16, RetargetOptions{NoExtension: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,11 +309,11 @@ x = b + a * b;
 	with := retargetMicro16(t)
 	resWith := compileAndCheck(t, with, src, CompileOptions{})
 
-	without, err := Retarget(micro16, RetargetOptions{NoExtension: true})
+	without, err := RetargetContext(context.Background(), micro16, RetargetOptions{NoExtension: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	resWithout, err := without.CompileSource(src, CompileOptions{})
+	resWithout, err := without.CompileSourceContext(context.Background(), src, CompileOptions{})
 	if err == nil {
 		if err := without.CheckAgainstOracle(resWithout); err != nil {
 			t.Fatalf("no-extension result wrong: %v", err)
@@ -421,12 +422,12 @@ END.
 `
 
 func TestModeRegisterEndToEnd(t *testing.T) {
-	tg, err := Retarget(modeMachine, RetargetOptions{})
+	tg, err := RetargetContext(context.Background(), modeMachine, RetargetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Arithmetic program: needs mode 0.
-	res, err := tg.CompileSource(`
+	res, err := tg.CompileSourceContext(context.Background(), `
 int a = 9; int b = 4; int x;
 x = a - b;
 `, CompileOptions{})
@@ -440,7 +441,7 @@ x = a - b;
 		t.Fatal(err)
 	}
 	// Logic program: needs mode 1.
-	res2, err := tg.CompileSource(`
+	res2, err := tg.CompileSourceContext(context.Background(), `
 int a = 12; int b = 10; int x;
 x = a & b;
 `, CompileOptions{})
@@ -455,7 +456,7 @@ x = a & b;
 	}
 	// Mixing both banks in one straight-line program must be diagnosed
 	// (this encoder does not insert mode switches).
-	if _, err := tg.CompileSource(`
+	if _, err := tg.CompileSourceContext(context.Background(), `
 int a = 9; int b = 4; int x; int y;
 x = a - b;
 y = a & b;

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -43,7 +44,7 @@ PARTS
 // instruction set still compiles and oracle-checks DSPStone kernels.
 func TestDegradedRetargetCompilesKernels(t *testing.T) {
 	rep := diag.NewReporter()
-	tg, err := Retarget(explosiveMicro16(t), RetargetOptions{
+	tg, err := RetargetContext(context.Background(), explosiveMicro16(t), RetargetOptions{
 		ISE:      ise.Options{MaxAlts: 20},
 		Reporter: rep,
 	})
@@ -70,7 +71,7 @@ func TestDegradedRetargetCompilesKernels(t *testing.T) {
 	// DSPStone kernels.
 	checked := 0
 	for _, k := range dspstone.Suite() {
-		res, err := tg.CompileSource(k.Source, CompileOptions{})
+		res, err := tg.CompileSourceContext(context.Background(), k.Source, CompileOptions{})
 		if err != nil {
 			continue // kernels needing features micro16 lacks
 		}
@@ -91,7 +92,7 @@ func TestDegradedRetargetCompilesKernels(t *testing.T) {
 // when all destinations drop.
 func TestExplosiveModelFailsWithoutDegradation(t *testing.T) {
 	// Sanity: with generous limits the junk register is extractable.
-	tg, err := Retarget(explosiveMicro16(t), RetargetOptions{})
+	tg, err := RetargetContext(context.Background(), explosiveMicro16(t), RetargetOptions{})
 	if err != nil {
 		t.Fatalf("generous limits: %v", err)
 	}

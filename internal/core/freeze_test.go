@@ -14,7 +14,7 @@ import (
 // TestRetargetFreezesTarget checks the tentpole invariant: every target
 // coming out of Retarget is frozen, and freeze time is measured.
 func TestRetargetFreezesTarget(t *testing.T) {
-	target, err := Retarget(micro16, RetargetOptions{})
+	target, err := RetargetContext(context.Background(), micro16, RetargetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func TestRetargetFreezesTarget(t *testing.T) {
 // frozen target with no external synchronization, and every word sequence
 // must equal the serial reference bit for bit.
 func TestConcurrentCompileByteIdentical(t *testing.T) {
-	target, err := Retarget(micro16, RetargetOptions{})
+	target, err := RetargetContext(context.Background(), micro16, RetargetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestConcurrentCompileByteIdentical(t *testing.T) {
 	// Serial reference words, compiled before any concurrency starts.
 	ref := make([][]uint64, len(srcs))
 	for i, src := range srcs {
-		res, err := target.CompileSource(src, CompileOptions{})
+		res, err := target.CompileSourceContext(context.Background(), src, CompileOptions{})
 		if err != nil {
 			t.Fatalf("serial reference %d: %v", i, err)
 		}
@@ -136,7 +136,7 @@ func TestFreezePropertyRandomPrograms(t *testing.T) {
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			target, err := Retarget(tc.mdl, RetargetOptions{})
+			target, err := RetargetContext(context.Background(), tc.mdl, RetargetOptions{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -146,7 +146,7 @@ func TestFreezePropertyRandomPrograms(t *testing.T) {
 			ref := make([][]uint64, nPrograms)
 			for i := range srcs {
 				srcs[i] = randomSource(rng, tc.ops)
-				res, err := target.CompileSource(srcs[i], CompileOptions{})
+				res, err := target.CompileSourceContext(context.Background(), srcs[i], CompileOptions{})
 				if err != nil {
 					t.Fatalf("serial %q: %v", srcs[i], err)
 				}
@@ -182,7 +182,7 @@ func TestFreezePropertyRandomPrograms(t *testing.T) {
 // canceled context aborts CompileProgram between stages with a budget
 // error, not a hang or a panic.
 func TestCompileContextCancellation(t *testing.T) {
-	target, err := Retarget(micro16, RetargetOptions{})
+	target, err := RetargetContext(context.Background(), micro16, RetargetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

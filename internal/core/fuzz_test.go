@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -62,7 +63,7 @@ func TestPropRandomProgramsMicro16(t *testing.T) {
 	rng := rand.New(rand.NewSource(12345))
 	for trial := 0; trial < 150; trial++ {
 		p := randomProgram(rng)
-		res, err := tg.CompileProgram(p, CompileOptions{})
+		res, err := tg.CompileProgramContext(context.Background(), p, CompileOptions{})
 		if err != nil {
 			t.Fatalf("trial %d: compile: %v\nprogram: %v", trial, err, p.Body)
 		}
@@ -80,7 +81,7 @@ func TestPropRandomProgramsNoPeephole(t *testing.T) {
 	rng := rand.New(rand.NewSource(777))
 	for trial := 0; trial < 60; trial++ {
 		p := randomProgram(rng)
-		raw, err := tg.CompileProgram(p, CompileOptions{NoPeephole: true, NoCompaction: true})
+		raw, err := tg.CompileProgramContext(context.Background(), p, CompileOptions{NoPeephole: true, NoCompaction: true})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}

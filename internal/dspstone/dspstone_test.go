@@ -1,6 +1,7 @@
 package dspstone
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -19,7 +20,7 @@ func c25Target(t *testing.T) *core.Target {
 	t.Helper()
 	c25Once.Do(func() {
 		mdl, _ := models.Get("tms320c25")
-		c25, c25Err = core.Retarget(mdl, core.RetargetOptions{})
+		c25, c25Err = core.RetargetContext(context.Background(), mdl, core.RetargetOptions{})
 	})
 	if c25Err != nil {
 		t.Fatalf("retarget: %v", c25Err)
@@ -59,7 +60,7 @@ func TestKernelsCompileAndVerify(t *testing.T) {
 	for _, k := range Suite() {
 		k := k
 		t.Run(k.Name, func(t *testing.T) {
-			rec, err := tg.CompileSource(k.Source, core.CompileOptions{})
+			rec, err := tg.CompileSourceContext(context.Background(), k.Source, core.CompileOptions{})
 			if err != nil {
 				t.Fatalf("record compile: %v", err)
 			}
@@ -94,7 +95,7 @@ func TestNaiveIsGenuinelyWorseSomewhere(t *testing.T) {
 	tg := c25Target(t)
 	worse := 0
 	for _, k := range Suite() {
-		rec, err := tg.CompileSource(k.Source, core.CompileOptions{})
+		rec, err := tg.CompileSourceContext(context.Background(), k.Source, core.CompileOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}

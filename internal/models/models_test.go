@@ -1,6 +1,7 @@
 package models
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -14,7 +15,7 @@ func retarget(t *testing.T, name string) *core.Target {
 	if !ok {
 		t.Fatalf("model %s missing", name)
 	}
-	tg, err := core.Retarget(mdl, core.RetargetOptions{})
+	tg, err := core.RetargetContext(context.Background(), mdl, core.RetargetOptions{})
 	if err != nil {
 		t.Fatalf("retarget %s: %v", name, err)
 	}
@@ -64,7 +65,7 @@ func TestGetUnknown(t *testing.T) {
 func checkProgram(t *testing.T, name, src string) *core.CompileResult {
 	t.Helper()
 	tg := retarget(t, name)
-	res, err := tg.CompileSource(src, core.CompileOptions{})
+	res, err := tg.CompileSourceContext(context.Background(), src, core.CompileOptions{})
 	if err != nil {
 		t.Fatalf("%s: compile: %v", name, err)
 	}
@@ -206,14 +207,14 @@ void main() {
   }
 }
 `
-	packed, err := tg.CompileSource(src, core.CompileOptions{})
+	packed, err := tg.CompileSourceContext(context.Background(), src, core.CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := tg.CheckAgainstOracle(packed); err != nil {
 		t.Fatalf("packed: %v", err)
 	}
-	plain, err := tg.CompileSource(src, core.CompileOptions{NoCompaction: true})
+	plain, err := tg.CompileSourceContext(context.Background(), src, core.CompileOptions{NoCompaction: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestKernelsAcrossModels(t *testing.T) {
 			if !ok {
 				t.Fatalf("kernel %s missing", kname)
 			}
-			res, err := tg.CompileSource(k.Source, core.CompileOptions{})
+			res, err := tg.CompileSourceContext(context.Background(), k.Source, core.CompileOptions{})
 			if err != nil {
 				t.Errorf("%s on %s: compile: %v", kname, model, err)
 				continue

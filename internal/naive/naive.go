@@ -9,6 +9,7 @@
 package naive
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cfront"
@@ -146,7 +147,7 @@ func Compile(t *core.Target, prog *ir.Program) (*core.CompileResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return t.CompileProgram(lowered, core.CompileOptions{NoCompaction: true})
+	return t.CompileProgramContext(context.Background(), lowered, core.CompileOptions{NoCompaction: true})
 }
 
 // CompileSource is Compile for RecC source text.

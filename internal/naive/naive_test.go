@@ -1,6 +1,7 @@
 package naive
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -77,7 +78,7 @@ y = -x + 2;
 
 func TestNaiveCompileIsLonger(t *testing.T) {
 	mdl, _ := models.Get("tms320c25")
-	tg, err := core.Retarget(mdl, core.RetargetOptions{})
+	tg, err := core.RetargetContext(context.Background(), mdl, core.RetargetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ y = c + a * b;
 	if err := tg.CheckAgainstOracle(nv); err != nil {
 		t.Fatal(err)
 	}
-	rec, err := tg.CompileSource(src, core.CompileOptions{})
+	rec, err := tg.CompileSourceContext(context.Background(), src, core.CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ y = c + a * b;
 
 func TestNaiveHandlesLoops(t *testing.T) {
 	mdl, _ := models.Get("tms320c25")
-	tg, err := core.Retarget(mdl, core.RetargetOptions{})
+	tg, err := core.RetargetContext(context.Background(), mdl, core.RetargetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ void main() {
 
 func TestNaiveSyntaxError(t *testing.T) {
 	mdl, _ := models.Get("tms320c25")
-	tg, err := core.Retarget(mdl, core.RetargetOptions{})
+	tg, err := core.RetargetContext(context.Background(), mdl, core.RetargetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

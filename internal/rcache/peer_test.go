@@ -16,7 +16,7 @@ func seedArtifact(t *testing.T) (string, []byte) {
 	t.Helper()
 	dir := t.TempDir()
 	c := newCache(t, dir, 4)
-	e, _, err := c.Get(demoModel(t), core.RetargetOptions{})
+	e, _, err := c.GetContext(context.Background(), demoModel(t), core.RetargetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestPeerFetchSatisfiesGet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, outcome, err := c.Get(demoModel(t), core.RetargetOptions{})
+	e, outcome, err := c.GetContext(context.Background(), demoModel(t), core.RetargetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestPeerFailureDegradesToRetarget(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			_, outcome, err := c.Get(demoModel(t), core.RetargetOptions{})
+			_, outcome, err := c.GetContext(context.Background(), demoModel(t), core.RetargetOptions{})
 			if err != nil {
 				t.Fatalf("peer %s failed the request: %v", name, err)
 			}

@@ -15,7 +15,7 @@ func TestPrewarmFromDiskAttribution(t *testing.T) {
 
 	// Seed the disk tier, then start a fresh instance (cold memory).
 	c1 := newCache(t, dir, 0)
-	e, _, err := c1.Get(mdl, core.RetargetOptions{})
+	e, _, err := c1.GetContext(context.Background(), mdl, core.RetargetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestPrewarmPeerTierAttribution(t *testing.T) {
 	dir := t.TempDir()
 	seed := newCache(t, dir, 0)
 	mdl := demoModel(t)
-	e, _, err := seed.Get(mdl, core.RetargetOptions{})
+	e, _, err := seed.GetContext(context.Background(), mdl, core.RetargetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestKeysListsDiskStore(t *testing.T) {
 		if !ok {
 			t.Fatalf("model %s missing", name)
 		}
-		e, _, err := c.Get(mdl, core.RetargetOptions{})
+		e, _, err := c.GetContext(context.Background(), mdl, core.RetargetOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -104,14 +104,24 @@ const DefaultMaxEntries = 16
 type Entry struct {
 	Key string
 
-	target *core.Target
+	target   *core.Target
+	compiler *core.Compiler
 }
 
-// Compile compiles RecC source through the cached target.  Any number of
-// Compiles may run concurrently against the same entry.
+// Compile compiles RecC source through the cached target's pooled
+// Compiler.  Any number of Compiles may run concurrently against the same
+// entry; they share the handle's session pool instead of allocating a
+// fresh encoding session per request.
 func (e *Entry) Compile(ctx context.Context, src string, opts core.CompileOptions) (*core.CompileResult, error) {
+	if e.compiler != nil {
+		return e.compiler.CompileSourceOpts(ctx, src, opts)
+	}
 	return e.target.CompileSourceContext(ctx, src, opts)
 }
+
+// Compiler exposes the entry's long-lived compile handle (nil only for a
+// target that could not back one, e.g. an unfrozen test construction).
+func (e *Entry) Compiler() *core.Compiler { return e.compiler }
 
 // Listing renders a compile result against the cached target.
 func (e *Entry) Listing(r *core.CompileResult) string {
@@ -268,12 +278,16 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.opts.Dir, key+".rart")
 }
 
-// Get is GetContext with a background context.
-//
-// Deprecated: use GetContext so cancellation reaches the underlying
-// retarget.
-func (c *Cache) Get(mdlSource string, ropts core.RetargetOptions) (*Entry, Outcome, error) {
-	return c.GetContext(context.Background(), mdlSource, ropts)
+// newEntry wraps a frozen target in an Entry with a pooled compile
+// handle.  A target that cannot back one (unfrozen — possible only in
+// synthetic tests) still gets an entry; Compile then falls back to the
+// per-call session path.
+func (c *Cache) newEntry(key string, t *core.Target) *Entry {
+	e := &Entry{Key: key, target: t}
+	if cc, err := core.NewCompiler(t, core.Config{Obs: c.opts.Obs}); err == nil {
+		e.compiler = cc
+	}
+	return e
 }
 
 // GetContext returns the cached retarget product for (mdlSource, ropts),
@@ -418,7 +432,7 @@ func (c *Cache) fill(ctx context.Context, key, mdlSource string, ropts core.Reta
 	if err != nil {
 		return nil, Miss, err
 	}
-	entry := &Entry{Key: key, target: t}
+	entry := c.newEntry(key, t)
 	if c.opts.Dir != "" && !c.diskOff.Load() && artifact.Cacheable(t) {
 		if err := c.store(key, t, mdlSource, ropts); err != nil {
 			c.diskFail(key, err)
@@ -457,7 +471,7 @@ func (c *Cache) loadDisk(key string) *Entry {
 	if err != nil {
 		return bad(err)
 	}
-	return &Entry{Key: key, target: t}
+	return c.newEntry(key, t)
 }
 
 // fetchPeer asks the PeerFetch hook for another node's encoded artifact
@@ -512,7 +526,7 @@ func (c *Cache) peerEntry(ctx context.Context, key string) *Entry {
 			c.diskFail(key, err)
 		}
 	}
-	return &Entry{Key: key, target: t}
+	return c.newEntry(key, t)
 }
 
 // peerFail records one failed peer fetch; the request continues locally.
@@ -762,7 +776,7 @@ func (c *Cache) Prewarm(ctx context.Context, key, mdlSource string, ropts core.R
 	t, err := core.RetargetContext(ctx, mdlSource, ropts)
 	var entry *Entry
 	if err == nil {
-		entry = &Entry{Key: key, target: t}
+		entry = c.newEntry(key, t)
 		if c.opts.Dir != "" && !c.diskOff.Load() && artifact.Cacheable(t) {
 			if serr := c.store(key, t, mdlSource, ropts); serr != nil {
 				c.diskFail(key, serr)

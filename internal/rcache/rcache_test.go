@@ -38,14 +38,14 @@ func TestMemoryTier(t *testing.T) {
 	c := newCache(t, "", 0) // memory-only
 	mdl := demoModel(t)
 
-	e1, out, err := c.Get(mdl, core.RetargetOptions{})
+	e1, out, err := c.GetContext(context.Background(), mdl, core.RetargetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out != Miss {
 		t.Fatalf("first get: %s, want miss", out)
 	}
-	e2, out, err := c.Get(mdl, core.RetargetOptions{})
+	e2, out, err := c.GetContext(context.Background(), mdl, core.RetargetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,13 +63,13 @@ func TestDiskTierAcrossInstances(t *testing.T) {
 	mdl := demoModel(t)
 
 	c1 := newCache(t, dir, 0)
-	if _, out, err := c1.Get(mdl, core.RetargetOptions{}); err != nil || out != Miss {
+	if _, out, err := c1.GetContext(context.Background(), mdl, core.RetargetOptions{}); err != nil || out != Miss {
 		t.Fatalf("warm: %v %s", err, out)
 	}
 
 	// A fresh cache (new process) finds the artifact on disk.
 	c2 := newCache(t, dir, 0)
-	e, out, err := c2.Get(mdl, core.RetargetOptions{})
+	e, out, err := c2.GetContext(context.Background(), mdl, core.RetargetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestCorruptAndTruncatedArtifacts(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			dir := t.TempDir()
 			c1 := newCache(t, dir, 0)
-			if _, _, err := c1.Get(mdl, core.RetargetOptions{}); err != nil {
+			if _, _, err := c1.GetContext(context.Background(), mdl, core.RetargetOptions{}); err != nil {
 				t.Fatal(err)
 			}
 			key := c1.Key(mdl, core.RetargetOptions{})
@@ -122,7 +122,7 @@ func TestCorruptAndTruncatedArtifacts(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			_, out, err := c2.Get(mdl, core.RetargetOptions{})
+			_, out, err := c2.GetContext(context.Background(), mdl, core.RetargetOptions{})
 			if err != nil {
 				t.Fatalf("corrupt artifact became an error: %v", err)
 			}
@@ -147,7 +147,7 @@ func TestCorruptAndTruncatedArtifacts(t *testing.T) {
 			}
 			// The bad file was replaced by a good one.
 			c3 := newCache(t, dir, 0)
-			if _, out, err := c3.Get(mdl, core.RetargetOptions{}); err != nil || out != Disk {
+			if _, out, err := c3.GetContext(context.Background(), mdl, core.RetargetOptions{}); err != nil || out != Disk {
 				t.Fatalf("store not repaired: %v %s", err, out)
 			}
 		})
@@ -166,7 +166,7 @@ func TestSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			entries[i], _, errs[i] = c.Get(mdl, core.RetargetOptions{})
+			entries[i], _, errs[i] = c.GetContext(context.Background(), mdl, core.RetargetOptions{})
 		}(i)
 	}
 	wg.Wait()
@@ -190,7 +190,7 @@ func TestLRUEviction(t *testing.T) {
 	get := func(maxAlts int) {
 		opts := core.RetargetOptions{}
 		opts.ISE.MaxAlts = maxAlts
-		if _, _, err := c.Get(mdl, opts); err != nil {
+		if _, _, err := c.GetContext(context.Background(), mdl, opts); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -213,7 +213,7 @@ func TestLookupByKey(t *testing.T) {
 	dir := t.TempDir()
 	mdl := demoModel(t)
 	c1 := newCache(t, dir, 0)
-	e, _, err := c1.Get(mdl, core.RetargetOptions{})
+	e, _, err := c1.GetContext(context.Background(), mdl, core.RetargetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func TestDistinctModelsDistinctEntries(t *testing.T) {
 		if !ok {
 			t.Fatalf("model %s missing", name)
 		}
-		e, _, err := c.Get(mdl, core.RetargetOptions{})
+		e, _, err := c.GetContext(context.Background(), mdl, core.RetargetOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -255,7 +255,7 @@ func TestDistinctModelsDistinctEntries(t *testing.T) {
 func TestConcurrentCompilesOneEntry(t *testing.T) {
 	c := newCache(t, "", 0)
 	mdl := demoModel(t)
-	e, _, err := c.Get(mdl, core.RetargetOptions{})
+	e, _, err := c.GetContext(context.Background(), mdl, core.RetargetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +288,7 @@ func TestRecoveryScanRemovesOrphans(t *testing.T) {
 	// Simulate a process killed mid-store: a torn temp file next to a
 	// valid artifact.
 	c1 := newCache(t, dir, 0)
-	if _, _, err := c1.Get(mdl, core.RetargetOptions{}); err != nil {
+	if _, _, err := c1.GetContext(context.Background(), mdl, core.RetargetOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	orphan := filepath.Join(dir, ".deadbeef.tmp123456")
@@ -304,7 +304,7 @@ func TestRecoveryScanRemovesOrphans(t *testing.T) {
 		t.Fatalf("orphans recovered = %d, want 1", got)
 	}
 	// The valid artifact next to it is untouched.
-	if _, out, err := c2.Get(mdl, core.RetargetOptions{}); err != nil || out != Disk {
+	if _, out, err := c2.GetContext(context.Background(), mdl, core.RetargetOptions{}); err != nil || out != Disk {
 		t.Fatalf("after recovery: %v %s, want disk hit", err, out)
 	}
 }
@@ -321,7 +321,7 @@ func TestStoreFailureLeavesNoTempFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, out, err := c.Get(mdl, core.RetargetOptions{}); err != nil || out != Miss {
+	if _, out, err := c.GetContext(context.Background(), mdl, core.RetargetOptions{}); err != nil || out != Miss {
 		t.Fatalf("get through store failure: %v %s", err, out)
 	}
 	entries, err := os.ReadDir(dir)
@@ -361,7 +361,7 @@ func TestDiskDegradationToMemoryOnly(t *testing.T) {
 	}
 	defer os.Chmod(dir, 0o755)
 
-	if _, out, err := c.Get(mdl, core.RetargetOptions{}); err != nil || out != Miss {
+	if _, out, err := c.GetContext(context.Background(), mdl, core.RetargetOptions{}); err != nil || out != Miss {
 		t.Fatalf("get on read-only disk: %v %s", err, out)
 	}
 	if !c.Degraded() {
@@ -372,10 +372,10 @@ func TestDiskDegradationToMemoryOnly(t *testing.T) {
 		t.Fatal("degradation produced no warning")
 	}
 	// Further traffic works memory-only and does not warn again.
-	if _, out, err := c.Get(mdl, core.RetargetOptions{}); err != nil || out != Mem {
+	if _, out, err := c.GetContext(context.Background(), mdl, core.RetargetOptions{}); err != nil || out != Mem {
 		t.Fatalf("degraded get: %v %s, want memory hit", err, out)
 	}
-	if _, _, err := c.Get(mdl+" ", core.RetargetOptions{}); err != nil {
+	if _, _, err := c.GetContext(context.Background(), mdl+" ", core.RetargetOptions{}); err != nil {
 		t.Fatalf("degraded miss: %v", err)
 	}
 	if got := rep.Warns(); got != warns {
@@ -389,14 +389,14 @@ func TestDiskDegradationToMemoryOnly(t *testing.T) {
 func TestCloseFlushesDir(t *testing.T) {
 	dir := t.TempDir()
 	c := newCache(t, dir, 0)
-	if _, _, err := c.Get(demoModel(t), core.RetargetOptions{}); err != nil {
+	if _, _, err := c.GetContext(context.Background(), demoModel(t), core.RetargetOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Close(); err != nil {
 		t.Fatal(err)
 	}
 	// Close holds no handles: the cache keeps working.
-	if _, out, err := c.Get(demoModel(t), core.RetargetOptions{}); err != nil || out != Mem {
+	if _, out, err := c.GetContext(context.Background(), demoModel(t), core.RetargetOptions{}); err != nil || out != Mem {
 		t.Fatalf("get after Close: %v %s", err, out)
 	}
 }

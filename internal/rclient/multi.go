@@ -111,7 +111,7 @@ func NewFleet(bases []string) (*Fleet, error) {
 		health:    fleet.NewTracker(fleet.TrackerConfig{}),
 	}
 	for _, ep := range eps {
-		c := New(ep)
+		c := NewClient(ep)
 		// The fleet's Policy owns retries; per-endpoint clients only
 		// contribute their transport and per-model breaker.
 		c.Policy = resilience.Policy{MaxAttempts: 1}

@@ -16,6 +16,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -130,10 +131,45 @@ type Client struct {
 	Priority string
 }
 
-// New returns a client with the default resilience posture: four attempts
-// with 250ms base / 5s cap full-jitter backoff, and a local breaker so a
-// model the service keeps failing on stops consuming round trips.
-func New(base string) *Client {
+// Options tunes a Service built by New.
+type Options struct {
+	// Priority is the declared QoS class ("interactive" or "batch") sent
+	// with every request; empty keeps the server's per-route defaults.
+	Priority string
+}
+
+// New builds a Service over one or more recordd base URLs.  It is the one
+// constructor callers need: a single endpoint gets the plain client, two
+// or more get the fleet client (content-address sharding, failover,
+// hedging) — the caller compiles through the same Service either way.
+func New(endpoints []string, opts Options) (Service, error) {
+	var eps []string
+	for _, e := range endpoints {
+		if e = strings.TrimSpace(e); e != "" {
+			eps = append(eps, e)
+		}
+	}
+	switch len(eps) {
+	case 0:
+		return nil, errors.New("rclient: no endpoints")
+	case 1:
+		c := NewClient(eps[0])
+		c.Priority = opts.Priority
+		return c, nil
+	}
+	f, err := NewFleet(eps)
+	if err != nil {
+		return nil, err
+	}
+	f.SetPriority(opts.Priority)
+	return f, nil
+}
+
+// NewClient returns a single-endpoint client with the default resilience
+// posture: four attempts with 250ms base / 5s cap full-jitter backoff, and
+// a local breaker so a model the service keeps failing on stops consuming
+// round trips.
+func NewClient(base string) *Client {
 	return &Client{
 		Base: strings.TrimRight(base, "/"),
 		HTTP: &http.Client{Timeout: 5 * time.Minute},

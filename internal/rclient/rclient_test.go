@@ -36,7 +36,7 @@ func TestCompileRetriesThroughTransientFailure(t *testing.T) {
 	}))
 	defer srv.Close()
 
-	c := New(srv.URL)
+	c := NewClient(srv.URL)
 	var hinted []time.Duration
 	c.Policy = fastPolicy(3)
 	c.Policy.Cap = 10 * time.Second // leave room for the server's hint
@@ -68,7 +68,7 @@ func TestTerminalStatusDoesNotRetry(t *testing.T) {
 	}))
 	defer srv.Close()
 
-	c := New(srv.URL)
+	c := NewClient(srv.URL)
 	c.Policy = fastPolicy(4)
 	_, err := c.Compile(context.Background(), ModelRef{ModelName: "demo"}, "bad", CompileOptions{})
 	var se *StatusError
@@ -92,7 +92,7 @@ func TestBreakerFastFailsRepeatedlyFailingModel(t *testing.T) {
 	}))
 	defer srv.Close()
 
-	c := New(srv.URL)
+	c := NewClient(srv.URL)
 	c.Policy = fastPolicy(1) // isolate breaker behavior from retries
 	c.Breaker = resilience.NewBreaker(resilience.BreakerConfig{
 		Window: 4, MinSamples: 2, FailureRate: 0.5, Cooldown: time.Hour,
@@ -146,7 +146,7 @@ func TestHealthz(t *testing.T) {
 	}))
 	defer srv.Close()
 
-	c := New(srv.URL)
+	c := NewClient(srv.URL)
 	if err := c.Healthz(context.Background()); err != nil {
 		t.Fatalf("healthy service: %v", err)
 	}

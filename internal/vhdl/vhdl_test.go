@@ -1,6 +1,7 @@
 package vhdl_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -176,14 +177,14 @@ func TestVHDLEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tg, err := core.Retarget(mdl, core.RetargetOptions{})
+	tg, err := core.RetargetContext(context.Background(), mdl, core.RetargetOptions{})
 	if err != nil {
 		t.Fatalf("retarget translated model: %v\n%s", err, mdl)
 	}
 	if tg.Stats.Extracted == 0 {
 		t.Fatal("no templates extracted")
 	}
-	res, err := tg.CompileSource(`
+	res, err := tg.CompileSourceContext(context.Background(), `
 int a = 6; int b = 7;
 int prod; int mix;
 prod = a * b;
@@ -287,7 +288,7 @@ end;
 	if !strings.Contains(mdl, "parts_v") {
 		t.Errorf("keyword-colliding label not renamed:\n%s", mdl)
 	}
-	if _, err := core.Retarget(mdl, core.RetargetOptions{}); err != nil {
+	if _, err := core.RetargetContext(context.Background(), mdl, core.RetargetOptions{}); err != nil {
 		t.Fatalf("translated model does not retarget: %v\n%s", err, mdl)
 	}
 }
