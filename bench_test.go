@@ -15,15 +15,19 @@ package repro
 
 import (
 	"context"
+	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dspstone"
 	"repro/internal/ise"
 	"repro/internal/models"
 	"repro/internal/naive"
+	"repro/internal/obs"
 	"repro/internal/rcache"
 )
 
@@ -196,6 +200,123 @@ func benchParallelCompile(b *testing.B, workers int) {
 			}
 		}
 	})
+}
+
+// benchCompileObs measures one kernel compile through a shared Compiler
+// with and without a live obs scope, so CI can gate the tracing tax: the
+// traced variant runs every compile under a span-producing scope exactly
+// as recordd does per request, against a bounded ring with a drop
+// counter.  benchtraj records the pair as compile_ns_per_op{base,traced}
+// and -max-traced-overhead fails the build if traced/base drifts.
+func benchCompileObs(b *testing.B, traced bool) {
+	tg := c25(b)
+	var cfg core.Config
+	if traced {
+		reg := obs.NewRegistry()
+		tracer := obs.NewTracer(obs.WithMaxSpans(4096),
+			obs.WithDropCounter(reg.Counter("record_obs_spans_dropped_total",
+				"spans overwritten past the tracer ring bound")))
+		_, cfg.Obs = obs.NewScope(reg, tracer).Start("bench.compile")
+	}
+	comp, err := core.NewCompiler(tg, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, ok := dspstone.Get("dot_product")
+	if !ok {
+		b.Fatal("kernel dot_product missing")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := comp.CompileSource(context.Background(), k.Source); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileBaseline(b *testing.B) { benchCompileObs(b, false) }
+func BenchmarkCompileTraced(b *testing.B)   { benchCompileObs(b, true) }
+
+// BenchmarkCompileTracedOverhead measures the tracing tax as a ratio the
+// CI gate can trust on a noisy runner.  Three defences against bias:
+// plain and traced compiles alternate in small batches, so slow drift
+// lands on both sides of each pair equally; whichever half runs second
+// inherits warm caches from the first, so the pair order itself flips
+// every iteration; and each order's per-pair ratios are reduced by
+// MEDIAN — a CPU-steal burst inside one batch corrupts only that pair's
+// ratio, which the median discards where a total-time quotient would
+// absorb it.  The reported "overhead" metric is the geometric mean of
+// the two order-specific medians, cancelling the warm-second advantage.
+// ns/op covers one plain+traced compile pair.
+func BenchmarkCompileTracedOverhead(b *testing.B) {
+	tg := c25(b)
+	plain, err := core.NewCompiler(tg, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(obs.WithMaxSpans(4096),
+		obs.WithDropCounter(reg.Counter("record_obs_spans_dropped_total",
+			"spans overwritten past the tracer ring bound")))
+	var cfg core.Config
+	_, cfg.Obs = obs.NewScope(reg, tracer).Start("bench.compile")
+	traced, err := core.NewCompiler(tg, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, ok := dspstone.Get("dot_product")
+	if !ok {
+		b.Fatal("kernel dot_product missing")
+	}
+	ctx := context.Background()
+	run := func(c *core.Compiler, n int) time.Duration {
+		from := time.Now()
+		for j := 0; j < n; j++ {
+			if _, err := c.CompileSource(ctx, k.Source); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(from)
+	}
+	const batch = 4
+	var ratios [2][]float64 // [0]: plain ran first; [1]: traced ran first
+	pair := 0
+	b.ResetTimer()
+	for done := 0; done < b.N; done += batch {
+		n := batch
+		if left := b.N - done; left < n {
+			n = left
+		}
+		var tPlain, tTraced time.Duration
+		order := pair % 2
+		if order == 0 {
+			tPlain = run(plain, n)
+			tTraced = run(traced, n)
+		} else {
+			tTraced = run(traced, n)
+			tPlain = run(plain, n)
+		}
+		if tPlain > 0 {
+			ratios[order] = append(ratios[order], float64(tTraced)/float64(tPlain))
+		}
+		pair++
+	}
+	b.StopTimer()
+	median := func(v []float64) float64 {
+		if len(v) == 0 {
+			return 0
+		}
+		sort.Float64s(v)
+		return v[len(v)/2]
+	}
+	m0, m1 := median(ratios[0]), median(ratios[1])
+	switch {
+	case m0 > 0 && m1 > 0:
+		b.ReportMetric(math.Sqrt(m0*m1), "overhead")
+	case m0+m1 > 0:
+		b.ReportMetric(m0 + m1, "overhead")
+	}
 }
 
 func BenchmarkParallelCompile1(b *testing.B)  { benchParallelCompile(b, 1) }

@@ -3,7 +3,14 @@
 // across commits, so scaling regressions show up as data rather than
 // anecdotes.  BenchmarkServerCompile* lines (recordd request latency on
 // the happy path and under shedding) ride along in server_ns_per_op, so
-// the resilience layers' overhead is tracked the same way.
+// the resilience layers' overhead is tracked the same way, and
+// BenchmarkCompile{Baseline,Traced} lines land in compile_ns_per_op —
+// the per-compile cost without and with a live span-producing obs scope
+// (repeat lines from -count N keep the minimum, so the floors are
+// noise-free).  BenchmarkCompileTracedOverhead's "overhead" metric —
+// measured by interleaving plain and traced compiles so machine-load
+// drift cancels out of the ratio — lands in traced_overhead, which
+// -max-traced-overhead turns into a CI ceiling on the tracing tax.
 //
 // Usage:
 //
@@ -45,38 +52,61 @@ import (
 
 // Entry is one benchmark run in the trajectory.
 type Entry struct {
-	Label         string             `json:"label"`
-	NsPerOp       map[string]float64 `json:"ns_per_op,omitempty"`
-	SpeedupAt4    float64            `json:"speedup_at_4,omitempty"`
-	SpeedupAt16   float64            `json:"speedup_at_16,omitempty"`
-	ServerNsPerOp map[string]float64 `json:"server_ns_per_op,omitempty"`
-	PhaseSeconds  map[string]float64 `json:"phase_seconds,omitempty"`
+	Label          string             `json:"label"`
+	NsPerOp        map[string]float64 `json:"ns_per_op,omitempty"`
+	SpeedupAt4     float64            `json:"speedup_at_4,omitempty"`
+	SpeedupAt16    float64            `json:"speedup_at_16,omitempty"`
+	ServerNsPerOp  map[string]float64 `json:"server_ns_per_op,omitempty"`
+	CompileNsPerOp map[string]float64 `json:"compile_ns_per_op,omitempty"`
+	TracedOverhead float64            `json:"traced_overhead,omitempty"`
+	PhaseSeconds   map[string]float64 `json:"phase_seconds,omitempty"`
 }
 
 // errNoBench marks input that contained no benchmark lines — fatal on its
 // own, tolerated when a phase trace supplies the entry's payload instead.
-var errNoBench = errors.New("benchtraj: no BenchmarkParallelCompile or BenchmarkServerCompile lines in input")
+var errNoBench = errors.New("benchtraj: no BenchmarkParallelCompile, BenchmarkServerCompile or BenchmarkCompile{Baseline,Traced,TracedOverhead} lines in input")
 
 var (
-	benchLine  = regexp.MustCompile(`^BenchmarkParallelCompile(\d+)\S*\s+\d+\s+([\d.]+) ns/op`)
-	serverLine = regexp.MustCompile(`^BenchmarkServerCompile(\w*)\S*\s+\d+\s+([\d.]+) ns/op`)
+	benchLine    = regexp.MustCompile(`^BenchmarkParallelCompile(\d+)\S*\s+\d+\s+([\d.]+) ns/op`)
+	serverLine   = regexp.MustCompile(`^BenchmarkServerCompile(\w*)\S*\s+\d+\s+([\d.]+) ns/op`)
+	compileLine  = regexp.MustCompile(`^BenchmarkCompile(Baseline|Traced)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+	overheadLine = regexp.MustCompile(`^BenchmarkCompileTracedOverhead\S*\s+\d+\s+[\d.]+ ns/op\s+([\d.]+) overhead`)
 )
 
 // serverKeys maps BenchmarkServerCompile<Suffix> onto trajectory keys.
 var serverKeys = map[string]string{"": "base", "Shed": "shed", "QoS": "qos"}
 
-// parse extracts worker-count → ns/op (parallel-compile lines) and
-// scenario → ns/op (server-latency lines) from `go test -bench` output.
-func parse(r io.Reader) (ns, server map[string]float64, err error) {
+// compileKeys maps BenchmarkCompile<Suffix> onto trajectory keys.
+var compileKeys = map[string]string{"Baseline": "base", "Traced": "traced"}
+
+// parse extracts worker-count → ns/op (parallel-compile lines), scenario
+// → ns/op (server-latency lines), base/traced → ns/op (single-compile
+// observability cost lines) and the interleaved traced/base overhead
+// ratio from `go test -bench` output.  The compile pair and the overhead
+// ratio keep the MINIMUM across repeated lines, so CI can run them with
+// -count N and gate on the noise-free floor rather than on whichever
+// single run the scheduler disturbed.
+func parse(r io.Reader) (ns, server, compile map[string]float64, overhead float64, err error) {
 	ns = make(map[string]float64)
 	server = make(map[string]float64)
+	compile = make(map[string]float64)
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := sc.Text()
+		if m := overheadLine.FindStringSubmatch(line); m != nil {
+			v, perr := strconv.ParseFloat(m[1], 64)
+			if perr != nil {
+				return nil, nil, nil, 0, fmt.Errorf("benchtraj: bad overhead in %q: %w", line, perr)
+			}
+			if overhead == 0 || v < overhead {
+				overhead = v
+			}
+			continue
+		}
 		if m := benchLine.FindStringSubmatch(line); m != nil {
 			v, perr := strconv.ParseFloat(m[2], 64)
 			if perr != nil {
-				return nil, nil, fmt.Errorf("benchtraj: bad ns/op in %q: %w", line, perr)
+				return nil, nil, nil, 0, fmt.Errorf("benchtraj: bad ns/op in %q: %w", line, perr)
 			}
 			ns[m[1]] = v
 			continue
@@ -88,18 +118,29 @@ func parse(r io.Reader) (ns, server map[string]float64, err error) {
 			}
 			v, perr := strconv.ParseFloat(m[2], 64)
 			if perr != nil {
-				return nil, nil, fmt.Errorf("benchtraj: bad ns/op in %q: %w", line, perr)
+				return nil, nil, nil, 0, fmt.Errorf("benchtraj: bad ns/op in %q: %w", line, perr)
 			}
 			server[key] = v
+			continue
+		}
+		if m := compileLine.FindStringSubmatch(line); m != nil {
+			key := compileKeys[m[1]]
+			v, perr := strconv.ParseFloat(m[2], 64)
+			if perr != nil {
+				return nil, nil, nil, 0, fmt.Errorf("benchtraj: bad ns/op in %q: %w", line, perr)
+			}
+			if prev, ok := compile[key]; !ok || v < prev {
+				compile[key] = v
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, 0, err
 	}
-	if len(ns) == 0 && len(server) == 0 {
-		return nil, nil, errNoBench
+	if len(ns) == 0 && len(server) == 0 && len(compile) == 0 && overhead == 0 {
+		return nil, nil, nil, 0, errNoBench
 	}
-	return ns, server, nil
+	return ns, server, compile, overhead, nil
 }
 
 // parsePhaseTrace sums span durations per name from a Chrome trace_event
@@ -224,8 +265,51 @@ func gateSpeedup(path, spec string) error {
 	return nil
 }
 
+// gateTracedOverhead fails when the newest entry's traced compile costs
+// more than ratio times its baseline compile — the observability layer's
+// per-compile tax, gated so span plumbing on the hot path cannot creep.
+// The interleaved traced_overhead measurement is preferred when the
+// entry carries one (drift-immune by construction); otherwise the gate
+// falls back to the ratio of the separately-timed pair's floors.  An
+// entry with neither fails: a bench run that silently dropped its
+// compile lines must not pass the gate it feeds.
+func gateTracedOverhead(path, spec string) error {
+	ratio, err := strconv.ParseFloat(spec, 64)
+	if err != nil || ratio <= 0 {
+		return fmt.Errorf("benchtraj: -max-traced-overhead wants a positive ratio, got %q", spec)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return fmt.Errorf("benchtraj: %s is not a trajectory array: %w", path, err)
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("benchtraj: %s has no entries to gate", path)
+	}
+	last := entries[len(entries)-1]
+	if last.TracedOverhead > 0 {
+		if last.TracedOverhead > ratio {
+			return fmt.Errorf("benchtraj: traced compile overhead %.4f exceeds the ceiling %.4f (interleaved measurement)",
+				last.TracedOverhead, ratio)
+		}
+		return nil
+	}
+	base, traced := last.CompileNsPerOp["base"], last.CompileNsPerOp["traced"]
+	if base <= 0 || traced <= 0 {
+		return fmt.Errorf("benchtraj: entry %q has neither traced_overhead nor a compile_ns_per_op base/traced pair; cannot gate", last.Label)
+	}
+	if got := traced / base; got > ratio {
+		return fmt.Errorf("benchtraj: traced compile overhead %.4f exceeds the ceiling %.4f (base %.0f ns/op, traced %.0f ns/op)",
+			got, ratio, base, traced)
+	}
+	return nil
+}
+
 func run(in io.Reader, outPath, label, tracePath string) error {
-	ns, server, err := parse(in)
+	ns, server, compile, overhead, err := parse(in)
 	if err != nil {
 		// A run that only records phase timings has no bench lines to
 		// parse; any other parse failure is still fatal.
@@ -233,12 +317,16 @@ func run(in io.Reader, outPath, label, tracePath string) error {
 			return err
 		}
 	}
-	e := Entry{Label: label, NsPerOp: ns, ServerNsPerOp: server}
+	e := Entry{Label: label, NsPerOp: ns, ServerNsPerOp: server,
+		CompileNsPerOp: compile, TracedOverhead: overhead}
 	if len(e.NsPerOp) == 0 {
 		e.NsPerOp = nil
 	}
 	if len(e.ServerNsPerOp) == 0 {
 		e.ServerNsPerOp = nil
+	}
+	if len(e.CompileNsPerOp) == 0 {
+		e.CompileNsPerOp = nil
 	}
 	if n1, ok1 := ns["1"]; ok1 {
 		if n4, ok4 := ns["4"]; ok4 && n4 > 0 {
@@ -265,6 +353,7 @@ func main() {
 	phaseTrace := flag.String("phase-trace", "", "Chrome trace JSON from `record -trace`; per-phase durations are added to the entry")
 	entries := flag.String("entries", "", "print the entry count of this trajectory file and exit (missing file = 0)")
 	minSpeedup := flag.String("min-speedup-at-4", "", "after appending, fail unless the new entry's speedup_at_4 meets this floor (a number, or \"prev\" for 90% of the previous entry)")
+	maxTraced := flag.String("max-traced-overhead", "", "after appending, fail if the new entry's traced/base compile ratio exceeds this ceiling (e.g. 1.02 for 2%)")
 	flag.Parse()
 
 	if *entries != "" {
@@ -293,6 +382,12 @@ func main() {
 	}
 	if *minSpeedup != "" {
 		if err := gateSpeedup(*outFile, *minSpeedup); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *maxTraced != "" {
+		if err := gateTracedOverhead(*outFile, *maxTraced); err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(1)
 		}

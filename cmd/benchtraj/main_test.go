@@ -21,12 +21,18 @@ BenchmarkParallelCompile32-4 	     433	   1892411 ns/op	  291587 B/op	    3945 a
 BenchmarkServerCompile-4     	      50	    353216 ns/op	  107867 B/op	    1517 allocs/op
 BenchmarkServerCompileShed-4 	      50	    137470 ns/op	  107898 B/op	    1518 allocs/op
 BenchmarkServerCompileQoS-4 	      50	    221133 ns/op	  107902 B/op	    1519 allocs/op
+BenchmarkCompileBaseline-4 	    2355	    248272 ns/op	   81876 B/op	    1880 allocs/op
+BenchmarkCompileBaseline-4 	    3073	    199936 ns/op	   81858 B/op	    1880 allocs/op
+BenchmarkCompileTraced-4   	    2341	    251843 ns/op	   83097 B/op	    1894 allocs/op
+BenchmarkCompileTraced-4   	    2844	    201582 ns/op	   83073 B/op	    1894 allocs/op
+BenchmarkCompileTracedOverhead-4 	    1204	    455813 ns/op	         1.031 overhead
+BenchmarkCompileTracedOverhead-4 	    1311	    441209 ns/op	         1.012 overhead
 PASS
 ok  	repro	5.234s
 `
 
 func TestParse(t *testing.T) {
-	ns, server, err := parse(strings.NewReader(sample))
+	ns, server, compile, overhead, err := parse(strings.NewReader(sample))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,17 +42,25 @@ func TestParse(t *testing.T) {
 	if len(server) != 3 || server["base"] != 353216 || server["shed"] != 137470 || server["qos"] != 221133 {
 		t.Fatalf("server latencies %v", server)
 	}
+	// Repeated -count lines keep the minimum of each half of the pair,
+	// and of the interleaved overhead ratio.
+	if len(compile) != 2 || compile["base"] != 199936 || compile["traced"] != 201582 {
+		t.Fatalf("compile pair %v", compile)
+	}
+	if overhead != 1.012 {
+		t.Fatalf("overhead = %v, want 1.012", overhead)
+	}
 }
 
 func TestParseRejectsEmpty(t *testing.T) {
-	if _, _, err := parse(strings.NewReader("PASS\n")); err == nil {
+	if _, _, _, _, err := parse(strings.NewReader("PASS\n")); err == nil {
 		t.Fatal("no error for input without benchmark lines")
 	}
 }
 
 func TestParseServerOnly(t *testing.T) {
 	in := "BenchmarkServerCompile-4 	 50 	 353216 ns/op\nPASS\n"
-	ns, server, err := parse(strings.NewReader(in))
+	ns, server, _, _, err := parse(strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,6 +97,12 @@ func TestRunAppends(t *testing.T) {
 	}
 	if entries[0].ServerNsPerOp["shed"] != 137470 {
 		t.Fatalf("server_ns_per_op not persisted: %+v", entries[0])
+	}
+	if entries[0].CompileNsPerOp["base"] != 199936 || entries[0].CompileNsPerOp["traced"] != 201582 {
+		t.Fatalf("compile_ns_per_op not persisted: %+v", entries[0])
+	}
+	if entries[0].TracedOverhead != 1.012 {
+		t.Fatalf("traced_overhead not persisted: %+v", entries[0])
 	}
 }
 
@@ -211,6 +231,81 @@ func TestGateSpeedupRejectsUnmeasuredHead(t *testing.T) {
 	}
 	if err := gateSpeedup(writeTrajectory(t), "0.5"); err == nil {
 		t.Fatal("empty trajectory passed the gate")
+	}
+}
+
+// writeCompileTrajectory writes a one-entry trajectory with the given
+// compile_ns_per_op pair (zeroes are omitted).
+func writeCompileTrajectory(t *testing.T, base, traced float64) string {
+	t.Helper()
+	e := Entry{Label: "head", CompileNsPerOp: map[string]float64{}}
+	if base > 0 {
+		e.CompileNsPerOp["base"] = base
+	}
+	if traced > 0 {
+		e.CompileNsPerOp["traced"] = traced
+	}
+	data, err := json.Marshal([]Entry{e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trajectory.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGateTracedOverhead covers the CI ceiling on the tracing tax.
+func TestGateTracedOverhead(t *testing.T) {
+	cases := []struct {
+		name         string
+		base, traced float64
+		spec         string
+		wantErr      bool
+	}{
+		{"within-ceiling", 200000, 203000, "1.02", false},
+		{"at-ceiling", 200000, 204000, "1.02", false},
+		{"over-ceiling", 200000, 210000, "1.02", true},
+		{"missing-traced", 200000, 0, "1.02", true},
+		{"missing-base", 0, 203000, "1.02", true},
+		{"bad-spec", 200000, 203000, "fast", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeCompileTrajectory(t, tc.base, tc.traced)
+			err := gateTracedOverhead(path, tc.spec)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("gateTracedOverhead(base=%v traced=%v, %q) = %v, wantErr=%v",
+					tc.base, tc.traced, tc.spec, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestGateTracedOverheadPrefersInterleaved: when the entry carries the
+// drift-immune interleaved measurement, the gate judges that and ignores
+// the separately-timed pair entirely.
+func TestGateTracedOverheadPrefersInterleaved(t *testing.T) {
+	write := func(overhead float64, pair map[string]float64) string {
+		t.Helper()
+		data, err := json.Marshal([]Entry{{Label: "head", TracedOverhead: overhead, CompileNsPerOp: pair}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "trajectory.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	// Interleaved ratio within the ceiling passes even with no pair at all.
+	if err := gateTracedOverhead(write(1.011, nil), "1.02"); err != nil {
+		t.Fatalf("clean interleaved measurement failed the gate: %v", err)
+	}
+	// Interleaved ratio over the ceiling fails even when the pair looks fine.
+	if err := gateTracedOverhead(write(1.05, map[string]float64{"base": 200000, "traced": 201000}), "1.02"); err == nil {
+		t.Fatal("over-ceiling interleaved measurement passed the gate")
 	}
 }
 

@@ -28,7 +28,10 @@
 //	-seq               print the sequential RT code as well
 //	-stats             print retargeting and compilation statistics
 //	-trace file        write a Chrome trace_event JSON file of the run
-//	                   (open in chrome://tracing or Perfetto)
+//	                   (open in chrome://tracing or Perfetto); with
+//	                   -server the root span propagates to the service
+//	                   as X-Record-Trace, and -stats prints the trace ID
+//	                   the service echoes back
 //	-cache-dir dir     reuse retarget artifacts across runs (prints
 //	                   "cache: hit|miss" under -stats)
 //	-run               execute on the netlist simulator and dump variables
@@ -205,6 +208,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 				err = werr
 			}
 		}
+		if c.showStats && tracer.Dropped() > 0 {
+			fmt.Fprintf(stdout, "trace: %d spans dropped past the ring bound\n", tracer.Dropped())
+		}
 	}
 	listDiagnostics(stderr, rep, c.modelSourceName())
 	switch {
@@ -373,6 +379,11 @@ func compileRemote(c *config, budget *diag.Budget, stdout io.Writer) error {
 	if budget != nil && budget.Ctx != nil {
 		ctx = budget.Ctx
 	}
+	// Under -trace the run's root scope rides the context, so every
+	// request leg spans client-side AND ships its trace identity to the
+	// service in X-Record-Trace — the fleet's span rings then hold the
+	// server half of the same trace ID.
+	ctx = obs.ContextWithScope(ctx, c.core.Obs)
 	// -server takes 1..N comma-separated URLs through one constructor: a
 	// single endpoint gets the plain client, more get the fleet client
 	// (content-address sharding, failover, hedging) — same Service either
@@ -393,6 +404,9 @@ func compileRemote(c *config, budget *diag.Budget, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "cache: %s (remote)\n", state)
 		fmt.Fprintf(stdout, "retargeted %s remotely: %d templates, %d rules\n",
 			rt.Name, rt.Templates, rt.Rules)
+		if rt.Trace != "" {
+			fmt.Fprintf(stdout, "trace: %s\n", rt.Trace)
+		}
 	}
 
 	byKey := rclient.ModelRef{Key: rt.Key}
@@ -411,6 +425,10 @@ func compileRemote(c *config, budget *diag.Budget, stdout io.Writer) error {
 			return err
 		}
 		printRemoteResult(stdout, res)
+		if c.showStats && res.Trace != "" {
+			fmt.Fprintf(stdout, "trace: %s\n", res.Trace)
+		}
+		printHedgeStats(c, cl, stdout)
 		return nil
 	}
 	var firstErr error
@@ -432,10 +450,28 @@ func compileRemote(c *config, budget *diag.Budget, stdout io.Writer) error {
 			}
 		}
 	}
+	printHedgeStats(c, cl, stdout)
 	if firstErr != nil {
 		return fmt.Errorf("%d of %d source files failed: %w", failed, len(sources), firstErr)
 	}
 	return nil
+}
+
+// printHedgeStats reports how fleet hedge legs fared under -stats; a
+// single-endpoint client (or a run that never hedged) prints nothing.
+func printHedgeStats(c *config, cl rclient.Service, stdout io.Writer) {
+	if !c.showStats {
+		return
+	}
+	f, ok := cl.(*rclient.Fleet)
+	if !ok {
+		return
+	}
+	if started, won := f.Hedges(); started > 0 {
+		_, cancelled, failed := f.HedgeOutcomes()
+		fmt.Fprintf(stdout, "hedges: %d started, %d won, %d cancelled, %d failed\n",
+			started, won, cancelled, failed)
+	}
 }
 
 // printRemoteResult writes a remote compile in the same shape as the local

@@ -46,6 +46,16 @@
 //	-breaker-cooldown d  open → half-open probe cooldown
 //	-faultpoints spec  arm fault-injection points (chaos testing; see
 //	                   `record -faultpoints list`)
+//	-trace-spans n     request-tracer span ring bound; overwritten spans
+//	                   count in record_obs_spans_dropped_total
+//	-slo-targets spec  per-route latency objectives,
+//	                   "compile=500ms,retarget=60s,batch=10s,artifact=100ms"
+//	-slo-availability f  good-event fraction objective (default 0.999)
+//	-slo-fast-window d   fast burn-rate window (default 1m)
+//	-slo-slow-window d   slow burn-rate window (default 10m)
+//
+// Every traced request (X-Record-Trace in, echoed out) records into a
+// bounded span ring served at GET /v1/debug/spans for cmd/tracefuse.
 //
 // On SIGTERM/SIGINT the daemon drains: /healthz flips to 503, new work is
 // refused with explicit statuses, in-flight requests get -drain-timeout to
@@ -94,7 +104,21 @@ func main() {
 	flag.IntVar(&cfg.brkWindow, "breaker-window", 8, "per-model circuit-breaker outcome window (0 = breaker off)")
 	flag.Float64Var(&cfg.brkRate, "breaker-rate", 0.5, "failure rate that opens a model's circuit")
 	flag.DurationVar(&cfg.brkCooldown, "breaker-cooldown", 10*time.Second, "circuit open -> half-open probe cooldown")
+	flag.IntVar(&cfg.traceSpans, "trace-spans", 4096, "request-tracer span ring bound")
+	sloTargets := flag.String("slo-targets", "", `per-route latency objectives, e.g. "compile=500ms,retarget=60s"`)
+	flag.Float64Var(&cfg.sloAvailability, "slo-availability", 0, "SLO good-event fraction objective (0 = 0.999)")
+	flag.DurationVar(&cfg.sloFastWindow, "slo-fast-window", 0, "fast burn-rate window (0 = 1m)")
+	flag.DurationVar(&cfg.sloSlowWindow, "slo-slow-window", 0, "slow burn-rate window (0 = 10m)")
 	flag.Parse()
+
+	if *sloTargets != "" {
+		targets, err := parseSLOTargets(*sloTargets)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "recordd: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.sloTargets = targets
+	}
 
 	if *faults != "" {
 		if err := faultpoint.ArmSpec(*faults); err != nil {
@@ -187,6 +211,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "recordd: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// parseSLOTargets parses "route=duration,..." into per-route latency
+// objectives, starting from the defaults so a spec can override one
+// route without restating the rest.
+func parseSLOTargets(spec string) (map[string]time.Duration, error) {
+	targets := defaultSLOTargets()
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		route, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("slo-targets: %q is not route=duration", part)
+		}
+		d, err := time.ParseDuration(strings.TrimSpace(val))
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("slo-targets: bad duration in %q", part)
+		}
+		targets[strings.TrimSpace(route)] = d
+	}
+	return targets, nil
 }
 
 // serve runs the HTTP service on ln until a signal arrives on sigs, then

@@ -48,7 +48,26 @@ type serverConfig struct {
 	peers       []string      // base URLs of fleet peers to fetch artifacts from
 	peerTimeout time.Duration // per-peer artifact fetch budget
 
+	traceSpans int // span-ring bound for the request tracer (0 = default)
+
+	sloTargets      map[string]time.Duration // per-route latency objectives (nil = defaults)
+	sloAvailability float64                  // good-event fraction objective (0 = default)
+	sloFastWindow   time.Duration            // fast burn window (0 = default)
+	sloSlowWindow   time.Duration            // slow burn window (0 = default)
+
 	brkClock func() time.Time // injectable breaker clock (tests); nil = time.Now
+}
+
+// defaultSLOTargets are the per-route latency objectives: a compile
+// should be interactive, a retarget may legitimately run the full
+// pipeline, artifact serves are a disk read.
+func defaultSLOTargets() map[string]time.Duration {
+	return map[string]time.Duration{
+		"retarget": 60 * time.Second,
+		"compile":  500 * time.Millisecond,
+		"batch":    10 * time.Second,
+		"artifact": 100 * time.Millisecond,
+	}
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -69,6 +88,18 @@ func (c serverConfig) withDefaults() serverConfig {
 	}
 	if c.prewarmTop <= 0 {
 		c.prewarmTop = 4
+	}
+	if c.traceSpans <= 0 {
+		c.traceSpans = 4096
+	}
+	if c.sloTargets == nil {
+		c.sloTargets = defaultSLOTargets()
+	}
+	if c.sloFastWindow <= 0 {
+		c.sloFastWindow = time.Minute
+	}
+	if c.sloSlowWindow <= 0 {
+		c.sloSlowWindow = 10 * time.Minute
 	}
 	return c
 }
@@ -106,8 +137,10 @@ type server struct {
 	drainCh  chan struct{} // closed when draining starts
 	draining atomic.Bool
 
-	reg *obs.Registry
-	scp *obs.Scope // registry-only scope handed to the pipeline
+	reg    *obs.Registry
+	scp    *obs.Scope      // registry-only scope for work outside any request
+	tracer *obs.Tracer     // bounded span ring served at /v1/debug/spans
+	slo    *obs.SLOTracker // per-route burn-rate monitor
 
 	gInflight     *obs.Gauge        // compiles currently executing
 	gTargInflight *obs.GaugeVec     // by artifact key; series dropped at zero
@@ -157,6 +190,10 @@ func newServer(cfg serverConfig) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+	tracer := obs.NewTracer(
+		obs.WithMaxSpans(cfg.traceSpans),
+		obs.WithDropCounter(reg.Counter("record_obs_spans_dropped_total",
+			"spans overwritten past the tracer ring bound")))
 	s = &server{
 		cfg:     cfg,
 		cache:   cache,
@@ -164,6 +201,13 @@ func newServer(cfg serverConfig) (*server, error) {
 		drainCh: make(chan struct{}),
 		reg:     reg,
 		scp:     scp,
+		tracer:  tracer,
+		slo: obs.NewSLOTracker(reg, "record_recordd_slo", obs.SLOConfig{
+			Targets:      cfg.sloTargets,
+			Availability: cfg.sloAvailability,
+			FastWindow:   cfg.sloFastWindow,
+			SlowWindow:   cfg.sloSlowWindow,
+		}),
 		gInflight: reg.Gauge("record_recordd_inflight_compiles",
 			"compiles currently executing"),
 		gTargInflight: reg.GaugeVec("record_recordd_target_inflight_compiles",
@@ -291,12 +335,15 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/v1/retarget", s.handleRetarget)
-	mux.HandleFunc("/v1/compile", s.handleCompile)
-	mux.HandleFunc("/v1/compile-batch", s.handleCompileBatch)
+	mux.HandleFunc("/v1/retarget", s.traced("retarget", s.handleRetarget))
+	mux.HandleFunc("/v1/compile", s.traced("compile", s.handleCompile))
+	mux.HandleFunc("/v1/compile-batch", s.traced("batch", s.handleCompileBatch))
 	// GET-only, so peers can still replicate artifacts off a draining
 	// node — the drain gate below blocks new work, not reads.
-	mux.HandleFunc("/v1/artifact/", s.handleArtifact)
+	mux.HandleFunc("/v1/artifact/", s.traced("artifact", s.handleArtifact))
+	// Drain-exempt like /v1/artifact (GET): the span ring must stay
+	// readable while a node drains, or a chaos trace loses its tail.
+	mux.HandleFunc("/v1/debug/spans", s.handleDebugSpans)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() && r.Method != http.MethodGet {
 			s.fail(w, r, http.StatusServiceUnavailable,
@@ -305,6 +352,78 @@ func (s *server) handler() http.Handler {
 		}
 		mux.ServeHTTP(w, r)
 	})
+}
+
+// statusWriter captures the response status so the traced middleware can
+// tag the request span and classify the SLO event.  code 0 means nothing
+// was written (client abort).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// traced is the per-route observability middleware: it opens a request
+// span (parented under the caller's X-Record-Trace context when one
+// arrived), echoes the span's trace ID in the response header, threads a
+// request-scoped obs.Scope through the context for every layer below —
+// QoS wait, cache lookups, compile phases, peer fetches — and lands the
+// outcome in the SLO tracker.
+func (s *server) traced(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		remote, _ := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+		scope := obs.NewScope(s.reg, s.tracer).WithRemote(remote)
+		sp, rscope := scope.Start("recordd."+route, obs.KV("node", s.cfg.nodeID))
+		defer sp.End()
+		if sc := sp.Context(); sc.Valid() {
+			w.Header().Set(obs.TraceHeader, sc.Header())
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r.WithContext(obs.ContextWithScope(r.Context(), rscope)))
+		if sw.code == 0 {
+			// Nothing written: the client went away. Not an SLO event —
+			// the service never answered, well or badly.
+			sp.SetAttr("outcome", "abort")
+			return
+		}
+		sp.SetAttr("status", sw.code)
+		s.slo.Observe(route, time.Since(start), sw.code < http.StatusInternalServerError)
+	}
+}
+
+// obsFrom returns the request's trace-carrying scope when the context
+// has one, else the server's registry-only scope — pipeline metrics land
+// in the same registry either way.
+func (s *server) obsFrom(ctx context.Context) *obs.Scope {
+	if scope := obs.ScopeFromContext(ctx); scope != nil {
+		return scope
+	}
+	return s.scp
+}
+
+// handleDebugSpans serves the node's span ring for trace fusion:
+// cmd/tracefuse joins /v1/debug/spans dumps from every fleet node into
+// one cross-process Chrome trace.
+func (s *server) handleDebugSpans(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.tracer.Dump(s.cfg.nodeID))
 }
 
 // beginDrain flips the service into draining mode: /healthz reports
@@ -356,14 +475,19 @@ func classOf(r *http.Request, def qos.Class) qos.Class {
 // drain starts or the client goes away before a slot frees up.  The
 // returned release is idempotent and must be called when the work ends.
 func (s *server) acquire(ctx context.Context, cl qos.Class) (func(), error) {
+	sp, _ := obs.ScopeFromContext(ctx).Start("qos.wait", obs.KV("class", cl.String()))
 	release, err := s.sched.Acquire(ctx, cl)
 	if err != nil {
+		sp.SetAttr("outcome", "refused")
+		sp.End()
 		var ov *resilience.OverloadError
 		if errors.As(err, &ov) {
 			s.cShed.With(cl.String()).Inc()
 		}
 		return nil, err
 	}
+	sp.SetAttr("outcome", "granted")
+	sp.End()
 	if err := faultpoint.Hit("recordd.worker.spawn", ""); err != nil {
 		release()
 		return nil, err
@@ -444,8 +568,12 @@ func (s *server) resolveEntry(ctx context.Context, key string, m modelRequest) (
 		}
 		// LookupContext consults fleet peers after the local tiers, so a
 		// by-key compile routed to a non-owner replicates the artifact
-		// instead of 404ing.
-		entry, outcome, ok := s.cache.LookupContext(ctx, key)
+		// instead of 404ing.  The lookup span parents any peer fetch the
+		// walk performs, keeping it on the caller's trace.
+		sp, lscope := s.obsFrom(ctx).Start("rcache.lookup", obs.KV("key", key))
+		entry, outcome, ok := s.cache.LookupContext(obs.ContextWithScope(ctx, lscope), key)
+		sp.SetAttr("outcome", string(outcome))
+		sp.End()
 		if !ok {
 			return nil, rcache.Miss, http.StatusNotFound,
 				fmt.Errorf("no artifact for key %s: retarget first or send the model inline", key)
@@ -459,7 +587,7 @@ func (s *server) resolveEntry(ctx context.Context, key string, m modelRequest) (
 	budget, cancel := s.budget(ctx)
 	defer cancel()
 	start := time.Now()
-	entry, outcome, err := s.cache.GetContext(ctx, mdl, core.RetargetOptions{Budget: budget, Obs: s.scp})
+	entry, outcome, err := s.cache.GetContext(ctx, mdl, core.RetargetOptions{Budget: budget, Obs: s.obsFrom(ctx)})
 	s.observePhase("retarget", time.Since(start))
 	if err != nil {
 		return nil, rcache.Miss, statusFor(err), fmt.Errorf("retarget: %w", err)
@@ -605,12 +733,17 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
+	body := map[string]interface{}{"ok": true, "node": s.cfg.nodeID}
+	if slo := s.slo.Health(); slo != nil {
+		body["slo"] = slo
+	}
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable,
-			map[string]interface{}{"ok": false, "draining": true, "node": s.cfg.nodeID})
+		body["ok"] = false
+		body["draining"] = true
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{"ok": true, "node": s.cfg.nodeID})
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleArtifact serves the encoded artifact for a content address to
@@ -649,25 +782,33 @@ func (s *server) peerFetch(ctx context.Context, key string) ([]byte, error) {
 		if !s.peerHealth.Usable(peer) {
 			continue
 		}
-		data, err := s.fetchFrom(ctx, peer, key)
+		sp, pscope := obs.ScopeFromContext(ctx).Start("peer.fetch", obs.KV("peer", peer))
+		data, err := s.fetchFrom(obs.ContextWithScope(ctx, pscope), peer, key)
 		switch {
 		case err != nil:
+			sp.SetAttr("outcome", "error")
 			s.peerHealth.Report(peer, false)
 			s.cPeerFetch.With(s.cfg.nodeID, peer, "error").Inc()
 		case data == nil: // peer alive, no copy
+			sp.SetAttr("outcome", "miss")
 			s.peerHealth.Report(peer, true)
 			s.cPeerFetch.With(s.cfg.nodeID, peer, "miss").Inc()
 		default:
+			sp.SetAttr("outcome", "hit")
+			sp.End()
 			s.peerHealth.Report(peer, true)
 			s.cPeerFetch.With(s.cfg.nodeID, peer, "hit").Inc()
 			return data, nil
 		}
+		sp.End()
 	}
 	return nil, nil
 }
 
 // fetchFrom performs one GET /v1/artifact/{key} against one peer under
-// the per-peer timeout.  (nil, nil) is the peer's 404.
+// the per-peer timeout.  (nil, nil) is the peer's 404.  The request
+// re-injects the active trace (X-Record-Trace) so the peer's artifact
+// serve records on the same trace as the compile that triggered it.
 func (s *server) fetchFrom(ctx context.Context, peer, key string) ([]byte, error) {
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.peerTimeout)
 	defer cancel()
@@ -675,6 +816,9 @@ func (s *server) fetchFrom(ctx context.Context, peer, key string) ([]byte, error
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
+	}
+	if sc := obs.ScopeFromContext(ctx).Span().Context(); sc.Valid() {
+		req.Header.Set(obs.TraceHeader, sc.Header())
 	}
 	resp, err := s.peerHTTP.Do(req)
 	if err != nil {
@@ -696,8 +840,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
-	// Ring ownership is a property of the disk store, not of request
-	// traffic, so the gauges refresh at scrape time.
+	// Burn rates and ring ownership are point-in-time quantities, so
+	// their gauges refresh at scrape time rather than per request.
+	s.slo.Refresh()
 	if s.ring != nil && s.gRingKey != nil {
 		for member, n := range s.ring.OwnerCounts(s.cache.Keys()) {
 			s.gRingKey.With(member).Set(int64(n))
@@ -733,7 +878,7 @@ func (s *server) handleRetarget(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	start := time.Now()
-	entry, outcome, err := s.cache.GetContext(r.Context(), mdl, core.RetargetOptions{Reporter: rep, Budget: budget, Obs: s.scp})
+	entry, outcome, err := s.cache.GetContext(r.Context(), mdl, core.RetargetOptions{Reporter: rep, Budget: budget, Obs: s.obsFrom(r.Context())})
 	s.observePhase("retarget", time.Since(start))
 	s.recordOutcome(bkey, err)
 	if err != nil {
@@ -784,10 +929,19 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, statusFor(err), err)
 		return
 	}
+	wr := v.(*wireResult)
 	if shared {
 		s.cCoalesced.Inc()
+		// The work ran on the leader's trace; link the follower's span to
+		// it so a trace viewer can hop from the waiter to the execution.
+		if sp := obs.ScopeFromContext(r.Context()).Span(); sp != nil {
+			sp.SetAttr("coalesced", true)
+			if wr.trace != "" {
+				sp.SetAttr("leader_trace", wr.trace)
+			}
+		}
 	}
-	s.writeWire(w, r, v.(*wireResult))
+	s.writeWire(w, r, wr)
 }
 
 // compileWire runs one /v1/compile request end to end — admission,
@@ -795,6 +949,11 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 // coalesced duplicates can replay it verbatim.  Failures are encoded
 // too: a shed or broken-circuit refusal is shared exactly like a result.
 func (s *server) compileWire(ctx context.Context, req compileRequest, bkey string, cl qos.Class) *wireResult {
+	// The leader's trace identifies where coalesced followers' work ran.
+	var leaderTrace string
+	if sc := s.obsFrom(ctx).Span().Context(); sc.Valid() {
+		leaderTrace = sc.Trace.String()
+	}
 	release, err := s.acquire(ctx, cl)
 	if err != nil {
 		return errWire(err)
@@ -816,7 +975,7 @@ func (s *server) compileWire(ctx context.Context, req compileRequest, bkey strin
 	res, err := entry.Compile(cctx, req.Source, core.CompileOptions{
 		NoCompaction: req.Options.NoCompaction,
 		NoPeephole:   req.Options.NoPeephole,
-		Obs:          s.scp,
+		Obs:          s.obsFrom(ctx),
 	})
 	s.observePhase("compile", time.Since(start))
 	s.recordOutcome(bkey, err)
@@ -835,6 +994,7 @@ func (s *server) compileWire(ctx context.Context, req compileRequest, bkey strin
 		Listing: entry.Listing(res),
 	})
 	s.observePhase("encode", time.Since(start))
+	wr.trace = leaderTrace
 	return wr
 }
 
@@ -939,7 +1099,7 @@ func (s *server) compileOne(ctx context.Context, cl qos.Class, entry *rcache.Ent
 	res, err := entry.Compile(cctx, p.Source, core.CompileOptions{
 		NoCompaction: opts.NoCompaction,
 		NoPeephole:   opts.NoPeephole,
-		Obs:          s.scp,
+		Obs:          s.obsFrom(ctx),
 	})
 	s.observePhase("compile", time.Since(start))
 	s.recordOutcome(entry.Key, err)
@@ -993,6 +1153,7 @@ type wireResult struct {
 	status int
 	after  time.Duration // Retry-After hint; 0 = none
 	body   []byte        // JSON body, newline-framed like writeJSON
+	trace  string        // leader's trace ID, for coalesced-follower linkage
 }
 
 func errWire(err error) *wireResult { return errWireStatus(statusFor(err), err) }

@@ -417,13 +417,15 @@ func (t *Target) compile(ctx context.Context, prog *ir.Program, opts CompileOpti
 	cSpan, scope := parent.Start("compile")
 	defer cSpan.End()
 	// stage wraps one pipeline stage in a span and the phase histogram;
-	// the returned func must run exactly once, error path included.
+	// the returned func must run exactly once, error path included.  The
+	// stage's own wall-clock measurement feeds both, via Event, so tracing
+	// a stage costs one ring append rather than a Start/End pair.
 	stage := func(name string) func() {
-		sp, _ := scope.Start(name)
 		from := time.Now()
 		return func() {
-			sp.End()
-			observe(name, time.Since(from).Seconds())
+			d := time.Since(from)
+			scope.Event(name, d)
+			observe(name, d.Seconds())
 		}
 	}
 	done := stage("bind")

@@ -37,6 +37,11 @@
 // DESIGN.md section 10 for the full table).
 package obs
 
+import (
+	"context"
+	"time"
+)
+
 // Attr is one span attribute: a key with a value that must render
 // deterministically (strings, integers, bools).
 type Attr struct {
@@ -56,6 +61,7 @@ type Scope struct {
 	reg    *Registry
 	tracer *Tracer
 	span   *Span
+	remote SpanContext // parents the next Start when span is nil
 }
 
 // NewScope builds a scope over a registry and a tracer; either may be nil.
@@ -91,11 +97,23 @@ func (s *Scope) Span() *Span {
 	return s.span
 }
 
-// Start opens a span named name under the scope's current span and
-// returns it with a derived scope that parents subsequent spans under it.
-// The caller must End the span.  On a nil scope or a scope without a
-// tracer the span is nil (End and SetAttr on it are no-ops) and the
-// returned scope keeps whatever registry the receiver had.
+// WithRemote returns a copy of the scope whose next Start parents its
+// span under the given cross-process span context — the receiving half
+// of X-Record-Trace propagation.  Invalid contexts and nil scopes return
+// the receiver unchanged, so a garbage header degrades to a local trace.
+func (s *Scope) WithRemote(sc SpanContext) *Scope {
+	if s == nil || !sc.Valid() {
+		return s
+	}
+	return &Scope{reg: s.reg, tracer: s.tracer, span: s.span, remote: sc}
+}
+
+// Start opens a span named name under the scope's current span (or, for
+// a scope built by WithRemote, under the remote parent) and returns it
+// with a derived scope that parents subsequent spans under it.  The
+// caller must End the span.  On a nil scope or a scope without a tracer
+// the span is nil (End and SetAttr on it are no-ops) and the returned
+// scope keeps whatever registry the receiver had.
 func (s *Scope) Start(name string, attrs ...Attr) (*Span, *Scope) {
 	if s == nil {
 		return nil, nil
@@ -103,6 +121,43 @@ func (s *Scope) Start(name string, attrs ...Attr) (*Span, *Scope) {
 	if s.tracer == nil {
 		return nil, s
 	}
-	sp := s.tracer.start(s.span, name, attrs)
+	sp := s.tracer.start(s.span, s.remote, name, attrs)
 	return sp, &Scope{reg: s.reg, tracer: s.tracer, span: sp}
+}
+
+// Event records a completed child span of the scope's current span with
+// the caller-measured duration — one ring write, one clock read, no End
+// bookkeeping.  Pipeline stages that already time themselves for the
+// phase histograms use this instead of Start/End so the per-stage tracing
+// tax is a single cheap append.  Nil scopes and scopes without a tracer
+// discard.
+func (s *Scope) Event(name string, dur time.Duration, attrs ...Attr) {
+	if s == nil || s.tracer == nil {
+		return
+	}
+	s.tracer.event(s.span, s.remote, name, dur, attrs)
+}
+
+// scopeCtxKey keys the request-scope value in a context.
+type scopeCtxKey struct{}
+
+// ContextWithScope attaches a scope to a context so layers that already
+// thread contexts (rclient legs, rcache peer fetches, recordd handlers)
+// can propagate the active trace without new parameters.  A nil scope
+// returns ctx unchanged.
+func ContextWithScope(ctx context.Context, s *Scope) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, scopeCtxKey{}, s)
+}
+
+// ScopeFromContext returns the scope attached by ContextWithScope, or
+// nil — and nil is safe to use directly, like every scope.
+func ScopeFromContext(ctx context.Context) *Scope {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(scopeCtxKey{}).(*Scope)
+	return s
 }

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// seqIDs returns a deterministic ID source counting up from 1.
+func seqIDs() func() uint64 {
+	var n uint64
+	return func() uint64 { n++; return n }
+}
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	tr := NewTracer(WithIDSource(seqIDs()))
+	sp := tr.Root("root")
+	sc := sp.Context()
+	if !sc.Valid() {
+		t.Fatalf("root span has no identity: %+v", sc)
+	}
+	h := sc.Header()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("malformed header %q", h)
+	}
+	got, ok := ParseTraceHeader(h)
+	if !ok || got != sc {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", got, ok, sc)
+	}
+}
+
+func TestParseTraceHeaderRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"01-0123456789abcdef0123456789abcdef-0123456789abcdef-01", // unknown version
+		"00-0123456789abcdef0123456789abcdeX-0123456789abcdef-01", // bad hex
+		"00-00000000000000000000000000000000-0123456789abcdef-01", // zero trace
+		"00-0123456789abcdef0123456789abcdef-0000000000000000-01", // zero span
+		strings.Repeat("0", 55),
+	}
+	for _, v := range bad {
+		if _, ok := ParseTraceHeader(v); ok {
+			t.Errorf("ParseTraceHeader(%q) accepted garbage", v)
+		}
+	}
+}
+
+func TestRandomIDsAreNonZeroAndDistinct(t *testing.T) {
+	tr := NewTracer()
+	a, b := tr.Root("a").Context(), tr.Root("b").Context()
+	if !a.Valid() || !b.Valid() {
+		t.Fatalf("invalid contexts: %+v %+v", a, b)
+	}
+	if a.Trace == b.Trace || a.Span == b.Span {
+		t.Fatalf("distinct roots share identity: %+v %+v", a, b)
+	}
+}
+
+func TestChildInheritsTraceRemoteStartsLane(t *testing.T) {
+	tr := NewTracer(WithIDSource(seqIDs()))
+	scope := NewScope(nil, tr)
+
+	root, rscope := scope.Start("root")
+	child, _ := rscope.Start("child")
+	if child.Context().Trace != root.Context().Trace {
+		t.Fatalf("child trace %s != root trace %s", child.Context().Trace, root.Context().Trace)
+	}
+
+	// A remote parent (another process's span) keeps the trace but opens
+	// a fresh lane, and records the remote span as parent.
+	remote := root.Context()
+	rsp, _ := scope.WithRemote(remote).Start("server")
+	if rsp.Context().Trace != remote.Trace {
+		t.Fatalf("remote child trace %s != remote trace %s", rsp.Context().Trace, remote.Trace)
+	}
+	infos := tr.Snapshot()
+	var serverInfo *SpanInfo
+	for i := range infos {
+		if infos[i].Name == "server" {
+			serverInfo = &infos[i]
+		}
+	}
+	if serverInfo == nil {
+		t.Fatal("server span not recorded")
+	}
+	if serverInfo.Parent != remote.Span {
+		t.Fatalf("server parent %s, want remote span %s", serverInfo.Parent, remote.Span)
+	}
+	if serverInfo.Tid == infos[0].Tid {
+		t.Fatal("remote-parented span reused the local root's lane")
+	}
+
+	// An invalid remote context degrades to a fresh local trace.
+	fresh, _ := scope.WithRemote(SpanContext{}).Start("fresh")
+	if fresh.Context().Trace == remote.Trace {
+		t.Fatal("invalid remote context still inherited the trace")
+	}
+}
+
+func TestSpanRingOverflowCountsDrops(t *testing.T) {
+	reg := NewRegistry()
+	dropC := reg.Counter("record_obs_spans_dropped_total",
+		"Spans overwritten past the tracer ring bound.")
+	tr := NewTracer(WithMaxSpans(3), WithDropCounter(dropC), WithIDSource(seqIDs()))
+	for i := 0; i < 8; i++ {
+		tr.Root("span").End()
+	}
+	if got := tr.Dropped(); got != 5 {
+		t.Fatalf("Dropped() = %d, want 5", got)
+	}
+	if got := dropC.Value(); got != 5 {
+		t.Fatalf("drop counter = %d, want 5", got)
+	}
+	// The ring keeps the most recent max spans, oldest first.
+	infos := tr.Snapshot()
+	if len(infos) != 3 {
+		t.Fatalf("Snapshot len = %d, want 3", len(infos))
+	}
+	if infos[0].Seq != 5 || infos[2].Seq != 7 {
+		t.Fatalf("ring kept seqs %d..%d, want 5..7", infos[0].Seq, infos[2].Seq)
+	}
+}
+
+func TestDumpExportsIdentity(t *testing.T) {
+	clock := fakeClock(time.Millisecond)
+	tr := NewTracer(WithClock(clock), WithIDSource(seqIDs()))
+	scope := NewScope(nil, tr)
+	root, rscope := scope.Start("root", KV("node", "n1"))
+	child, _ := rscope.Start("child")
+	child.End()
+	root.End()
+
+	d := tr.Dump("n1")
+	if d.Node != "n1" {
+		t.Fatalf("node = %q", d.Node)
+	}
+	if d.BaseUnixNS != tr.Base().UnixNano() {
+		t.Fatalf("base = %d, want %d", d.BaseUnixNS, tr.Base().UnixNano())
+	}
+	if len(d.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(d.Spans))
+	}
+	r, c := d.Spans[0], d.Spans[1]
+	if r.Name != "root" || c.Name != "child" {
+		t.Fatalf("span order %q, %q", r.Name, c.Name)
+	}
+	if r.Trace != c.Trace {
+		t.Fatalf("trace split: %s vs %s", r.Trace, c.Trace)
+	}
+	if c.Parent != r.Span {
+		t.Fatalf("child parent %q, want %q", c.Parent, r.Span)
+	}
+	if r.Parent != "" {
+		t.Fatalf("root parent %q, want empty", r.Parent)
+	}
+	if !r.Ended || !c.Ended {
+		t.Fatal("spans not marked ended")
+	}
+	if r.Attrs["node"] != "n1" {
+		t.Fatalf("root attrs = %v", r.Attrs)
+	}
+	if c.StartUS <= r.StartUS {
+		t.Fatalf("child start %d not after root start %d", c.StartUS, r.StartUS)
+	}
+}
+
+func TestContextScopeRoundTrip(t *testing.T) {
+	tr := NewTracer(WithIDSource(seqIDs()))
+	scope := NewScope(nil, tr)
+	ctx := ContextWithScope(context.Background(), scope)
+	if got := ScopeFromContext(ctx); got != scope {
+		t.Fatalf("ScopeFromContext = %p, want %p", got, scope)
+	}
+	if got := ScopeFromContext(context.Background()); got != nil {
+		t.Fatalf("empty context yielded scope %p", got)
+	}
+	if got := ContextWithScope(context.Background(), nil); ScopeFromContext(got) != nil {
+		t.Fatal("nil scope attached to context")
+	}
+}

@@ -419,7 +419,9 @@ func (c *Cache) fill(ctx context.Context, key, mdlSource string, ropts core.Reta
 		markHit(ropts.Obs, "disk")
 		return entry, Disk, nil
 	}
-	if entry := c.fetchPeer(ctx, key); entry != nil {
+	// The rewrapped context parents the peer fetch's HTTP span (and its
+	// trace header) under this get's span rather than the request root.
+	if entry := c.fetchPeer(obs.ContextWithScope(ctx, ropts.Obs), key); entry != nil {
 		markHit(ropts.Obs, "peer")
 		return entry, Peer, nil
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 )
 
@@ -80,6 +81,11 @@ type Fleet struct {
 
 	lat               latencyWindow
 	hedges, hedgeWins atomic.Uint64
+
+	// Hedge-leg fates beyond wins, so hedge efficacy is measurable
+	// without a trace viewer: cancelled legs lost the race to the
+	// primary; failed legs errored on their own.
+	hedgeCancelled, hedgeFailed atomic.Uint64
 }
 
 // NewFleet builds a fleet client over one or more recordd base URLs
@@ -146,6 +152,31 @@ func (f *Fleet) Hedges() (started, won uint64) {
 	return f.hedges.Load(), f.hedgeWins.Load()
 }
 
+// HedgeOutcomes returns how started hedge legs ended: won the race,
+// cancelled as losers, or failed outright.  Legs still in flight are in
+// none of the three.
+func (f *Fleet) HedgeOutcomes() (won, cancelled, failed uint64) {
+	return f.hedgeWins.Load(), f.hedgeCancelled.Load(), f.hedgeFailed.Load()
+}
+
+// countHedge records a hedge leg's fate in the fleet's atomics and, when
+// the context carries a scope with a registry, in the
+// record_rclient_hedge_total counter vec.
+func (f *Fleet) countHedge(ctx context.Context, outcome string) {
+	switch outcome {
+	case "won":
+		f.hedgeWins.Add(1)
+	case "cancelled":
+		f.hedgeCancelled.Add(1)
+	case "failed":
+		f.hedgeFailed.Add(1)
+	}
+	obs.ScopeFromContext(ctx).Registry().CounterVec(
+		"record_rclient_hedge_total",
+		"Hedge request legs by fate: won the race, cancelled as losers, or failed.",
+		"outcome").With(outcome).Inc()
+}
+
 // Probe health-checks every endpoint once and feeds the outcomes to the
 // health tracker, so a dead node is excluded (and a revived one rejoins)
 // without waiting for request traffic to discover it.
@@ -196,9 +227,11 @@ func (f *Fleet) Retarget(ctx context.Context, ref ModelRef) (*RetargetResult, er
 		in["model_name"] = ref.ModelName
 	}
 	var out RetargetResult
-	if err := f.call(ctx, ref.routeKey(), ref.fingerprint(), "/v1/retarget", in, &out); err != nil {
+	trace, err := f.call(ctx, ref.routeKey(), ref.fingerprint(), "/v1/retarget", in, &out)
+	if err != nil {
 		return nil, err
 	}
+	out.Trace = trace
 	return &out, nil
 }
 
@@ -216,22 +249,28 @@ func (f *Fleet) Compile(ctx context.Context, ref ModelRef, source string, opts C
 		in["model_name"] = ref.ModelName
 	}
 	var out CompileResult
-	if err := f.call(ctx, ref.routeKey(), ref.fingerprint(), "/v1/compile", in, &out); err != nil {
+	trace, err := f.call(ctx, ref.routeKey(), ref.fingerprint(), "/v1/compile", in, &out)
+	if err != nil {
 		return nil, err
 	}
+	out.Trace = trace
 	return &out, nil
 }
 
 // call races one request across the shard's replica order under the
-// fleet retry policy, decoding the winning body into out.
-func (f *Fleet) call(ctx context.Context, rkey, bkey, path string, in, out interface{}) error {
-	return f.Policy.Do(ctx, func(ctx context.Context) error {
-		raw, err := f.race(ctx, f.candidates(rkey), bkey, path, in)
+// fleet retry policy, decoding the winning body into out and returning
+// the trace ID the winning leg's response echoed.
+func (f *Fleet) call(ctx context.Context, rkey, bkey, path string, in, out interface{}) (string, error) {
+	var trace string
+	err := f.Policy.Do(ctx, func(ctx context.Context) error {
+		raw, echo, err := f.race(ctx, f.candidates(rkey), bkey, path, in)
 		if err != nil {
 			return err
 		}
+		trace = echoTrace(echo)
 		return json.Unmarshal(raw, out)
 	})
+	return trace, err
 }
 
 // candidates is the replica order for a shard key: the ring's successor
@@ -254,6 +293,7 @@ func (f *Fleet) candidates(rkey string) []string {
 
 type legResult struct {
 	raw    []byte
+	echo   string // X-Record-Trace the leg's response echoed
 	err    error
 	hedged bool
 }
@@ -264,9 +304,9 @@ type legResult struct {
 // early while the primary is still in flight.  First success wins and
 // cancels the rest; a non-failover-worthy error (the request is wrong,
 // not the node) returns immediately.
-func (f *Fleet) race(ctx context.Context, cands []string, bkey, path string, in interface{}) ([]byte, error) {
+func (f *Fleet) race(ctx context.Context, cands []string, bkey, path string, in interface{}) ([]byte, string, error) {
 	if len(cands) == 0 {
-		return nil, errors.New("rclient: no usable endpoints")
+		return nil, "", errors.New("rclient: no usable endpoints")
 	}
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel() // cancels every losing leg
@@ -280,8 +320,8 @@ func (f *Fleet) race(ctx context.Context, cands []string, bkey, path string, in 
 		ep := cands[started]
 		started++
 		go func() {
-			raw, err := f.leg(hctx, ep, bkey, path, in)
-			results <- legResult{raw: raw, err: err, hedged: hedged}
+			raw, echo, err := f.leg(hctx, ep, bkey, path, in, hedged)
+			results <- legResult{raw: raw, echo: echo, err: err, hedged: hedged}
 		}()
 		return true
 	}
@@ -301,7 +341,7 @@ func (f *Fleet) race(ctx context.Context, cands []string, bkey, path string, in 
 	for pending > 0 {
 		select {
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, "", ctx.Err()
 		case <-hedgeTimer:
 			hedgeTimer = nil
 			if startNext(true) {
@@ -312,36 +352,48 @@ func (f *Fleet) race(ctx context.Context, cands []string, bkey, path string, in 
 			pending--
 			if r.err == nil {
 				if r.hedged {
-					f.hedgeWins.Add(1)
+					f.countHedge(ctx, "won")
 				}
-				return r.raw, nil
+				return r.raw, r.echo, nil
 			}
 			lastErr = r.err
+			if r.hedged {
+				f.countHedge(ctx, "failed")
+			}
 			if !failoverWorthy(r.err) {
-				return nil, r.err
+				return nil, "", r.err
 			}
 			if startNext(false) {
 				pending++
 			}
 		}
 	}
-	return nil, lastErr
+	return nil, "", lastErr
 }
 
 // leg runs one request against one endpoint, recording the outcome with
 // that endpoint's breaker and the fleet health tracker.  A leg cancelled
-// by the race (hedge loser, caller gone) reports nothing — cancellation
-// is not evidence about the node.
-func (f *Fleet) leg(ctx context.Context, ep, bkey, path string, in interface{}) ([]byte, error) {
+// by the race (hedge loser, caller gone) reports nothing to either —
+// cancellation is not evidence about the node — but a cancelled hedge
+// leg does count as a hedge loser.
+func (f *Fleet) leg(ctx context.Context, ep, bkey, path string, in interface{}, hedged bool) ([]byte, string, error) {
 	c := f.clients[ep]
 	if err := c.Breaker.Allow(bkey); err != nil {
-		// Local refusal; the node was never contacted.
-		return nil, fmt.Errorf("%s: %w", ep, err)
+		// Local refusal; the node was never contacted.  The race loop
+		// does the hedge-failure accounting when it consumes the result.
+		return nil, "", fmt.Errorf("%s: %w", ep, err)
+	}
+	var extra []obs.Attr
+	if hedged {
+		extra = append(extra, obs.KV("hedge", true))
 	}
 	start := time.Now()
-	raw, err := c.postRaw(ctx, path, in)
+	raw, echo, err := c.postRaw(ctx, path, in, extra...)
 	if err != nil && ctx.Err() != nil {
-		return nil, err
+		if hedged {
+			f.countHedge(ctx, "cancelled")
+		}
+		return nil, "", err
 	}
 	switch {
 	case err == nil:
@@ -356,9 +408,9 @@ func (f *Fleet) leg(ctx context.Context, ep, bkey, path string, in interface{}) 
 		f.health.Report(ep, true)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", ep, err)
+		return nil, "", fmt.Errorf("%s: %w", ep, err)
 	}
-	return raw, nil
+	return raw, echo, nil
 }
 
 // failoverWorthy reports whether another replica could answer where this

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/resilience"
 )
 
@@ -63,6 +64,11 @@ type RetargetResult struct {
 	Rules     int    `json:"rules"`
 	Cache     string `json:"cache"`
 	Warnings  int    `json:"warnings"`
+
+	// Trace is the distributed trace ID echoed by the server in the
+	// X-Record-Trace response header ("" when the request carried no
+	// trace); it names the server-side spans this request produced.
+	Trace string `json:"-"`
 }
 
 // CompileResult is the /v1/compile response.
@@ -74,6 +80,10 @@ type CompileResult struct {
 	CodeLen int      `json:"code_len"`
 	Words   []uint64 `json:"words"`
 	Listing string   `json:"listing"`
+
+	// Trace is the distributed trace ID echoed by the server (see
+	// RetargetResult.Trace).
+	Trace string `json:"-"`
 }
 
 // StatusError is a non-2xx service response.  Its transience follows the
@@ -210,9 +220,11 @@ func (c *Client) Retarget(ctx context.Context, ref ModelRef) (*RetargetResult, e
 		in["model_name"] = ref.ModelName
 	}
 	var out RetargetResult
-	if err := c.call(ctx, ref.fingerprint(), "/v1/retarget", in, &out); err != nil {
+	trace, err := c.call(ctx, ref.fingerprint(), "/v1/retarget", in, &out)
+	if err != nil {
 		return nil, err
 	}
+	out.Trace = trace
 	return &out, nil
 }
 
@@ -229,29 +241,43 @@ func (c *Client) Compile(ctx context.Context, ref ModelRef, source string, opts 
 		in["model_name"] = ref.ModelName
 	}
 	var out CompileResult
-	if err := c.call(ctx, ref.fingerprint(), "/v1/compile", in, &out); err != nil {
+	trace, err := c.call(ctx, ref.fingerprint(), "/v1/compile", in, &out)
+	if err != nil {
 		return nil, err
 	}
+	out.Trace = trace
 	return &out, nil
 }
 
-// call runs one POST under the retry policy and the model's circuit.
-// Breaker bookkeeping counts only service-fault outcomes: a 4xx is the
-// caller's problem and leaves the circuit alone.
-func (c *Client) call(ctx context.Context, bkey, path string, in, out interface{}) error {
-	return c.Policy.Do(ctx, func(ctx context.Context) error {
+// call runs one POST under the retry policy and the model's circuit,
+// returning the trace ID the winning response echoed.  Breaker
+// bookkeeping counts only service-fault outcomes: a 4xx is the caller's
+// problem and leaves the circuit alone.
+func (c *Client) call(ctx context.Context, bkey, path string, in, out interface{}) (string, error) {
+	var trace string
+	err := c.Policy.Do(ctx, func(ctx context.Context) error {
 		if err := c.Breaker.Allow(bkey); err != nil {
 			return err
 		}
-		err := c.post(ctx, path, in, out)
+		echo, err := c.post(ctx, path, in, out)
 		switch {
 		case err == nil:
+			trace = echoTrace(echo)
 			c.Breaker.Record(bkey, true)
 		case serverFault(err):
 			c.Breaker.Record(bkey, false)
 		}
 		return err
 	})
+	return trace, err
+}
+
+// echoTrace extracts the trace ID from an echoed X-Record-Trace value.
+func echoTrace(echo string) string {
+	if sc, ok := obs.ParseTraceHeader(echo); ok {
+		return sc.Trace.String()
+	}
+	return ""
 }
 
 // serverFault reports whether err indicates the service (not the request)
@@ -263,39 +289,63 @@ func serverFault(err error) bool {
 	return true // transport-level failure
 }
 
-func (c *Client) post(ctx context.Context, path string, in, out interface{}) error {
-	raw, err := c.postRaw(ctx, path, in)
+func (c *Client) post(ctx context.Context, path string, in, out interface{}) (string, error) {
+	raw, echo, err := c.postRaw(ctx, path, in)
 	if err != nil {
-		return err
+		return "", err
 	}
-	return json.Unmarshal(raw, out)
+	return echo, json.Unmarshal(raw, out)
 }
 
-// postRaw runs one POST and returns the raw 200-response body.  The fleet
-// client builds on this rather than post so hedged request legs can each
-// hold their own undecoded body and only the winner is unmarshalled.
-func (c *Client) postRaw(ctx context.Context, path string, in interface{}) ([]byte, error) {
+// postRaw runs one POST and returns the raw 200-response body plus the
+// X-Record-Trace value the server echoed.  The fleet client builds on
+// this rather than post so hedged request legs can each hold their own
+// undecoded body and only the winner is unmarshalled.
+//
+// When the context carries an obs scope (ContextWithScope), the request
+// becomes a child span ("rclient.request", tagged endpoint + path +
+// outcome, plus any extra attrs) and the span's identity travels in the
+// X-Record-Trace request header, parenting everything the server does —
+// queue wait, compile phases, peer fetches — under this leg.
+func (c *Client) postRaw(ctx context.Context, path string, in interface{}, extra ...obs.Attr) ([]byte, string, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
+	attrs := append([]obs.Attr{obs.KV("endpoint", c.Base), obs.KV("path", path)}, extra...)
+	sp, _ := obs.ScopeFromContext(ctx).Start("rclient.request", attrs...)
+	defer sp.End()
+
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		sp.SetAttr("outcome", "bad-request")
+		return nil, "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if c.Priority != "" {
 		req.Header.Set("X-Record-Priority", c.Priority)
 	}
+	if sc := sp.Context(); sc.Valid() {
+		req.Header.Set(obs.TraceHeader, sc.Header())
+	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
-		return nil, err
+		if ctx.Err() != nil {
+			sp.SetAttr("outcome", "cancelled")
+		} else {
+			sp.SetAttr("outcome", "transport-error")
+		}
+		return nil, "", err
 	}
 	defer resp.Body.Close()
+	echo := resp.Header.Get(obs.TraceHeader)
 	if resp.StatusCode != http.StatusOK {
-		return nil, statusError(resp)
+		sp.SetAttr("outcome", fmt.Sprintf("status-%d", resp.StatusCode))
+		return nil, echo, statusError(resp)
 	}
-	return io.ReadAll(resp.Body)
+	sp.SetAttr("outcome", "ok")
+	raw, err := io.ReadAll(resp.Body)
+	return raw, echo, err
 }
 
 // statusError drains a non-2xx response into a StatusError, parsing the

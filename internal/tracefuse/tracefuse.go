@@ -1,0 +1,257 @@
+// Package tracefuse merges per-process span dumps from a recordd fleet
+// into one cross-process Chrome trace.
+//
+// Each recordd node serves its bounded span ring at GET /v1/debug/spans
+// (obs.SpanDump): span timestamps are offsets from that node's tracer
+// base, and the bases are different wall clocks that disagree by
+// whatever skew the machines have.  Fusion joins the dumps by trace ID
+// and estimates per-node clock adjustments from request/response span
+// pairs — a child span recorded on node B under a parent recorded on
+// node A ran *inside* the parent's window, so the midpoints of the two
+// spans should coincide; the average midpoint difference over all such
+// pairs estimates A→B skew.  Adjustments propagate breadth-first from
+// the first node, so any fleet connected by at least one cross-node
+// trace aligns onto a single timeline.
+//
+// The output is Chrome trace_event JSON with one pid lane per node
+// (process_name metadata carries the node identity), loadable in
+// chrome://tracing or Perfetto.
+package tracefuse
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Fetch collects the span dump of every endpoint's /v1/debug/spans.
+// Endpoint order is preserved: it determines the pid lane numbering.
+func Fetch(ctx context.Context, client *http.Client, endpoints []string) ([]obs.SpanDump, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	dumps := make([]obs.SpanDump, 0, len(endpoints))
+	for _, ep := range endpoints {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, ep+"/v1/debug/spans", nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("tracefuse: %s: %w", ep, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("tracefuse: %s: status %d", ep, resp.StatusCode)
+		}
+		var d obs.SpanDump
+		err = json.NewDecoder(resp.Body).Decode(&d)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("tracefuse: %s: %w", ep, err)
+		}
+		dumps = append(dumps, d)
+	}
+	return dumps, nil
+}
+
+// Options tunes a fusion.
+type Options struct {
+	// Trace, when set, keeps only spans of that trace ID (hex).
+	Trace string
+}
+
+// Fused is a merged multi-node trace ready to serialize.
+type Fused struct {
+	// Nodes maps pid lane (index+1) to node identity.
+	Nodes []string
+	// AdjustNS is the per-node clock adjustment applied, in nanoseconds
+	// (node 0 is the reference and always 0).
+	AdjustNS []int64
+	events   []chromeEvent
+}
+
+// chromeEvent is one trace_event entry; ph "X" for spans, "M" for the
+// process_name metadata naming each pid lane.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Ts   int64                  `json:"ts,omitempty"` // µs on the fused timeline
+	Dur  int64                  `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// fusedSpan is one span placed on the shared wall-clock timeline.
+type fusedSpan struct {
+	node int // dump index
+	rec  obs.SpanRecord
+	abs  int64 // adjusted absolute start, ns
+}
+
+// midAbs is a span's unadjusted absolute midpoint on its own node's
+// clock, the quantity skew estimation compares across nodes.
+func midAbs(base int64, rec obs.SpanRecord) int64 {
+	return base + rec.StartUS*1000 + rec.DurUS*500
+}
+
+// Fuse joins dumps into one timeline.  It errors when no spans survive
+// filtering — a trace ID that appears nowhere is a harness failure, not
+// an empty trace.
+func Fuse(dumps []obs.SpanDump, opts Options) (*Fused, error) {
+	if len(dumps) == 0 {
+		return nil, fmt.Errorf("tracefuse: no dumps")
+	}
+
+	// Index every span by ID for cross-node parent resolution.  IDs are
+	// 64-bit random, so collisions across rings are negligible.
+	type spanAt struct {
+		node int
+		rec  obs.SpanRecord
+	}
+	byID := make(map[string]spanAt)
+	for ni, d := range dumps {
+		for _, rec := range d.Spans {
+			byID[rec.Span] = spanAt{node: ni, rec: rec}
+		}
+	}
+
+	// Skew samples per directed node pair, from cross-node parent links.
+	type pair struct{ parent, child int }
+	samples := make(map[pair][]int64)
+	for ni, d := range dumps {
+		for _, rec := range d.Spans {
+			if rec.Parent == "" {
+				continue
+			}
+			p, ok := byID[rec.Parent]
+			if !ok || p.node == ni {
+				continue
+			}
+			s := midAbs(dumps[p.node].BaseUnixNS, p.rec) - midAbs(d.BaseUnixNS, rec)
+			samples[pair{parent: p.node, child: ni}] = append(samples[pair{parent: p.node, child: ni}], s)
+		}
+	}
+	// Undirected mean offset per node pair: offset[i][j] is what to add
+	// to node j's clock to land on node i's, averaged over samples in
+	// both directions.
+	offsets := make(map[pair]int64)
+	counts := make(map[pair]int)
+	for pr, ss := range samples {
+		for _, s := range ss {
+			offsets[pr] += s
+			counts[pr]++
+			rev := pair{parent: pr.child, child: pr.parent}
+			offsets[rev] -= s
+			counts[rev]++
+		}
+	}
+
+	// BFS the adjustment out from node 0; disconnected nodes keep 0
+	// (nothing to align them by).
+	adjust := make([]int64, len(dumps))
+	visited := make([]bool, len(dumps))
+	queue := []int{0}
+	visited[0] = true
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		for j := range dumps {
+			if visited[j] {
+				continue
+			}
+			pr := pair{parent: i, child: j}
+			if counts[pr] == 0 {
+				continue
+			}
+			adjust[j] = adjust[i] + offsets[pr]/int64(counts[pr])
+			visited[j] = true
+			queue = append(queue, j)
+		}
+	}
+
+	var spans []fusedSpan
+	for ni, d := range dumps {
+		for _, rec := range d.Spans {
+			if opts.Trace != "" && rec.Trace != opts.Trace {
+				continue
+			}
+			spans = append(spans, fusedSpan{
+				node: ni,
+				rec:  rec,
+				abs:  d.BaseUnixNS + rec.StartUS*1000 + adjust[ni],
+			})
+		}
+	}
+	if len(spans) == 0 {
+		if opts.Trace != "" {
+			return nil, fmt.Errorf("tracefuse: no spans for trace %s", opts.Trace)
+		}
+		return nil, fmt.Errorf("tracefuse: no spans in any dump")
+	}
+
+	// The fused timeline starts at the earliest adjusted span.
+	origin := spans[0].abs
+	for _, s := range spans {
+		if s.abs < origin {
+			origin = s.abs
+		}
+	}
+
+	f := &Fused{AdjustNS: adjust}
+	lanes := make(map[int]bool)
+	for _, s := range spans {
+		lanes[s.node] = true
+	}
+	for ni, d := range dumps {
+		f.Nodes = append(f.Nodes, d.Node)
+		if !lanes[ni] {
+			continue
+		}
+		f.events = append(f.events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: ni + 1,
+			Args: map[string]interface{}{"name": d.Node},
+		})
+	}
+	sort.Slice(spans, func(a, b int) bool {
+		if spans[a].abs != spans[b].abs {
+			return spans[a].abs < spans[b].abs
+		}
+		if spans[a].node != spans[b].node {
+			return spans[a].node < spans[b].node
+		}
+		return spans[a].rec.Seq < spans[b].rec.Seq
+	})
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.rec.Name, Ph: "X",
+			Ts:  (s.abs - origin) / 1000,
+			Dur: s.rec.DurUS,
+			Pid: s.node + 1, Tid: s.rec.Tid,
+		}
+		ev.Args = map[string]interface{}{"trace": s.rec.Trace}
+		for k, v := range s.rec.Attrs {
+			ev.Args[k] = v
+		}
+		f.events = append(f.events, ev)
+	}
+	return f, nil
+}
+
+// WriteChrome serializes the fused trace as Chrome trace_event JSON.
+func (f *Fused) WriteChrome(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(chromeTrace{TraceEvents: f.events, DisplayTimeUnit: "ms"})
+}

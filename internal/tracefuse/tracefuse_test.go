@@ -1,0 +1,139 @@
+package tracefuse
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// twoNodeDumps builds a client dump and a server dump whose clocks
+// disagree by skewNS: the server span physically ran inside the client
+// request span, but the server's base clock is skewNS fast.
+func twoNodeDumps(skewNS int64) []obs.SpanDump {
+	const base = int64(1_700_000_000_000_000_000)
+	client := obs.SpanDump{
+		Node:       "client",
+		BaseUnixNS: base,
+		Spans: []obs.SpanRecord{
+			{Name: "record.run", Trace: "t1", Span: "c1", Tid: 1, Seq: 0,
+				StartUS: 0, DurUS: 10_000, Ended: true},
+			{Name: "rclient.request", Trace: "t1", Span: "c2", Parent: "c1",
+				Tid: 1, Seq: 1, StartUS: 1_000, DurUS: 8_000, Ended: true},
+		},
+	}
+	// On true time, the server span runs at [2ms, 8ms] — inside the
+	// request leg [1ms, 9ms].  On the server's skewed clock everything
+	// reads skewNS later.
+	server := obs.SpanDump{
+		Node:       "owner",
+		BaseUnixNS: base + skewNS,
+		Spans: []obs.SpanRecord{
+			{Name: "recordd.compile", Trace: "t1", Span: "s1", Parent: "c2",
+				Tid: 1, Seq: 0, StartUS: 2_000, DurUS: 6_000, Ended: true},
+		},
+	}
+	return []obs.SpanDump{client, server}
+}
+
+func TestFuseAlignsSkewedClocks(t *testing.T) {
+	const skew = int64(250_000_000) // server clock 250ms fast
+	f, err := Fuse(twoNodeDumps(skew), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.AdjustNS[0] != 0 {
+		t.Fatalf("reference node adjusted by %d", f.AdjustNS[0])
+	}
+	// Span midpoints coincide on true time, so the estimated adjustment
+	// recovers the skew exactly.
+	if f.AdjustNS[1] != -skew {
+		t.Fatalf("adjust[1] = %d, want %d", f.AdjustNS[1], -skew)
+	}
+
+	var buf bytes.Buffer
+	if err := f.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Ph   string                 `json:"ph"`
+			Ts   int64                  `json:"ts"`
+			Pid  int                    `json:"pid"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid chrome trace: %v", err)
+	}
+	byName := map[string]int64{}
+	pids := map[int]bool{}
+	names := 0
+	for _, ev := range out.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			names++
+			continue
+		}
+		byName[ev.Name] = ev.Ts
+		pids[ev.Pid] = true
+	}
+	if names != 2 {
+		t.Fatalf("process_name lanes = %d, want 2", names)
+	}
+	if !pids[1] || !pids[2] {
+		t.Fatalf("pid lanes = %v, want 1 and 2", pids)
+	}
+	// After adjustment the server span lands inside the request leg on
+	// the shared timeline: run@0, request@1000, compile@2000 µs.
+	if byName["record.run"] != 0 || byName["rclient.request"] != 1000 || byName["recordd.compile"] != 2000 {
+		t.Fatalf("fused timeline wrong: %v", byName)
+	}
+}
+
+func TestFuseTraceFilter(t *testing.T) {
+	dumps := twoNodeDumps(0)
+	dumps[0].Spans = append(dumps[0].Spans, obs.SpanRecord{
+		Name: "other", Trace: "t2", Span: "x1", Tid: 2, Seq: 2, Ended: true,
+	})
+	f, err := Fuse(dumps, Options{Trace: "t1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range f.events {
+		if ev.Ph == "X" && ev.Args["trace"] != "t1" {
+			t.Fatalf("foreign trace survived the filter: %+v", ev)
+		}
+	}
+	if _, err := Fuse(dumps, Options{Trace: "absent"}); err == nil {
+		t.Fatal("fusing an absent trace did not error")
+	}
+}
+
+func TestFetch(t *testing.T) {
+	dump := obs.SpanDump{Node: "n1", BaseUnixNS: 42, Spans: []obs.SpanRecord{}}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/debug/spans" {
+			http.NotFound(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(dump)
+	}))
+	defer srv.Close()
+
+	dumps, err := Fetch(t.Context(), nil, []string{srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) != 1 || dumps[0].Node != "n1" || dumps[0].BaseUnixNS != 42 {
+		t.Fatalf("fetched %+v", dumps)
+	}
+	if _, err := Fetch(t.Context(), nil, []string{srv.URL + "/nope"}); err == nil ||
+		!strings.Contains(err.Error(), "status") {
+		t.Fatalf("bad endpoint error = %v", err)
+	}
+}
