@@ -1,0 +1,164 @@
+// Fleet trace assembly: one traced compile crosses three real recordd
+// processes — the client misses on the node it asked, which walks its
+// peers (one miss, one hit) to replicate the artifact — and every hop
+// records spans under the client's single trace ID.  cmd/tracefuse's
+// library then joins the four span rings (client + three nodes) into one
+// Chrome trace with a pid lane per process.
+//
+// Runs under the fleet chaos harness's child re-exec; `go test -short`
+// skips it.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/models"
+	"repro/internal/obs"
+	"repro/internal/rclient"
+	"repro/internal/tracefuse"
+)
+
+func TestFleetChaosTraceAssembly(t *testing.T) {
+	skipChaos(t)
+
+	addrs := freeAddrs(t, 3)
+	urls := make([]string, 3)
+	for i, a := range addrs {
+		urls[i] = "http://" + a
+	}
+	nodes := make([]*fleetNode, 3)
+	for i := range nodes {
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		nodes[i] = &fleetNode{
+			id:       fmt.Sprintf("n%d", i+1),
+			addr:     addrs[i],
+			url:      urls[i],
+			cacheDir: t.TempDir(),
+			peers:    peers,
+		}
+		nodes[i].start(t)
+	}
+	byURL := make(map[string]*fleetNode, 3)
+	for _, n := range nodes {
+		byURL[n.url] = n
+	}
+
+	// The artifact key is computable without retargeting, so the test can
+	// stage the topology it needs: plant the artifact on the node with the
+	// LOWEST rendezvous rank for the key.  Whichever node then compiles,
+	// its peer walk asks the higher-ranked peer first (miss) before
+	// hitting the planted copy — so the one compile touches every node.
+	src, ok := models.Get("demo")
+	if !ok {
+		t.Fatal("bundled model demo missing")
+	}
+	key := artifact.Key(src, core.RetargetOptions{})
+	order := fleet.Rendezvous(key, urls, 3)
+	planted, missPeer, compileOn := byURL[order[2]], byURL[order[1]], byURL[order[0]]
+	t.Logf("artifact %.12s…: planted on %s, compiling on %s (peer walk: %s then %s)",
+		key, planted.id, compileOn.id, missPeer.id, planted.id)
+
+	ctx := context.Background()
+	rt, err := rclient.NewClient(planted.url).Retarget(ctx, rclient.ModelRef{ModelName: "demo"})
+	if err != nil {
+		t.Fatalf("planting retarget on %s: %v", planted.id, err)
+	}
+	if rt.Key != key {
+		t.Fatalf("server key %s differs from client-side key %s", rt.Key, key)
+	}
+
+	// The traced compile: a client-side root span rides the context into
+	// rclient, which ships the trace in X-Record-Trace.
+	tracer := obs.NewTracer()
+	root, scope := obs.NewScope(obs.NewRegistry(), tracer).Start("record.run")
+	res, err := rclient.NewClient(compileOn.url).Compile(
+		obs.ContextWithScope(ctx, scope),
+		rclient.ModelRef{Key: key}, "int a = 2; int b = 3; int y; y = a + b;",
+		rclient.CompileOptions{})
+	if err != nil {
+		t.Fatalf("traced compile on %s: %v", compileOn.id, err)
+	}
+	tid := root.Context().Trace.String()
+	root.End()
+	if res.Cache != "hit-peer" {
+		t.Fatalf("compile outcome %q, want hit-peer", res.Cache)
+	}
+	if res.Trace != tid {
+		t.Fatalf("response echoed trace %q, want the client root %q", res.Trace, tid)
+	}
+
+	// Every process holds a piece of the same trace: the client ring plus
+	// all three node rings fetched over /v1/debug/spans.
+	dumps := []obs.SpanDump{tracer.Dump("client")}
+	fetched, err := tracefuse.Fetch(ctx, nil, urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dumps = append(dumps, fetched...)
+	for _, d := range dumps {
+		found := false
+		for _, rec := range d.Spans {
+			if rec.Trace == tid {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("node %s has no span under trace %s", d.Node, tid)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Fusion joins the rings into one Chrome trace with a pid lane per
+	// process.
+	fused, err := tracefuse.Fuse(dumps, tracefuse.Options{Trace: tid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fused.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Ph   string                 `json:"ph"`
+			Pid  int                    `json:"pid"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid chrome trace: %v", err)
+	}
+	lanes := map[string]bool{}
+	spansByPid := map[int]int{}
+	for _, ev := range out.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			lanes[ev.Args["name"].(string)] = true
+			continue
+		}
+		spansByPid[ev.Pid]++
+	}
+	for _, want := range []string{"client", "n1", "n2", "n3"} {
+		if !lanes[want] {
+			t.Errorf("fused trace lacks a pid lane for %s (lanes: %v)", want, lanes)
+		}
+	}
+	if len(spansByPid) != 4 {
+		t.Errorf("spans landed in %d pid lanes, want 4: %v", len(spansByPid), spansByPid)
+	}
+}

@@ -17,6 +17,11 @@
 //	GET  /metrics      cache counters, in-flight compiles, per-phase latency
 //	GET  /v1/artifact/{key}  encoded artifact bytes for fleet peers; 404
 //	                   when the key is not in the local disk store
+//	PUT  /v1/artifact/{key}  anti-entropy push from a fleet peer; the body
+//	                   is decode-verified against the content address, 503
+//	                   + Retry-After while the disk tier is degraded
+//	GET  /v1/inventory paginated artifact-key listing + set digest, for
+//	                   the peers' anti-entropy inventory exchange
 //
 // Flags:
 //
@@ -26,6 +31,14 @@
 //	-peers urls        comma-separated base URLs of the other fleet nodes;
 //	                   on a local cache miss the artifact is fetched from
 //	                   the key's rendezvous peer before retargeting
+//	-advertise url     this node's own base URL as the peers dial it; names
+//	                   the node on the consistent-hash ring so all nodes
+//	                   compute the same ownership (required for anti-entropy)
+//	-scrub-interval d  background disk-scrub cycle interval (0 = off);
+//	                   corrupt artifacts are quarantined and peer-repaired
+//	-scrub-rate f      scrub pacing in artifacts verified per second
+//	-anti-entropy-interval d  push-replication sweep interval (0 = off)
+//	-replicate n       desired durable copies per owned artifact (default 2)
 //	-debug-addr h:p    profiling listener: net/http/pprof plus /metrics
 //	                   (default off; keep it off the public address)
 //	-cache-dir dir     artifact store directory (default: memory-only)
@@ -104,6 +117,11 @@ func main() {
 	flag.IntVar(&cfg.brkWindow, "breaker-window", 8, "per-model circuit-breaker outcome window (0 = breaker off)")
 	flag.Float64Var(&cfg.brkRate, "breaker-rate", 0.5, "failure rate that opens a model's circuit")
 	flag.DurationVar(&cfg.brkCooldown, "breaker-cooldown", 10*time.Second, "circuit open -> half-open probe cooldown")
+	flag.StringVar(&cfg.advertise, "advertise", "", "this node's own base URL as peers dial it (ring member name; default: -node-id)")
+	flag.DurationVar(&cfg.scrubInterval, "scrub-interval", 0, "disk-scrub cycle interval (0 = off)")
+	flag.Float64Var(&cfg.scrubRate, "scrub-rate", 0, "disk-scrub pacing in artifacts/sec (0 = default)")
+	flag.DurationVar(&cfg.aeInterval, "anti-entropy-interval", 0, "anti-entropy replication sweep interval (0 = off)")
+	flag.IntVar(&cfg.replicate, "replicate", 2, "desired durable copies per owned artifact, self included")
 	flag.IntVar(&cfg.traceSpans, "trace-spans", 4096, "request-tracer span ring bound")
 	sloTargets := flag.String("slo-targets", "", `per-route latency objectives, e.g. "compile=500ms,retarget=60s"`)
 	flag.Float64Var(&cfg.sloAvailability, "slo-availability", 0, "SLO good-event fraction objective (0 = 0.999)")
@@ -178,6 +196,14 @@ func main() {
 	if s.cfg.prewarmEvery > 0 {
 		go s.prewarmLoop(proberCtx)
 		fmt.Printf("recordd pre-warm every %v (top %d hot models)\n", s.cfg.prewarmEvery, s.cfg.prewarmTop)
+	}
+	if s.cfg.scrubInterval > 0 && s.cfg.cacheDir != "" {
+		go s.scrubLoop(proberCtx)
+		fmt.Printf("recordd disk scrub every %v\n", s.cfg.scrubInterval)
+	}
+	if s.ae != nil {
+		go s.antiEntropyLoop(proberCtx)
+		fmt.Printf("recordd anti-entropy every %v (replicate=%d)\n", s.cfg.aeInterval, s.cfg.replicate)
 	}
 	if len(s.cfg.peers) > 0 {
 		p := &fleet.Prober{

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/json"
@@ -14,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/antientropy"
 	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/faultpoint"
@@ -45,8 +47,14 @@ type serverConfig struct {
 	prewarmTop   int                 // hot models considered per sweep
 
 	nodeID      string        // fleet identity: /healthz field + node metric label
+	advertise   string        // this node's own base URL, for ring membership ("" = nodeID)
 	peers       []string      // base URLs of fleet peers to fetch artifacts from
 	peerTimeout time.Duration // per-peer artifact fetch budget
+
+	scrubInterval time.Duration // disk-scrub cycle interval (0 = off)
+	scrubRate     float64       // scrub pacing, artifacts/sec (0 = rcache default)
+	aeInterval    time.Duration // anti-entropy sweep interval (0 = off)
+	replicate     int           // desired durable copies per owned key (0 = default 2)
 
 	traceSpans int // span-ring bound for the request tracer (0 = default)
 
@@ -88,6 +96,9 @@ func (c serverConfig) withDefaults() serverConfig {
 	}
 	if c.prewarmTop <= 0 {
 		c.prewarmTop = 4
+	}
+	if c.replicate <= 0 {
+		c.replicate = 2
 	}
 	if c.traceSpans <= 0 {
 		c.traceSpans = 4096
@@ -167,6 +178,9 @@ type server struct {
 
 	cPeerFetch      *obs.CounterVec // by node, peer, outcome: hit | miss | error
 	cArtifactServes *obs.CounterVec // by node, outcome: hit | miss
+	cArtifactPushes *obs.CounterVec // by node, outcome: ok | degraded | rejected
+
+	ae *antientropy.Agent // push replication; nil when peers or interval are unset
 
 	// targMu serializes the zero-check-then-delete on gTargInflight so a
 	// concurrent Inc cannot land between Dec and Delete.
@@ -180,7 +194,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	// The cache's peer hook closes over the server being built: peer
 	// fetches only run while serving requests, well after s is assigned.
 	var s *server
-	copts := rcache.Options{Dir: cfg.cacheDir, MaxEntries: cfg.cacheSize, Obs: scp}
+	copts := rcache.Options{Dir: cfg.cacheDir, MaxEntries: cfg.cacheSize, Obs: scp, ScrubRate: cfg.scrubRate}
 	if len(cfg.peers) > 0 {
 		copts.PeerFetch = func(ctx context.Context, key string) ([]byte, error) {
 			return s.peerFetch(ctx, key)
@@ -240,6 +254,8 @@ func newServer(cfg serverConfig) (*server, error) {
 			"peer artifact fetch attempts, by node, peer and outcome", "node", "peer", "outcome"),
 		cArtifactServes: reg.CounterVec("record_recordd_artifact_serves_total",
 			"artifact store lookups served to fleet peers, by node and outcome", "node", "outcome"),
+		cArtifactPushes: reg.CounterVec("record_recordd_artifact_pushes_total",
+			"anti-entropy artifact pushes received, by node and outcome", "node", "outcome"),
 	}
 	s.sched = qos.NewScheduler(qos.Config{
 		Capacity: cfg.workers,
@@ -268,7 +284,14 @@ func newServer(cfg serverConfig) (*server, error) {
 	reg.GaugeVec("record_recordd_node_info",
 		"static node identity; always 1", "node").With(cfg.nodeID).Set(1)
 	if len(cfg.peers) > 0 {
-		members := append([]string{cfg.nodeID}, cfg.peers...)
+		// Ring members are named by the node's advertised base URL when one
+		// is configured: every fleet node then builds the ring over the same
+		// member strings (its own URL + its peers' URLs), so ownership and
+		// successor order agree fleet-wide — the invariant anti-entropy
+		// pushes rely on.  Without -advertise the member name degrades to
+		// the nodeID, which keeps single-view uses (rebalancing gauges)
+		// working but makes cross-node ownership views disagree.
+		members := append([]string{s.self()}, cfg.peers...)
 		s.ring = fleet.NewRing(0, members...)
 		gArc := reg.GaugeVec("record_recordd_ring_arc_ppm",
 			"consistent-hash arc share per fleet member, parts per million", "member")
@@ -289,7 +312,31 @@ func newServer(cfg serverConfig) (*server, error) {
 	}
 	reg.Gauge("record_recordd_worker_pool_size",
 		"configured worker pool capacity").Set(int64(cfg.workers))
+	if len(cfg.peers) > 0 && cfg.aeInterval > 0 {
+		s.ae = antientropy.New(antientropy.Config{
+			Self:        s.self(),
+			Peers:       cfg.peers,
+			Ring:        s.ring,
+			Replicate:   cfg.replicate,
+			Keys:        s.cache.Keys,
+			Encoded:     s.cache.Encoded,
+			FetchDigest: s.inventoryDigestFrom,
+			FetchKeys:   s.inventoryKeysFrom,
+			Push:        s.pushTo,
+			Healthy:     s.peerHealth.Usable,
+			Obs:         scp,
+		})
+	}
 	return s, nil
+}
+
+// self is this node's ring member name: its advertised base URL when one
+// is configured, else the bare nodeID.
+func (s *server) self() string {
+	if s.cfg.advertise != "" {
+		return strings.TrimRight(s.cfg.advertise, "/")
+	}
+	return s.cfg.nodeID
 }
 
 // prewarmOne is the Prewarmer's Warm hook: it loads one hot model into
@@ -338,14 +385,20 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/retarget", s.traced("retarget", s.handleRetarget))
 	mux.HandleFunc("/v1/compile", s.traced("compile", s.handleCompile))
 	mux.HandleFunc("/v1/compile-batch", s.traced("batch", s.handleCompileBatch))
-	// GET-only, so peers can still replicate artifacts off a draining
-	// node — the drain gate below blocks new work, not reads.
+	// GET serves artifacts to peers; PUT accepts anti-entropy pushes.
+	// Both stay drain-exempt (see the gate below): peers must be able to
+	// replicate artifacts off a draining node AND backfill replicas onto
+	// it — a drain is exactly when its copies are about to disappear.
 	mux.HandleFunc("/v1/artifact/", s.traced("artifact", s.handleArtifact))
+	// GET-only inventory listing for anti-entropy digest exchange;
+	// drain-exempt so peers can still see what a draining node holds.
+	mux.HandleFunc("/v1/inventory", s.traced("inventory", s.handleInventory))
 	// Drain-exempt like /v1/artifact (GET): the span ring must stay
 	// readable while a node drains, or a chaos trace loses its tail.
 	mux.HandleFunc("/v1/debug/spans", s.handleDebugSpans)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.draining.Load() && r.Method != http.MethodGet {
+		if s.draining.Load() && r.Method != http.MethodGet &&
+			!strings.HasPrefix(r.URL.Path, "/v1/artifact/") {
 			s.fail(w, r, http.StatusServiceUnavailable,
 				&resilience.DrainingError{After: time.Second})
 			return
@@ -704,12 +757,13 @@ type compileBatchResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
-	Kind  string `json:"kind,omitempty"` // refusal class: "overload" | "open" | "draining"
+	Kind  string `json:"kind,omitempty"` // refusal class: "overload" | "open" | "draining" | "degraded"
 }
 
 // refusalKind classifies typed resilience refusals for the wire, so a
 // client can tell a draining node (fail over now, the hint is exact)
-// from overload or an open circuit (backing off harder is fine).
+// from overload or an open circuit (backing off harder is fine) from a
+// degraded disk tier (push or write elsewhere; reads still work here).
 func refusalKind(err error) string {
 	var ov *resilience.OverloadError
 	if errors.As(err, &ov) {
@@ -722,6 +776,10 @@ func refusalKind(err error) string {
 	var de *resilience.DrainingError
 	if errors.As(err, &de) {
 		return "draining"
+	}
+	var ge *resilience.DegradedError
+	if errors.As(err, &ge) {
+		return "degraded"
 	}
 	return ""
 }
@@ -747,40 +805,100 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleArtifact serves the encoded artifact for a content address to
-// fleet peers: a peer resolving a key its own cache misses fetches the
-// bytes here instead of re-running the retarget.  Memory-only nodes
-// (no -cache-dir) always answer 404 — peer replication serves from the
-// durable tier only.
+// fleet peers (GET) and accepts anti-entropy pushes from them (PUT): a
+// peer resolving a key its own cache misses fetches the bytes here
+// instead of re-running the retarget, and a peer that owns a key this
+// node should replicate pushes the bytes here.  Memory-only nodes (no
+// -cache-dir) answer 404 to GET and refuse PUT — peer replication runs
+// against the durable tier only.
 func (s *server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/v1/artifact/")
+	switch r.Method {
+	case http.MethodGet:
+		data, err := s.cache.Encoded(key)
+		if err != nil {
+			s.cArtifactServes.With(s.cfg.nodeID, "miss").Inc()
+			s.fail(w, r, http.StatusNotFound, fmt.Errorf("no artifact for key %s", key))
+			return
+		}
+		s.cArtifactServes.With(s.cfg.nodeID, "hit").Inc()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(data)
+	case http.MethodPut:
+		s.handleArtifactPush(w, r, key)
+	default:
+		s.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use GET or PUT"))
+	}
+}
+
+// handleArtifactPush lands one pushed artifact in the durable tier.
+// Ingest validates the key shape, decode-verifies the bytes against the
+// content address, refuses while the disk tier is degraded (typed 503 +
+// Retry-After, satisfying the invariant that an accepted push IS a
+// durable replica — never memory-only buffering), and treats an
+// already-present key as a successful no-op so repeated pushes are
+// idempotent.
+func (s *server) handleArtifactPush(w http.ResponseWriter, r *http.Request, key string) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 256<<20))
+	if err != nil {
+		s.cArtifactPushes.With(s.cfg.nodeID, "rejected").Inc()
+		s.fail(w, r, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	if err := s.cache.Ingest(key, body); err != nil {
+		var de *resilience.DegradedError
+		switch {
+		case errors.As(err, &de):
+			s.cArtifactPushes.With(s.cfg.nodeID, "degraded").Inc()
+			s.fail(w, r, http.StatusServiceUnavailable, err)
+		case errors.Is(err, rcache.ErrNoStore):
+			s.cArtifactPushes.With(s.cfg.nodeID, "rejected").Inc()
+			s.fail(w, r, http.StatusConflict, err)
+		default:
+			s.cArtifactPushes.With(s.cfg.nodeID, "rejected").Inc()
+			s.fail(w, r, http.StatusBadRequest, err)
+		}
+		return
+	}
+	s.cArtifactPushes.With(s.cfg.nodeID, "ok").Inc()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleInventory serves this node's artifact-key inventory for the
+// anti-entropy digest exchange: ?limit=-1 returns the digest alone (the
+// cheap "did anything change" probe), otherwise one sorted page of keys
+// starting after ?after, each page carrying the full-set digest.
+func (s *server) handleInventory(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
-	key := strings.TrimPrefix(r.URL.Path, "/v1/artifact/")
-	data, err := s.cache.Encoded(key)
-	if err != nil {
-		s.cArtifactServes.With(s.cfg.nodeID, "miss").Inc()
-		s.fail(w, r, http.StatusNotFound, fmt.Errorf("no artifact for key %s", key))
-		return
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < -1 {
+			s.fail(w, r, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		limit = n
 	}
-	s.cArtifactServes.With(s.cfg.nodeID, "hit").Inc()
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(data)
+	after := r.URL.Query().Get("after")
+	writeJSON(w, http.StatusOK, antientropy.Page(s.self(), s.cache.Keys(), after, limit))
 }
 
-// peerFetch is the cache's PeerFetch hook: on a local miss it walks the
-// configured peers in the key's rendezvous order (so every node agrees
-// which replica to ask first) and returns the first copy found.
-// (nil, nil) means no peer has one; the cache then retargets locally.
-// Failures degrade the peer's health so a dead peer stops being asked.
+// peerFetch is the cache's PeerFetch hook, shared by miss-replication
+// and scrub repair: it walks fleet.RepairPeers' order — every healthy
+// peer, in the key's rendezvous order, self excluded, each exactly once
+// (so every node agrees which replica to ask first, and a repair only
+// gives up as unrepairable after every candidate was tried) — and
+// returns the first copy found.  (nil, nil) means no peer has one; the
+// cache then retargets locally.  Failures degrade the peer's health so
+// a dead peer stops being asked.
 func (s *server) peerFetch(ctx context.Context, key string) ([]byte, error) {
-	for _, peer := range fleet.Rendezvous(key, s.cfg.peers, len(s.cfg.peers)) {
+	for _, peer := range fleet.RepairPeers(key, s.self(), s.cfg.peers, s.peerHealth.Usable) {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
-		}
-		if !s.peerHealth.Usable(peer) {
-			continue
 		}
 		sp, pscope := obs.ScopeFromContext(ctx).Start("peer.fetch", obs.KV("peer", peer))
 		data, err := s.fetchFrom(obs.ContextWithScope(ctx, pscope), peer, key)
@@ -833,6 +951,116 @@ func (s *server) fetchFrom(ctx context.Context, peer, key string) ([]byte, error
 	default:
 		return nil, fmt.Errorf("peer %s: status %d", peer, resp.StatusCode)
 	}
+}
+
+// inventoryDigestFrom is the anti-entropy agent's cheap probe: one
+// digest-only inventory page from a peer.
+func (s *server) inventoryDigestFrom(ctx context.Context, peer string) (string, error) {
+	inv, err := s.inventoryPage(ctx, peer, "", -1)
+	if err != nil {
+		return "", err
+	}
+	return inv.Digest, nil
+}
+
+// inventoryKeysFrom walks a peer's full paginated inventory.  A digest
+// change mid-walk means the set moved underneath us; the partial listing
+// is still returned — anti-entropy converges over repeated sweeps, so a
+// slightly stale view only defers work, never corrupts it.
+func (s *server) inventoryKeysFrom(ctx context.Context, peer string) (*antientropy.PeerInventory, error) {
+	out := &antientropy.PeerInventory{Keys: make(map[string]bool)}
+	after := ""
+	for {
+		inv, err := s.inventoryPage(ctx, peer, after, 0)
+		if err != nil {
+			return nil, err
+		}
+		out.Digest = inv.Digest
+		for _, k := range inv.Keys {
+			out.Keys[k] = true
+		}
+		if inv.Next == "" {
+			return out, nil
+		}
+		after = inv.Next
+	}
+}
+
+// inventoryPage performs one GET /v1/inventory against a peer under the
+// per-peer timeout.
+func (s *server) inventoryPage(ctx context.Context, peer, after string, limit int) (*antientropy.Inventory, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.peerTimeout)
+	defer cancel()
+	u := strings.TrimRight(peer, "/") + "/v1/inventory?limit=" + strconv.Itoa(limit)
+	if after != "" {
+		u += "&after=" + after
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.peerHTTP.Do(req)
+	if err != nil {
+		s.peerHealth.Report(peer, false)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		s.peerHealth.Report(peer, false)
+		return nil, fmt.Errorf("peer %s: inventory status %d", peer, resp.StatusCode)
+	}
+	s.peerHealth.Report(peer, true)
+	var inv antientropy.Inventory
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&inv); err != nil {
+		return nil, err
+	}
+	return &inv, nil
+}
+
+// pushTo uploads one encoded artifact to a peer (PUT /v1/artifact/{key}).
+// 204 and 200 both mean the replica is durable over there; anything else
+// — including a degraded-disk 503 — is an error the agent retries on a
+// later sweep, ideally after the peer recovers.
+func (s *server) pushTo(ctx context.Context, peer, key string, data []byte) error {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.peerTimeout)
+	defer cancel()
+	url := strings.TrimRight(peer, "/") + "/v1/artifact/" + key
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, url, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := s.peerHTTP.Do(req)
+	if err != nil {
+		s.peerHealth.Report(peer, false)
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent, http.StatusOK:
+		s.peerHealth.Report(peer, true)
+		return nil
+	default:
+		// The peer answered: it is alive, just unwilling (degraded disk,
+		// memory-only, malformed push).  Do not poison its health — reads
+		// may still work fine.
+		return fmt.Errorf("peer %s: push status %d", peer, resp.StatusCode)
+	}
+}
+
+// scrubLoop drives disk-scrub cycles until ctx ends or the drain starts.
+func (s *server) scrubLoop(ctx context.Context) {
+	s.cache.RunScrubber(ctx, s.cfg.scrubInterval, s.drainCh)
+}
+
+// antiEntropyLoop drives push-replication sweeps until ctx ends or the
+// drain starts (a draining node stops pushing; its artifact endpoints
+// stay drain-exempt so peers can still pull from and backfill to it).
+func (s *server) antiEntropyLoop(ctx context.Context) {
+	if s.ae == nil {
+		return
+	}
+	s.ae.Run(ctx, s.cfg.aeInterval, s.drainCh)
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -1264,6 +1492,10 @@ func statusFor(err error) int {
 	}
 	var de *resilience.DrainingError
 	if errors.As(err, &de) {
+		return http.StatusServiceUnavailable
+	}
+	var ge *resilience.DegradedError
+	if errors.As(err, &ge) {
 		return http.StatusServiceUnavailable
 	}
 	var be *diag.BudgetError

@@ -1,0 +1,363 @@
+// Package antientropy makes artifact replication proactive.  The peer
+// tier (internal/rcache PeerFetch) replicates pull-on-miss: a copy
+// travels only when some node happens to need it, so most keys live on
+// exactly one disk and a single lost node silently destroys the only
+// replica of everything it exclusively owned.  Retargeted artifacts are
+// the expensive product of the whole HDL→ISE→grammar→BURS pipeline —
+// the offline-generated tables worth computing once and preserving — so
+// each node runs an anti-entropy agent that periodically:
+//
+//  1. exchanges a compact inventory digest with every healthy peer
+//     (GET /v1/inventory on recordd: a set digest plus a paginated key
+//     listing, re-fetched only when the digest moved);
+//  2. computes which of the keys it owns on the consistent-hash ring
+//     are under-replicated across the key's fleet.Ring.Successors;
+//  3. pushes the missing copies (PUT /v1/artifact/{key} on recordd,
+//     decode-verified by the receiver before acceptance).
+//
+// The agent is deliberately one-directional: a node pushes only keys it
+// owns, to the key's successor replicas.  Every node runs the same rule
+// over the same ring, so the fleet converges on Replicate durable copies
+// of every key with no coordinator, no version vectors and no deletion
+// protocol (artifacts are immutable and content-addressed: a key is
+// either present and correct or absent, so "newest wins" never arises).
+package antientropy
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"time"
+
+	"repro/internal/diag"
+	"repro/internal/faultpoint"
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+// Inventory is the wire form of GET /v1/inventory: one page of a node's
+// sorted artifact-key listing plus the digest of the whole set.  The
+// digest rides on every page so a caller can detect the set changing
+// under a paginated walk (and cheaply skip the walk entirely when the
+// digest matches a cached copy).
+type Inventory struct {
+	Node   string   `json:"node"`             // serving node's identity
+	Total  int      `json:"total"`            // size of the full key set
+	Digest string   `json:"digest"`           // SetDigest of the full key set
+	Keys   []string `json:"keys"`             // this page, sorted ascending
+	Next   string   `json:"next,omitempty"`   // cursor: pass as after=; empty = last page
+}
+
+// SetDigest fingerprints a key set independent of order: SHA-256 over
+// the sorted keys, newline-separated.  Two nodes hold the same artifact
+// set iff their digests match.
+func SetDigest(keys []string) string {
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	h := sha256.New()
+	for _, k := range sorted {
+		h.Write([]byte(k))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// DefaultPageSize bounds one inventory page when the caller asks for 0.
+const DefaultPageSize = 512
+
+// MaxPageSize is the hard page bound; larger requests are clamped.
+const MaxPageSize = 4096
+
+// Page slices one inventory page out of a sorted key set: the first
+// `limit` keys strictly after `after`.  limit <= 0 means
+// DefaultPageSize; limit == -1 returns an empty page (digest-only — the
+// cheap "has anything changed" exchange).
+func Page(node string, keys []string, after string, limit int) Inventory {
+	inv := Inventory{Node: node, Total: len(keys), Digest: SetDigest(keys)}
+	if limit == -1 {
+		return inv
+	}
+	if limit <= 0 {
+		limit = DefaultPageSize
+	}
+	if limit > MaxPageSize {
+		limit = MaxPageSize
+	}
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	start := sort.SearchStrings(sorted, after)
+	if start < len(sorted) && sorted[start] == after {
+		start++
+	}
+	end := start + limit
+	if end > len(sorted) {
+		end = len(sorted)
+	}
+	inv.Keys = sorted[start:end]
+	if end < len(sorted) && len(inv.Keys) > 0 {
+		inv.Next = inv.Keys[len(inv.Keys)-1]
+	}
+	return inv
+}
+
+// PeerInventory is what an Agent's Fetch hook returns: the peer's full
+// key set and the digest it was listed under.
+type PeerInventory struct {
+	Digest string
+	Keys   map[string]bool
+}
+
+// Config wires an Agent to its node.
+type Config struct {
+	// Self is this node's ring member name (the same string the fleet's
+	// rings use for it — its advertised base URL when one is configured).
+	Self string
+	// Peers are the other ring members' names, which double as the
+	// addresses the Fetch/Push hooks dial.
+	Peers []string
+	// Ring is the fleet membership (Self + Peers); ownership and
+	// successor order come from here.
+	Ring *fleet.Ring
+	// Replicate is the desired durable copy count per key, owner
+	// included; values below 2 mean 2 (1 would make anti-entropy a
+	// no-op), and more than the fleet size clamps.
+	Replicate int
+
+	// Keys lists the local durable store; Encoded returns one artifact's
+	// bytes (both from rcache).
+	Keys    func() []string
+	Encoded func(key string) ([]byte, error)
+
+	// FetchDigest returns a peer's current inventory digest (the cheap
+	// exchange); FetchKeys returns the full set.  Push uploads one
+	// artifact to a peer.
+	FetchDigest func(ctx context.Context, peer string) (string, error)
+	FetchKeys   func(ctx context.Context, peer string) (*PeerInventory, error)
+	Push        func(ctx context.Context, peer, key string, data []byte) error
+
+	// Healthy filters peers before any exchange; nil means all peers.
+	Healthy func(peer string) bool
+
+	// MaxPushPerSweep bounds how many artifacts one sweep uploads so a
+	// cold node backfills over several sweeps instead of one bandwidth
+	// spike; 0 means DefaultMaxPushPerSweep.
+	MaxPushPerSweep int
+
+	// Obs supplies the metrics registry; Reporter receives warnings.
+	// Both are nil-safe.
+	Obs      *obs.Scope
+	Reporter *diag.Reporter
+}
+
+// DefaultMaxPushPerSweep bounds one sweep's uploads when unconfigured.
+const DefaultMaxPushPerSweep = 64
+
+// Report summarizes one anti-entropy sweep.
+type Report struct {
+	Owned           int // local keys this node owns on the ring
+	PeersReached    int // peers whose inventory was available this sweep
+	UnderReplicated int // owned keys below the replication target before pushing
+	Pushed          int // artifacts uploaded
+	PushErrors      int // uploads that failed
+	MinReplicas     int // lowest observed replica count across owned keys (after pushes)
+	Skipped         int // pushes withheld by MaxPushPerSweep
+}
+
+// Agent runs the anti-entropy loop for one node.  It is not safe for
+// concurrent Sweep calls; Run serializes them.
+type Agent struct {
+	cfg Config
+
+	// inv caches each peer's key set by digest so an unchanged peer
+	// costs one digest round-trip per sweep, not a full listing.
+	inv map[string]*PeerInventory
+
+	cSweeps   *obs.Counter
+	cPush     *obs.CounterVec // outcome: ok | error
+	gRepl     *obs.Gauge      // record_recordd_replication_factor
+	gUnder    *obs.Gauge
+	hSweepDur *obs.Histogram
+}
+
+// New builds an Agent and registers its instruments.
+func New(cfg Config) *Agent {
+	if cfg.Replicate < 2 {
+		cfg.Replicate = 2
+	}
+	if cfg.MaxPushPerSweep <= 0 {
+		cfg.MaxPushPerSweep = DefaultMaxPushPerSweep
+	}
+	reg := cfg.Obs.Registry()
+	return &Agent{
+		cfg: cfg,
+		inv: make(map[string]*PeerInventory),
+		cSweeps: reg.Counter("record_recordd_antientropy_sweeps_total",
+			"anti-entropy sweeps run"),
+		cPush: reg.CounterVec("record_recordd_antientropy_push_total",
+			"artifacts pushed to under-replicated successors, by outcome", "outcome"),
+		gRepl: reg.Gauge("record_recordd_replication_factor",
+			"lowest replica count observed across a sample of the keys this node owns (0 = nothing owned or no peer reachable to verify)"),
+		gUnder: reg.Gauge("record_recordd_under_replicated_keys",
+			"owned keys observed below the replication target in the last sweep, after pushes"),
+		hSweepDur: reg.Histogram("record_recordd_antientropy_sweep_seconds",
+			"wall time of one anti-entropy sweep", nil),
+	}
+}
+
+// Sweep runs one full anti-entropy pass: inventory exchange, ownership
+// scan, pushes.  Push failures degrade to warnings — the sweep continues
+// and the next interval retries; convergence, not completion, is the
+// contract.
+func (a *Agent) Sweep(ctx context.Context) Report {
+	start := time.Now()
+	a.cSweeps.Inc()
+	var rep Report
+
+	inventories := a.exchange(ctx)
+	rep.PeersReached = len(inventories)
+
+	local := a.cfg.Keys()
+	budget := a.cfg.MaxPushPerSweep
+	minRepl := -1
+	for _, key := range local {
+		if ctx.Err() != nil {
+			break
+		}
+		if a.cfg.Ring.Owner(key) != a.cfg.Self {
+			continue
+		}
+		rep.Owned++
+		replicas := a.replicate(ctx, key, inventories, &rep, &budget)
+		if minRepl < 0 || replicas < minRepl {
+			minRepl = replicas
+		}
+	}
+	if minRepl < 0 {
+		minRepl = 0
+	}
+	rep.MinReplicas = minRepl
+	a.gRepl.Set(int64(minRepl))
+	a.gUnder.Set(int64(rep.UnderReplicated - rep.Pushed))
+	a.hSweepDur.Observe(time.Since(start).Seconds())
+	return rep
+}
+
+// exchange collects the key sets of every healthy peer, re-listing only
+// peers whose digest moved since the cached copy.
+func (a *Agent) exchange(ctx context.Context) map[string]*PeerInventory {
+	out := make(map[string]*PeerInventory, len(a.cfg.Peers))
+	for _, peer := range a.cfg.Peers {
+		if ctx.Err() != nil {
+			break
+		}
+		if a.cfg.Healthy != nil && !a.cfg.Healthy(peer) {
+			continue
+		}
+		digest, err := a.cfg.FetchDigest(ctx, peer)
+		if err != nil {
+			a.cfg.Reporter.Warnf("antientropy", diag.Pos{},
+				"inventory digest from %s failed: %v", peer, err)
+			continue
+		}
+		if cached, ok := a.inv[peer]; ok && cached.Digest == digest {
+			out[peer] = cached
+			continue
+		}
+		inv, err := a.cfg.FetchKeys(ctx, peer)
+		if err != nil {
+			a.cfg.Reporter.Warnf("antientropy", diag.Pos{},
+				"inventory listing from %s failed: %v", peer, err)
+			continue
+		}
+		a.inv[peer] = inv
+		out[peer] = inv
+	}
+	return out
+}
+
+// replicate brings one owned key up to the replication target across its
+// ring successors, returning the replica count it could verify (self
+// included).  Successor peers with no inventory this sweep (unreachable,
+// or digest fetch failed) are skipped entirely: pushing blind would
+// re-upload on every sweep, and counting them as holders would hide real
+// under-replication.
+func (a *Agent) replicate(ctx context.Context, key string, inventories map[string]*PeerInventory, rep *Report, budget *int) int {
+	succ := a.cfg.Ring.Successors(key, a.cfg.Replicate)
+	replicas := 1 // the local durable copy
+	missing := make([]string, 0, len(succ))
+	for _, s := range succ {
+		if s == a.cfg.Self {
+			continue
+		}
+		inv, ok := inventories[s]
+		if !ok {
+			continue
+		}
+		if inv.Keys[key] {
+			replicas++
+		} else {
+			missing = append(missing, s)
+		}
+	}
+	if len(missing) == 0 {
+		return replicas
+	}
+	rep.UnderReplicated++
+	data, err := a.cfg.Encoded(key)
+	if err != nil {
+		// Vanished between Keys() and now (eviction race); the next
+		// sweep sees the true state.
+		return replicas
+	}
+	for _, peer := range missing {
+		if *budget <= 0 {
+			rep.Skipped++
+			return replicas
+		}
+		*budget--
+		err := faultpoint.Hit("recordd.antientropy.push", key)
+		if err == nil {
+			err = a.cfg.Push(ctx, peer, key, data)
+		}
+		if err != nil {
+			rep.PushErrors++
+			a.cPush.With("error").Inc()
+			a.cfg.Reporter.Warnf("antientropy", diag.Pos{},
+				"push of %s to %s failed: %v", key, peer, err)
+			continue
+		}
+		rep.Pushed++
+		replicas++
+		a.cPush.With("ok").Inc()
+		// Keep the cached inventory truthful so the next sweep does not
+		// re-push into an unchanged digest.
+		if inv := a.inv[peer]; inv != nil {
+			inv.Keys[key] = true
+			inv.Digest = "" // set changed; force a re-list next sweep
+		}
+	}
+	return replicas
+}
+
+// Run drives sweeps every interval until ctx ends or stop closes
+// (recordd passes its drain channel — a draining node stops pushing, but
+// its GET/PUT artifact endpoints stay drain-exempt so peers can still
+// backfill from and to it).
+func (a *Agent) Run(ctx context.Context, interval time.Duration, stop <-chan struct{}) {
+	if interval <= 0 {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-stop:
+			return
+		case <-t.C:
+			a.Sweep(ctx)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package antientropy
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/faultpoint"
+	"repro/internal/fleet"
+)
+
+func keyFor(seed int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", seed)))
+	return fmt.Sprintf("%x", sum)
+}
+
+func TestSetDigestOrderIndependent(t *testing.T) {
+	a := []string{keyFor(1), keyFor(2), keyFor(3)}
+	b := []string{keyFor(3), keyFor(1), keyFor(2)}
+	if SetDigest(a) != SetDigest(b) {
+		t.Fatal("digest depends on order")
+	}
+	if SetDigest(a) == SetDigest(a[:2]) {
+		t.Fatal("digest ignores membership")
+	}
+	if SetDigest(nil) != SetDigest([]string{}) {
+		t.Fatal("empty-set digests disagree")
+	}
+}
+
+func TestPagePagination(t *testing.T) {
+	var keys []string
+	for i := 0; i < 10; i++ {
+		keys = append(keys, keyFor(i))
+	}
+	digest := SetDigest(keys)
+
+	// Digest-only probe.
+	probe := Page("n", keys, "", -1)
+	if probe.Digest != digest || probe.Total != 10 || len(probe.Keys) != 0 {
+		t.Fatalf("digest probe %+v, want digest-only with total 10", probe)
+	}
+
+	// Walk in pages of 3; the union must be the full sorted set, every
+	// page carrying the same digest.
+	var got []string
+	after := ""
+	pages := 0
+	for {
+		p := Page("n", keys, after, 3)
+		if p.Digest != digest {
+			t.Fatalf("page digest %q, want %q", p.Digest, digest)
+		}
+		got = append(got, p.Keys...)
+		pages++
+		if p.Next == "" {
+			break
+		}
+		after = p.Next
+	}
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	if !reflect.DeepEqual(got, sorted) {
+		t.Fatalf("paged walk got %d keys, want the sorted set", len(got))
+	}
+	if pages != 4 { // 3+3+3+1
+		t.Fatalf("walk took %d pages, want 4", pages)
+	}
+}
+
+func TestPageClampsLimit(t *testing.T) {
+	var keys []string
+	for i := 0; i < 5; i++ {
+		keys = append(keys, keyFor(i))
+	}
+	if p := Page("n", keys, "", 0); len(p.Keys) != 5 {
+		t.Fatalf("limit 0 should default, got %d keys", len(p.Keys))
+	}
+	if p := Page("n", keys, "", MaxPageSize+100); len(p.Keys) != 5 {
+		t.Fatalf("oversized limit broke paging: %d keys", len(p.Keys))
+	}
+	if p := Page("n", keys, "", 5); p.Next != "" {
+		t.Fatalf("exact-fit page should be the last, Next=%q", p.Next)
+	}
+}
+
+// testFleet is a fake 3-node fleet for the agent: every node's key set
+// is a map, the hooks operate on those maps directly.
+type testFleet struct {
+	self  string
+	nodes map[string]map[string]bool
+	// pushErr makes Push fail for a given peer.
+	pushErr map[string]error
+
+	digestFetches int
+	keyFetches    int
+	pushes        []string // "peer/key"
+}
+
+func (f *testFleet) agent(replicate int) *Agent {
+	var peers []string
+	for n := range f.nodes {
+		if n != f.self {
+			peers = append(peers, n)
+		}
+	}
+	sort.Strings(peers)
+	members := append([]string{f.self}, peers...)
+	return New(Config{
+		Self:      f.self,
+		Peers:     peers,
+		Ring:      fleet.NewRing(0, members...),
+		Replicate: replicate,
+		Keys: func() []string {
+			var out []string
+			for k := range f.nodes[f.self] {
+				out = append(out, k)
+			}
+			sort.Strings(out)
+			return out
+		},
+		Encoded: func(key string) ([]byte, error) {
+			if !f.nodes[f.self][key] {
+				return nil, errors.New("gone")
+			}
+			return []byte("artifact:" + key), nil
+		},
+		FetchDigest: func(ctx context.Context, peer string) (string, error) {
+			f.digestFetches++
+			var keys []string
+			for k := range f.nodes[peer] {
+				keys = append(keys, k)
+			}
+			return SetDigest(keys), nil
+		},
+		FetchKeys: func(ctx context.Context, peer string) (*PeerInventory, error) {
+			f.keyFetches++
+			inv := &PeerInventory{Keys: make(map[string]bool)}
+			var keys []string
+			for k := range f.nodes[peer] {
+				inv.Keys[k] = true
+				keys = append(keys, k)
+			}
+			inv.Digest = SetDigest(keys)
+			return inv, nil
+		},
+		Push: func(ctx context.Context, peer, key string, data []byte) error {
+			if err := f.pushErr[peer]; err != nil {
+				return err
+			}
+			f.pushes = append(f.pushes, peer+"/"+key)
+			f.nodes[peer][key] = true
+			return nil
+		},
+	})
+}
+
+func newTestFleet(self string, others ...string) *testFleet {
+	f := &testFleet{self: self, nodes: map[string]map[string]bool{self: {}}, pushErr: map[string]error{}}
+	for _, o := range others {
+		f.nodes[o] = map[string]bool{}
+	}
+	return f
+}
+
+// ownedKey finds a key this node owns on the agent's ring.
+func ownedKey(t *testing.T, a *Agent, self string) string {
+	t.Helper()
+	for seed := 0; seed < 1000; seed++ {
+		if k := keyFor(seed); a.cfg.Ring.Owner(k) == self {
+			return k
+		}
+	}
+	t.Fatal("no owned key in 1000 tries")
+	return ""
+}
+
+func TestSweepPushesUnderReplicatedOwnedKeys(t *testing.T) {
+	f := newTestFleet("http://a", "http://b", "http://c")
+	a := f.agent(2)
+	key := ownedKey(t, a, "http://a")
+	f.nodes["http://a"][key] = true
+
+	rep := a.Sweep(context.Background())
+	if rep.Owned != 1 || rep.UnderReplicated != 1 || rep.Pushed != 1 {
+		t.Fatalf("sweep %+v, want 1 owned, 1 under-replicated, 1 pushed", rep)
+	}
+	succ := a.cfg.Ring.Successors(key, 2)
+	var wantPeer string
+	for _, s := range succ {
+		if s != "http://a" {
+			wantPeer = s
+		}
+	}
+	if want := wantPeer + "/" + key; len(f.pushes) != 1 || f.pushes[0] != want {
+		t.Fatalf("pushes %v, want [%s]", f.pushes, want)
+	}
+	if rep.MinReplicas != 2 {
+		t.Fatalf("MinReplicas = %d after push, want 2", rep.MinReplicas)
+	}
+
+	// A second sweep finds the fleet converged: nothing more to push.
+	rep = a.Sweep(context.Background())
+	if rep.UnderReplicated != 0 || rep.Pushed != 0 {
+		t.Fatalf("second sweep %+v, want converged", rep)
+	}
+}
+
+func TestSweepIgnoresKeysItDoesNotOwn(t *testing.T) {
+	f := newTestFleet("http://a", "http://b", "http://c")
+	a := f.agent(2)
+	// Find a key owned by someone else and hold a copy of it locally.
+	var key string
+	for seed := 0; seed < 1000; seed++ {
+		if k := keyFor(seed); a.cfg.Ring.Owner(k) != "http://a" {
+			key = k
+			break
+		}
+	}
+	f.nodes["http://a"][key] = true
+
+	rep := a.Sweep(context.Background())
+	if rep.Owned != 0 || rep.Pushed != 0 {
+		t.Fatalf("sweep %+v: pushed a key this node does not own", rep)
+	}
+}
+
+func TestSweepDigestCaching(t *testing.T) {
+	f := newTestFleet("http://a", "http://b", "http://c")
+	a := f.agent(2)
+
+	a.Sweep(context.Background())
+	if f.keyFetches != 2 {
+		t.Fatalf("first sweep listed %d peers, want 2", f.keyFetches)
+	}
+	// Unchanged peers: the second sweep pays only the digest probe.
+	a.Sweep(context.Background())
+	if f.keyFetches != 2 {
+		t.Fatalf("unchanged peers re-listed (keyFetches=%d)", f.keyFetches)
+	}
+	// A peer's set changes: only then is the listing re-fetched.
+	f.nodes["http://b"][keyFor(7)] = true
+	a.Sweep(context.Background())
+	if f.keyFetches != 3 {
+		t.Fatalf("changed peer not re-listed (keyFetches=%d)", f.keyFetches)
+	}
+}
+
+func TestSweepPushFailureDegrades(t *testing.T) {
+	f := newTestFleet("http://a", "http://b", "http://c")
+	a := f.agent(3) // everyone replicates everywhere in a 3-node fleet
+	key := ownedKey(t, a, "http://a")
+	f.nodes["http://a"][key] = true
+	f.pushErr["http://b"] = errors.New("disk degraded")
+
+	rep := a.Sweep(context.Background())
+	if rep.PushErrors != 1 {
+		t.Fatalf("sweep %+v, want 1 push error", rep)
+	}
+	// The healthy peer still got its copy — one failure never aborts the
+	// sweep.
+	if !f.nodes["http://c"][key] {
+		t.Fatal("healthy peer was not backfilled after the other peer failed")
+	}
+	// Next sweep retries the failed peer and converges.
+	delete(f.pushErr, "http://b")
+	rep = a.Sweep(context.Background())
+	if rep.Pushed != 1 || !f.nodes["http://b"][key] {
+		t.Fatalf("retry sweep %+v; recovered peer still missing the key", rep)
+	}
+}
+
+func TestSweepPushFaultpoint(t *testing.T) {
+	f := newTestFleet("http://a", "http://b", "http://c")
+	a := f.agent(2)
+	key := ownedKey(t, a, "http://a")
+	f.nodes["http://a"][key] = true
+
+	faultpoint.Arm("recordd.antientropy.push", faultpoint.Action{Kind: faultpoint.KindError})
+	defer faultpoint.Reset()
+	rep := a.Sweep(context.Background())
+	if rep.PushErrors != 1 || rep.Pushed != 0 || len(f.pushes) != 0 {
+		t.Fatalf("sweep %+v pushes %v: armed faultpoint should fail the push before the hook", rep, f.pushes)
+	}
+}
+
+func TestSweepPushBudget(t *testing.T) {
+	f := newTestFleet("http://a", "http://b", "http://c")
+	cfgAgent := f.agent(2)
+	var owned []string
+	for seed := 0; len(owned) < 5 && seed < 5000; seed++ {
+		if k := keyFor(seed); cfgAgent.cfg.Ring.Owner(k) == "http://a" {
+			owned = append(owned, k)
+			f.nodes["http://a"][k] = true
+		}
+	}
+	cfgAgent.cfg.MaxPushPerSweep = 2
+
+	rep := cfgAgent.Sweep(context.Background())
+	if rep.Pushed != 2 || rep.Skipped == 0 {
+		t.Fatalf("sweep %+v, want exactly 2 pushes and some skipped", rep)
+	}
+	// Converges over later sweeps regardless of the per-sweep bound.
+	for i := 0; i < 4; i++ {
+		cfgAgent.Sweep(context.Background())
+	}
+	if rep := cfgAgent.Sweep(context.Background()); rep.UnderReplicated != 0 {
+		t.Fatalf("fleet did not converge under push budget: %+v", rep)
+	}
+}

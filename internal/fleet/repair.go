@@ -1,0 +1,31 @@
+package fleet
+
+// RepairPeers is the walk order for fetching (or repairing) an artifact
+// from the fleet: every healthy peer, in the key's rendezvous order,
+// with self excluded.  The properties callers rely on (pinned by the
+// property test):
+//
+//   - self never appears, regardless of whether it is listed in peers —
+//     a node repairing its own corrupt copy must never ask itself;
+//   - the order is a pure function of (key, peers): every node computes
+//     the same order with no shared state, so the fleet converges on
+//     asking the same replica first;
+//   - every healthy peer appears exactly once before the walk is
+//     exhausted — a repair gives up as unrepairable only after every
+//     candidate has been tried;
+//   - healthy == nil filters nothing.
+func RepairPeers(key, self string, peers []string, healthy func(string) bool) []string {
+	out := make([]string, 0, len(peers))
+	seen := make(map[string]bool, len(peers))
+	for _, p := range Rendezvous(key, peers, 0) {
+		if p == self || seen[p] {
+			continue
+		}
+		seen[p] = true
+		if healthy != nil && !healthy(p) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}

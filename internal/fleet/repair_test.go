@@ -1,0 +1,108 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// keyFor fabricates a content-address-shaped key from a seed.
+func keyFor(seed int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", seed)))
+	return fmt.Sprintf("%x", sum)
+}
+
+// TestRepairPeersProperties pins the repair-walk contract over many keys
+// and fleet shapes: self excluded, deterministic per key, every healthy
+// peer enumerated exactly once before the walk is exhausted.
+func TestRepairPeersProperties(t *testing.T) {
+	fleets := [][]string{
+		{"http://a:1"},
+		{"http://a:1", "http://b:2"},
+		{"http://a:1", "http://b:2", "http://c:3"},
+		{"http://a:1", "http://b:2", "http://c:3", "http://d:4", "http://e:5"},
+		// Self listed among the peers, and a duplicate entry: both must
+		// be filtered.
+		{"http://self:0", "http://a:1", "http://b:2", "http://b:2"},
+	}
+	const self = "http://self:0"
+
+	for fi, peers := range fleets {
+		// The expected full walk: unique peers minus self.
+		want := map[string]bool{}
+		for _, p := range peers {
+			if p != self {
+				want[p] = true
+			}
+		}
+		for seed := 0; seed < 50; seed++ {
+			key := keyFor(seed)
+			walk := RepairPeers(key, self, peers, nil)
+
+			// Self never appears.
+			seen := map[string]bool{}
+			for _, p := range walk {
+				if p == self {
+					t.Fatalf("fleet %d key %d: walk contains self", fi, seed)
+				}
+				if seen[p] {
+					t.Fatalf("fleet %d key %d: %s appears twice in %v", fi, seed, p, walk)
+				}
+				seen[p] = true
+			}
+			// Every healthy peer appears (healthy == nil filters nothing),
+			// so the walk only gives up after exhausting every candidate.
+			if len(seen) != len(want) {
+				t.Fatalf("fleet %d key %d: walk %v misses peers, want all of %v", fi, seed, walk, want)
+			}
+			// Deterministic: a pure function of (key, peers).
+			if again := RepairPeers(key, self, peers, nil); !reflect.DeepEqual(walk, again) {
+				t.Fatalf("fleet %d key %d: walk not deterministic: %v vs %v", fi, seed, walk, again)
+			}
+		}
+	}
+}
+
+// TestRepairPeersHealthyFilter: unhealthy peers are skipped, and the
+// relative order of the survivors matches the unfiltered rendezvous walk
+// — filtering must not reshuffle who gets asked first.
+func TestRepairPeersHealthyFilter(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	const self = "http://self:0"
+	down := map[string]bool{"http://b:2": true}
+	healthy := func(p string) bool { return !down[p] }
+
+	for seed := 0; seed < 20; seed++ {
+		key := keyFor(seed)
+		full := RepairPeers(key, self, peers, nil)
+		got := RepairPeers(key, self, peers, healthy)
+
+		var wantOrder []string
+		for _, p := range full {
+			if healthy(p) {
+				wantOrder = append(wantOrder, p)
+			}
+		}
+		if !reflect.DeepEqual(got, wantOrder) {
+			t.Fatalf("key %d: filtered walk %v, want %v (full %v)", seed, got, wantOrder, full)
+		}
+	}
+}
+
+// TestRepairPeersOrderVariesByKey: the rendezvous walk should not be the
+// same permutation for every key — otherwise one peer absorbs every
+// first-attempt repair in the fleet.
+func TestRepairPeersOrderVariesByKey(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4", "http://e:5"}
+	firsts := map[string]bool{}
+	for seed := 0; seed < 64; seed++ {
+		walk := RepairPeers(keyFor(seed), "http://self:0", peers, nil)
+		if len(walk) > 0 {
+			firsts[walk[0]] = true
+		}
+	}
+	if len(firsts) < 2 {
+		t.Fatalf("first repair peer identical for 64 distinct keys: %v", firsts)
+	}
+}

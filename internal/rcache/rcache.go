@@ -29,12 +29,14 @@ import (
 	"sync"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/faultpoint"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // Outcome says which tier satisfied a Get.
@@ -67,6 +69,15 @@ type Stats struct {
 	PeerHits  uint64 // artifacts fetched from a fleet peer
 	PeerFails uint64 // peer fetches that failed (degraded to local retarget)
 
+	// Self-healing disk tier: corrupt artifacts are renamed to
+	// <key>.quarantine (never deleted — the bytes are forensic evidence)
+	// and the scrubber repairs them from fleet peers.
+	Quarantined   uint64 // corrupt artifacts renamed aside (loadDisk + scrub)
+	ScrubClean    uint64 // scrubbed artifacts that verified clean
+	ScrubRepaired uint64 // quarantined artifacts re-fetched from a peer
+	ScrubLost     uint64 // quarantined artifacts no healthy peer could supply
+	Ingested      uint64 // artifacts accepted from peer pushes (anti-entropy)
+
 	// Speculative pre-warm is attributed apart from serving traffic so
 	// the hit-rate computed from the counters above is what real
 	// requests experienced, not what background loading manufactured.
@@ -90,7 +101,14 @@ type Options struct {
 	// retarget: it should return the encoded artifact bytes for key from
 	// a fleet peer, (nil, nil) when no peer has a copy, or an error.
 	// Failures degrade to a local retarget, never to a request failure.
+	// The disk scrubber uses the same hook to repair quarantined
+	// artifacts.
 	PeerFetch func(ctx context.Context, key string) ([]byte, error)
+	// ScrubRate paces the disk scrubber in artifacts verified per second
+	// (token bucket, burst of one second's worth); 0 means
+	// DefaultScrubRate.  The scrubber never runs unless RunScrubber or
+	// ScrubOnce is called.
+	ScrubRate float64
 }
 
 // DefaultMaxEntries is the memory-tier capacity when Options.MaxEntries
@@ -168,6 +186,18 @@ type Cache struct {
 	cPeerErrors *obs.Counter
 	cPrewarm    *obs.CounterVec // by outcome; kept apart from cHits/cMisses
 	gDegraded   *obs.Gauge
+
+	// Self-healing instruments: scrub outcomes, cycle duration, the
+	// count of .quarantine files accumulated on disk (swept at startup,
+	// bumped per quarantine, dropped per repair), and peer-push ingests.
+	cScrub      *obs.CounterVec
+	hScrubCycle *obs.Histogram
+	gQuarantine *obs.Gauge
+	cIngest     *obs.CounterVec
+
+	// scrubGate serializes scrub cycles so RunScrubber and a direct
+	// ScrubOnce caller never double-walk the store.
+	scrubGate sync.Mutex
 }
 
 // New creates a cache; when opts.Dir is set the directory is created and
@@ -212,10 +242,41 @@ func New(opts Options) (*Cache, error) {
 		"speculative pre-warm attempts, by outcome; attributed apart from the serving hit/miss counters", "outcome")
 	c.gDegraded = reg.Gauge("record_rcache_disk_degraded",
 		"1 when the disk tier is disabled after an unusable-disk error")
+	c.cScrub = reg.CounterVec("record_rcache_scrub_total",
+		"disk-scrub verifications, by outcome (clean | quarantined | repaired | unrepairable)", "outcome")
+	c.hScrubCycle = reg.Histogram("record_rcache_scrub_cycle_seconds",
+		"wall time of one full disk-scrub cycle", nil)
+	c.gQuarantine = reg.Gauge("record_rcache_quarantined_files",
+		"corrupt artifacts currently set aside as <key>.quarantine in the store directory")
+	c.cIngest = reg.CounterVec("record_rcache_ingest_total",
+		"artifacts pushed by peers (anti-entropy), by outcome", "outcome")
 	if opts.Dir != "" {
 		c.recoverOrphans()
+		c.sweepQuarantine()
 	}
 	return c, nil
+}
+
+// sweepQuarantine counts the .quarantine files already accumulated in the
+// store directory so operators see corruption that predates this process
+// (quarantined artifacts are never deleted automatically; clearing them
+// is an explicit operator action).
+func (c *Cache) sweepQuarantine() {
+	entries, err := os.ReadDir(c.opts.Dir)
+	if err != nil {
+		return
+	}
+	found := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".quarantine") {
+			found++
+		}
+	}
+	c.gQuarantine.Set(int64(found))
+	if found > 0 {
+		c.opts.Reporter.Warnf("rcache", diag.Pos{},
+			"%d quarantined artifact(s) from previous runs in %s", found, c.opts.Dir)
+	}
 }
 
 // recoverOrphans deletes temp files left behind by a crash mid-store.
@@ -443,7 +504,10 @@ func (c *Cache) fill(ctx context.Context, key, mdlSource string, ropts core.Reta
 	return entry, Miss, nil
 }
 
-// loadDisk decodes the artifact for key, dropping corrupt files as misses.
+// loadDisk decodes the artifact for key, quarantining corrupt files as
+// misses: the bytes are renamed to <key>.quarantine, never deleted, so
+// the evidence of how they rotted survives for forensics and the
+// scrubber can repair the key from a peer.
 func (c *Cache) loadDisk(key string) *Entry {
 	if c.opts.Dir == "" || c.diskOff.Load() {
 		return nil
@@ -453,13 +517,7 @@ func (c *Cache) loadDisk(key string) *Entry {
 		return nil // absent: plain miss
 	}
 	bad := func(err error) *Entry {
-		c.mu.Lock()
-		c.stats.Corrupt++
-		c.mu.Unlock()
-		c.cCorrupt.Inc()
-		c.opts.Reporter.Warnf("rcache", diag.Pos{},
-			"dropping corrupt cache artifact %s: %v", key, err)
-		_ = os.Remove(c.path(key))
+		c.quarantine(key, err)
 		return nil
 	}
 	a, err := artifact.Decode(data)
@@ -474,6 +532,37 @@ func (c *Cache) loadDisk(key string) *Entry {
 		return bad(err)
 	}
 	return c.newEntry(key, t)
+}
+
+func (c *Cache) quarantinePath(key string) string {
+	return filepath.Join(c.opts.Dir, key+".quarantine")
+}
+
+// quarantine sets a corrupt artifact aside as <key>.quarantine and counts
+// the corruption once.  Renaming (not deleting) preserves the corrupt
+// bytes for forensics; a later scrub repairs the key from a peer.  A
+// failed rename leaves the file in place — deletion is never the
+// fallback — and the key simply stays a miss until the scrubber retries.
+func (c *Cache) quarantine(key string, cause error) {
+	c.mu.Lock()
+	c.stats.Corrupt++
+	c.mu.Unlock()
+	c.cCorrupt.Inc()
+	_, statErr := os.Stat(c.quarantinePath(key))
+	if err := os.Rename(c.path(key), c.quarantinePath(key)); err != nil {
+		c.opts.Reporter.Warnf("rcache", diag.Pos{},
+			"corrupt cache artifact %s (%v) could not be quarantined: %v", key, cause, err)
+		return
+	}
+	c.mu.Lock()
+	c.stats.Quarantined++
+	c.mu.Unlock()
+	c.cScrub.With("quarantined").Inc()
+	if statErr != nil { // first quarantine of this key; re-corruption overwrites
+		c.gQuarantine.Inc()
+	}
+	c.opts.Reporter.Warnf("rcache", diag.Pos{},
+		"quarantined corrupt cache artifact %s: %v", key, cause)
 }
 
 // fetchPeer asks the PeerFetch hook for another node's encoded artifact
@@ -555,6 +644,66 @@ func (c *Cache) Encoded(key string) ([]byte, error) {
 		return nil, os.ErrNotExist
 	}
 	return os.ReadFile(c.path(key))
+}
+
+// ErrNoStore reports an Ingest against a cache with no disk tier: a
+// memory-only node cannot hold a durable replica, so accepting the push
+// would let the fleet believe the key is safer than it is.
+var ErrNoStore = errors.New("rcache: no disk store configured")
+
+// DegradedRetryAfter is the backoff hint attached to Ingest refusals
+// while the disk tier is degraded.
+const DegradedRetryAfter = 30 * time.Second
+
+// Ingest accepts an encoded artifact pushed by a fleet peer
+// (anti-entropy replication) and persists it crash-safely.  The bytes
+// are decode-verified against the content address before acceptance — a
+// corrupt or mis-keyed push is rejected, never written.  A degraded disk
+// tier refuses with a typed transient *resilience.DegradedError (the
+// push must land on a node that can actually hold a durable replica,
+// not be buffered memory-only); a cache with no store directory refuses
+// with ErrNoStore.  A key already present is a successful no-op, so
+// repeated pushes from concurrent sweeps are idempotent and cheap.
+func (c *Cache) Ingest(key string, data []byte) error {
+	if !validKey(key) {
+		c.cIngest.With("rejected").Inc()
+		return fmt.Errorf("rcache: malformed artifact key %q", key)
+	}
+	if c.opts.Dir == "" {
+		c.cIngest.With("rejected").Inc()
+		return ErrNoStore
+	}
+	if c.diskOff.Load() {
+		c.cIngest.With("degraded").Inc()
+		return &resilience.DegradedError{Resource: "disk tier", After: DegradedRetryAfter}
+	}
+	if _, err := os.Stat(c.path(key)); err == nil {
+		c.cIngest.With("duplicate").Inc()
+		return nil
+	}
+	a, err := artifact.Decode(data)
+	if err != nil {
+		c.cIngest.With("rejected").Inc()
+		return fmt.Errorf("rcache: rejecting pushed artifact for %s: %w", key, err)
+	}
+	if a.Key != key {
+		c.cIngest.With("rejected").Inc()
+		return fmt.Errorf("rcache: pushed artifact self-identifies as %s, not %s", a.Key, key)
+	}
+	if err := c.storeBytes(key, data); err != nil {
+		c.diskFail(key, err)
+		if c.diskOff.Load() {
+			c.cIngest.With("degraded").Inc()
+			return &resilience.DegradedError{Resource: "disk tier", After: DegradedRetryAfter}
+		}
+		c.cIngest.With("error").Inc()
+		return err
+	}
+	c.mu.Lock()
+	c.stats.Ingested++
+	c.mu.Unlock()
+	c.cIngest.With("stored").Inc()
+	return nil
 }
 
 // validKey reports whether key has the exact shape of a content address

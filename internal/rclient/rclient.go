@@ -374,8 +374,11 @@ func statusError(resp *http.Response) *StatusError {
 			}
 		}
 	}
-	if se.Kind == "draining" {
+	switch se.Kind {
+	case "draining":
 		se.wrapped = &resilience.DrainingError{After: se.After}
+	case "degraded":
+		se.wrapped = &resilience.DegradedError{Resource: "disk tier", After: se.After}
 	}
 	return se
 }
